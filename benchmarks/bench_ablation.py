@@ -1,0 +1,72 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+X1 — containment: homomorphism (PTIME, fragment-complete) vs the canonical
+     model test (exact everywhere, exponential).
+X2 — linear one-type implication: Theorem 4.8's claim engine vs the record
+     fixpoint engine (they must agree; relative speed is the ablation).
+X3 — instance-based ↓ on XP{/,[],*}: certain-facts (Theorem 5.3) vs the
+     per-witness escape engine.
+X4 — Example 3.3: the diverging chase vs a terminating decision.
+"""
+
+import random
+
+import pytest
+
+from bench_helpers import LABELS, implication_workload, instance_workload, run_all
+from repro.constraints import constraint_set, no_remove
+from repro.implication import implies_linear, implies_linear_one_type
+from repro.instance import implies_by_certain_facts, implies_no_insert
+from repro.workloads import FragmentSpec, random_pattern
+from repro.xic import chase_implication
+from repro.xpath import canonical_contained, hom_contained
+
+
+def _pattern_pairs(seed: int, spec: FragmentSpec, batch: int = 30):
+    rng = random.Random(seed)
+    return [
+        (random_pattern(rng, LABELS, spec, spine=rng.randint(1, 3)),
+         random_pattern(rng, LABELS, spec, spine=rng.randint(1, 3)))
+        for _ in range(batch)
+    ]
+
+
+@pytest.mark.parametrize("engine", ["homomorphism", "canonical"])
+def test_x1_containment_engines(benchmark, engine):
+    pairs = _pattern_pairs(42, FragmentSpec(wildcard=False))
+    checker = hom_contained if engine == "homomorphism" else canonical_contained
+
+    def run():
+        return sum(1 for p, q in pairs if checker(p, q))
+
+    count = benchmark(run)
+    # on the wildcard-free fragment the two are equivalent deciders
+    other = canonical_contained if engine == "homomorphism" else hom_contained
+    assert count == sum(1 for p, q in pairs if other(p, q))
+
+
+@pytest.mark.parametrize("engine", ["thm48-claim", "record-fixpoint"])
+def test_x2_linear_one_type_engines(benchmark, engine):
+    problems = implication_workload("x2", FragmentSpec(predicates=False), 3,
+                                    types="up", spine=3)
+    runner = (implies_linear_one_type if engine == "thm48-claim"
+              else implies_linear)
+    benchmark(run_all, problems, runner)
+
+
+@pytest.mark.parametrize("engine", ["certain-facts", "escape"])
+def test_x3_instance_down_engines(benchmark, engine):
+    problems = instance_workload("x3", FragmentSpec(descendant=False), 3,
+                                 "down", tree_size=15)
+    runner = (implies_by_certain_facts if engine == "certain-facts"
+              else implies_no_insert)
+    benchmark(run_all, problems, runner)
+
+
+@pytest.mark.parametrize("budget", [10, 20, 40])
+def test_x4_chase_budget_growth(benchmark, budget):
+    """Example 3.3: work grows linearly with the budget, never converging."""
+    premises = constraint_set(("/a/b/c", "up"), ("/a/b[c]", "down"))
+    conclusion = no_remove("/a/b/c/d")
+    outcome = benchmark(chase_implication, premises, conclusion, budget)
+    assert outcome.diverged

@@ -1,0 +1,78 @@
+"""Figures and worked examples, timed as reproducible artifacts."""
+
+from repro.constraints import constraint_set, no_insert, no_remove
+from repro.constraints.validity import explain_violations
+from repro.implication import (
+    build_interchange_counterexample,
+    implies,
+    implies_linear,
+)
+from repro.instance import implies_on
+from repro.trees import branch, build
+from repro.xpath import parse
+
+
+def _figure2():
+    before = build(
+        branch("patient", branch("visit", nid=907), branch("clinicalTrial")),
+        branch("patient", branch("visit")),
+    )
+    after = before.copy()
+    after.remove_subtree(907)
+    return before, after
+
+
+def test_figure2_validity_audit(benchmark):
+    """Figure 2 / Example 2.1: the three-constraint audit."""
+    before, after = _figure2()
+    constraints = constraint_set(
+        ("/patient[/visit]", "down"),
+        ("/patient[/clinicalTrial]", "up"),
+        ("/patient[/clinicalTrial]", "down"),
+        ("/patient/visit", "up"),
+    )
+    violations = benchmark(explain_violations, before, after, constraints)
+    assert len(violations) == 1
+
+
+def test_figure3_interchange_construction(benchmark):
+    """Figure 3: the Theorem 3.1 counterexample builder."""
+    certificate = benchmark(build_interchange_counterexample,
+                            parse("//b"), parse("/a/b"))
+    assert certificate is not None
+
+
+def test_example21_general_implication(benchmark):
+    premises = constraint_set(("/patient[/visit]", "down"),
+                              ("/patient[/clinicalTrial]", "down"))
+    result = benchmark(implies, premises,
+                       no_insert("/patient[/visit][/clinicalTrial]"))
+    assert result.is_implied
+
+
+def test_example22_instance_implication(benchmark):
+    current = build(
+        branch("patient", branch("clinicalTrial"), branch("visit")),
+        branch("patient", branch("clinicalTrial"), branch("visit")),
+    )
+    premises = constraint_set(("/patient/visit", "up"))
+    result = benchmark(implies_on, premises, current,
+                       no_remove("/patient[/clinicalTrial]/visit"))
+    assert result.is_implied
+
+
+def test_example41_interaction(benchmark):
+    premises = constraint_set(
+        ("//a//c", "up"), ("//b//c", "up"), ("//a//b//c", "down"),
+        ("//a//b//a//c", "up"), ("//b//a//b//c", "up"),
+    )
+    result = benchmark(implies_linear, premises, no_remove("//b//a//c"))
+    assert result.is_implied
+
+
+def test_figure6_reduction_generation(benchmark):
+    """Figure 6: generating the Theorem 5.2 instance for a 3-var formula."""
+    from repro.reductions import EXAMPLE_SAT, theorem_52_problem
+
+    problem = benchmark(theorem_52_problem, EXAMPLE_SAT)
+    assert problem.current.size > 10

@@ -1,0 +1,64 @@
+"""Shared workload builders for the benchmark harness.
+
+Workloads are seeded per (cell, size) so every run regenerates identical
+inputs; sizes are chosen so the full suite completes in minutes while still
+exposing each cell's growth trend (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints import ConstraintSet, UpdateConstraint, ConstraintType
+from repro.workloads import (
+    FragmentSpec,
+    random_constraints,
+    random_pattern,
+    random_tree,
+)
+
+LABELS = ["a", "b", "c"]
+
+
+def implication_workload(cell: str, spec: FragmentSpec, count: int,
+                         types: str, spine: int = 2, batch: int = 5
+                         ) -> list[tuple[ConstraintSet, UpdateConstraint]]:
+    """A deterministic batch of implication problems for one table cell."""
+    rng = random.Random(hash((cell, count, types)) & 0xFFFFFFFF)
+    problems = []
+    for _ in range(batch):
+        premises = random_constraints(rng, LABELS, spec, count=count,
+                                      types=types, spine=spine)
+        kind = (ConstraintType.NO_REMOVE if types in ("up", "mixed")
+                else ConstraintType.NO_INSERT)
+        conclusion = UpdateConstraint(
+            random_pattern(rng, LABELS, spec, spine=spine), kind)
+        problems.append((premises, conclusion))
+    return problems
+
+
+def instance_workload(cell: str, spec: FragmentSpec, count: int, types: str,
+                      tree_size: int, spine: int = 2, batch: int = 5):
+    """A deterministic batch of instance-based problems for one cell."""
+    rng = random.Random(hash((cell, count, types, tree_size)) & 0xFFFFFFFF)
+    problems = []
+    for _ in range(batch):
+        current = random_tree(rng, LABELS, size=tree_size)
+        premises = random_constraints(rng, LABELS, spec, count=count,
+                                      types=types, spine=spine)
+        kind = (ConstraintType.NO_REMOVE if types == "up"
+                else ConstraintType.NO_INSERT)
+        conclusion = UpdateConstraint(
+            random_pattern(rng, LABELS, spec, spine=spine), kind)
+        problems.append((premises, current, conclusion))
+    return problems
+
+
+def run_all(problems, engine) -> int:
+    """Drive an engine over a batch; returns a checksum of the verdicts."""
+    checksum = 0
+    for args in problems:
+        result = engine(*args)
+        checksum = checksum * 3 + {"implied": 1, "not-implied": 2,
+                                   "unknown": 0}[result.answer.value]
+    return checksum

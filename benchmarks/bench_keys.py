@@ -1,0 +1,55 @@
+"""Section 3.2 / 4.2 machinery: the encoding and its exponential annotations.
+
+The NEXPTIME upper bound of Theorem 4.2 rests on annotated labels: the set
+``P`` of derived sub-patterns grows polynomially, the set of *consistent
+annotations* over it exponentially.  These benchmarks expose both growth
+curves, plus the cost of the φ-encoding equivalence check (Example 3.1).
+"""
+
+import random
+
+import pytest
+
+from bench_helpers import LABELS
+from repro.constraints import constraint_set
+from repro.keys import (
+    consistent_annotations,
+    encode_pair,
+    pair_satisfies_encoding,
+    pattern_closure,
+)
+from repro.workloads import FragmentSpec, random_constraints, random_tree, random_valid_pair
+from repro.xpath import parse
+
+
+@pytest.mark.parametrize("n_patterns", [1, 2, 3])
+def test_pattern_closure_growth(benchmark, n_patterns):
+    patterns = [parse("/a[/b]//c"), parse("//b[//a]"), parse("/c[/a][/b]")]
+    chosen = patterns[:n_patterns]
+    closure = benchmark(pattern_closure, chosen, ["a", "b"])
+    assert len(closure) >= n_patterns
+
+
+@pytest.mark.parametrize("universe_size", [3, 5, 7])
+def test_consistent_annotation_blowup(benchmark, universe_size):
+    closure = pattern_closure([parse("/a[/b]//c"), parse("//b[//a]")], ["a"])
+    universe = closure[:universe_size]
+    annotations = benchmark(consistent_annotations, universe, None, 3)
+    assert annotations  # the empty annotation is always consistent
+
+
+@pytest.mark.parametrize("tree_size", [5, 10, 20])
+def test_phi_encoding_check(benchmark, tree_size):
+    rng = random.Random(tree_size)
+    premises = random_constraints(rng, LABELS, FragmentSpec(predicates=False),
+                                  count=3, types="mixed", spine=2)
+    tree = random_tree(rng, LABELS, size=tree_size)
+    before, after = random_valid_pair(rng, tree, premises)
+    assert benchmark(pair_satisfies_encoding, premises, before, after)
+
+
+def test_phi_transformation_cost(benchmark):
+    rng = random.Random(99)
+    tree = random_tree(rng, LABELS, size=60)
+    doc = benchmark(encode_pair, tree, tree.copy())
+    assert doc.tree.size > 100

@@ -1,0 +1,105 @@
+"""Table 1 — general constraint implication, one benchmark group per cell.
+
+The paper reports complexity bounds, not wall-clock numbers; what must
+reproduce is the *shape*: the PTIME cells scale smoothly with the number of
+constraints, the coNP/NEXPTIME cells blow up on the hardness families.
+Benchmark names carry the cell coordinates (fragment x types); sizes grow
+within each cell so growth trends are visible in one report.
+"""
+
+import pytest
+
+from bench_helpers import implication_workload, run_all
+from repro.implication import (
+    implies,
+    implies_by_intersection,
+    implies_linear,
+    implies_linear_one_type,
+    implies_one_type,
+)
+from repro.reductions import build_problem, random_3cnf
+from repro.workloads import FragmentSpec
+import random
+
+
+# ----------------------------------------------------------------------
+# Row 1: one update type.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_child_only_one_type_ptime(benchmark, count):
+    """XP{/,[],*}, one type: PTIME (Theorems 4.4/4.5)."""
+    problems = implication_workload("t1-child-one", FragmentSpec(descendant=False),
+                                    count, types="down")
+    benchmark(run_all, problems, implies_by_intersection)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_pred_desc_one_type_conp(benchmark, count):
+    """XP{/,[],//}, one type: coNP-complete (Theorems 4.4 + 4.9)."""
+    problems = implication_workload("t1-preddesc-one", FragmentSpec(wildcard=False),
+                                    count, types="up")
+    benchmark(run_all, problems, implies_by_intersection)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_linear_one_type_ptime(benchmark, count):
+    """XP{/,//,*}, one type: PTIME under bounds (Theorem 4.8)."""
+    problems = implication_workload("t1-linear-one", FragmentSpec(predicates=False),
+                                    count, types="up", spine=3)
+    benchmark(run_all, problems, implies_linear_one_type)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_full_one_type_conp(benchmark, count):
+    """XP{/,[],//,*}, one type: coNP (Theorem 4.7), canonical engine."""
+    problems = implication_workload("t1-full-one", FragmentSpec(), count,
+                                    types="down")
+    benchmark(run_all, problems, implies_one_type)
+
+
+# ----------------------------------------------------------------------
+# Row 2: arbitrary update types.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_child_only_mixed_ptime(benchmark, count):
+    """XP{/,[],*}, mixed types: PTIME via the same-type property (Thm 4.1)."""
+    problems = implication_workload("t1-child-mixed", FragmentSpec(descendant=False),
+                                    count, types="mixed")
+    benchmark(run_all, problems, implies)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_cell_linear_mixed_record_fixpoint(benchmark, count):
+    """XP{/,//,*}, mixed types: the Theorem 4.3 cell (record fixpoint)."""
+    problems = implication_workload("t1-linear-mixed", FragmentSpec(predicates=False),
+                                    count, types="mixed", spine=3)
+    benchmark(run_all, problems, implies_linear)
+
+
+@pytest.mark.parametrize("n_vars", [1, 2])
+def test_cell_full_mixed_hardness_family(benchmark, n_vars):
+    """XP{/,[],//,*}, mixed types: the NEXPTIME cell on Theorem 4.6 inputs.
+
+    The hybrid engine runs its sound tests; the reduction instances make
+    the exponential canonical spaces explicit.
+    """
+    rng = random.Random(1000 + n_vars)
+    problem = build_problem(random_3cnf(rng, n_vars, 1))
+
+    def attempt():
+        return implies(problem.premises, problem.conclusion).answer
+
+    benchmark(attempt)
+
+
+def test_example_41_decided_exactly(benchmark):
+    """The flagship mixed-type linear instance (Example 4.1)."""
+    from repro.constraints import constraint_set, no_remove
+
+    premises = constraint_set(
+        ("//a//c", "up"), ("//b//c", "up"), ("//a//b//c", "down"),
+        ("//a//b//a//c", "up"), ("//b//a//b//c", "up"),
+    )
+    conclusion = no_remove("//b//a//c")
+    result = benchmark(implies_linear, premises, conclusion)
+    assert result.is_implied

@@ -1,0 +1,108 @@
+"""Table 2 — instance-based implication, one benchmark group per cell."""
+
+import random
+
+import pytest
+
+from bench_helpers import instance_workload, run_all
+from repro.constraints import UpdateConstraint, ConstraintType
+from repro.instance import (
+    implies_by_certain_facts,
+    implies_no_insert,
+    implies_no_insert_linear,
+    implies_no_remove,
+    implies_on,
+)
+from repro.reductions import random_3cnf, theorem_52_problem
+from repro.workloads import FragmentSpec
+
+
+# ----------------------------------------------------------------------
+# Row ↓ (only no-insert constraints).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tree_size", [10, 20, 40])
+def test_cell_xp_slash_down_ptime(benchmark, tree_size):
+    """XP{/}: tree structure plays no role — PTIME."""
+    problems = instance_workload(
+        "t2-slash-down", FragmentSpec(False, False, False), 3, "down", tree_size)
+    benchmark(run_all, problems, implies_no_insert)
+
+
+@pytest.mark.parametrize("tree_size", [10, 20, 40])
+def test_cell_child_only_down_certain_facts(benchmark, tree_size):
+    """XP{/,[],*}, ↓: Theorem 5.3's F_J construction (PTIME)."""
+    problems = instance_workload(
+        "t2-child-down", FragmentSpec(descendant=False), 3, "down", tree_size)
+    benchmark(run_all, problems, implies_by_certain_facts)
+
+
+@pytest.mark.parametrize("tree_size", [10, 20, 40])
+def test_cell_linear_down_automata(benchmark, tree_size):
+    """XP{/,//,*}, ↓: Theorem 5.4's automata engine (PTIME under bounds)."""
+    problems = instance_workload(
+        "t2-linear-down", FragmentSpec(predicates=False), 3, "down", tree_size,
+        spine=3)
+    benchmark(run_all, problems, implies_no_insert_linear)
+
+
+@pytest.mark.parametrize("tree_size", [10, 20])
+def test_cell_full_down_conp(benchmark, tree_size):
+    """XP{/,[],//,*}, ↓: coNP-complete (Theorem 5.1) — escape engine."""
+    problems = instance_workload(
+        "t2-full-down", FragmentSpec(), 3, "down", tree_size)
+    benchmark(run_all, problems, implies_no_insert)
+
+
+# ----------------------------------------------------------------------
+# Row ↑ (only no-remove constraints): poly in |J|, |C|; exponential in |c|.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tree_size", [8, 16, 32])
+def test_cell_up_scaling_in_data(benchmark, tree_size):
+    """Theorem 5.5: polynomial growth in |J| at fixed |c|."""
+    problems = instance_workload(
+        "t2-up-data", FragmentSpec(descendant=False), 2, "up", tree_size)
+    benchmark(run_all, problems, implies_no_remove)
+
+
+@pytest.mark.parametrize("spine", [2, 3, 4])
+def test_cell_up_scaling_in_conclusion(benchmark, spine):
+    """Theorem 5.5: exponential growth in |c| at fixed |J|."""
+    problems = instance_workload(
+        "t2-up-conc", FragmentSpec(descendant=False), 2, "up", 8, spine=spine)
+    benchmark(run_all, problems, implies_no_remove)
+
+
+# ----------------------------------------------------------------------
+# Row mixed: coNP-complete already for XP{/,[]} (Theorem 5.2).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tree_size", [6, 12])
+def test_cell_mixed_hybrid(benchmark, tree_size):
+    problems = instance_workload(
+        "t2-mixed", FragmentSpec(descendant=False, wildcard=False), 3,
+        "down", tree_size)
+
+    def run(problems):
+        checksum = 0
+        for premises, current, conclusion in problems:
+            mixed = UpdateConstraint(conclusion.range, ConstraintType.NO_REMOVE)
+            result = implies_on(
+                premises.with_constraint(mixed), current, conclusion,
+                max_moves=1, search_budget=200)
+            checksum += hash(result.answer.value) & 0xFF
+        return checksum
+
+    benchmark(run, problems)
+
+
+@pytest.mark.parametrize("n_vars", [1, 2])
+def test_cell_mixed_theorem52_family(benchmark, n_vars):
+    """The Theorem 5.2 reduction instances drive the mixed hybrid engine."""
+    rng = random.Random(2000 + n_vars)
+    problem = theorem_52_problem(random_3cnf(rng, n_vars, 1))
+
+    def attempt():
+        return implies_on(problem.premises, problem.current,
+                          problem.conclusion, max_moves=1,
+                          search_budget=200).answer
+
+    benchmark(attempt)

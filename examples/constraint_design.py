@@ -1,0 +1,79 @@
+"""Constraint-set design with the implication engines.
+
+A data owner drafting an exchange contract wants (a) to know what their
+constraints already entail — redundant rules can be dropped before signing
+keys are provisioned — and (b) to check intended guarantees.  Both are the
+*general implication* problem (Definition 2.4).
+
+The script also demonstrates the paper's subtler phenomena: the same-type
+property (Theorem 4.1) and its failure with descendant axes (Example 4.1).
+
+Run:  python examples/constraint_design.py
+"""
+
+from repro import ConstraintSet, constraint_set, implies, no_insert, no_remove
+
+# ----------------------------------------------------------------------
+# 1. Minimising a drafted contract.
+# ----------------------------------------------------------------------
+draft = constraint_set(
+    ("/order[/paid]", "down"),
+    ("/order[/shipped]", "down"),
+    ("/order[/paid][/shipped]", "down"),     # redundant: implied by the two above
+    ("/order/item", "up"),
+    ("/order[/paid]/item", "up"),            # NOT redundant (scoped differently)
+)
+
+print("Redundancy analysis of the drafted contract:")
+kept = []
+for index, candidate in enumerate(draft):
+    others = ConstraintSet(c for j, c in enumerate(draft) if j != index)
+    verdict = implies(others, candidate)
+    status = "redundant" if verdict.is_implied else "kept"
+    print(f"  {candidate}: {status}")
+    if not verdict.is_implied:
+        kept.append(candidate)
+minimal = ConstraintSet(kept)
+print(f"Minimal contract has {len(minimal)} of {len(draft)} constraints.")
+
+# ----------------------------------------------------------------------
+# 2. Checking intended guarantees before publishing.
+# ----------------------------------------------------------------------
+print("\nIntended guarantees:")
+goals = [
+    no_insert("/order[/paid][/shipped][/archived]"),
+    no_remove("/order/item"),
+    no_remove("/order[/paid]"),
+]
+for goal in goals:
+    verdict = implies(minimal, goal)
+    print(f"  {goal}: {verdict.answer.value}  ({verdict.engine})")
+
+# ----------------------------------------------------------------------
+# 3. Theorem 4.1 in action: without '//', opposite types never help.
+# ----------------------------------------------------------------------
+mixed = constraint_set(("/a[/b]", "down"), ("/a[/c]", "down"), ("/x", "up"))
+goal = no_insert("/a[/b][/c]")
+with_up = implies(mixed, goal)
+without_up = implies(mixed.no_insert, goal)
+print("\nSame-type property (Theorem 4.1, child-only fragment):")
+print(f"  full set:      {with_up.answer.value}")
+print(f"  ↓-subset only: {without_up.answer.value}")
+assert with_up.answer == without_up.answer
+
+# ----------------------------------------------------------------------
+# 4. ...and its failure with descendant axes (Example 4.1).
+# ----------------------------------------------------------------------
+example41 = constraint_set(
+    ("//a//c", "up"), ("//b//c", "up"), ("//a//b//c", "down"),
+    ("//a//b//a//c", "up"), ("//b//a//b//c", "up"),
+)
+goal41 = no_remove("//b//a//c")
+full = implies(example41, goal41)
+up_only = implies(example41.no_remove, goal41)
+print("\nExample 4.1 (descendant axes, mixed types):")
+print(f"  full set:      {full.answer.value}   [{full.engine}]")
+print(f"  ↑-subset only: {up_only.answer.value}")
+assert full.is_implied and up_only.is_refuted
+print("  -> the no-insert constraint is load-bearing: the same-type "
+      "property fails once '//' is allowed.")

@@ -1,0 +1,67 @@
+"""Forensic audit: reasoning about the past of a received document.
+
+A hospital receives a medical record governed by update constraints and
+must answer audit questions of the form "could X have happened?" — the
+instance-based implication problem (Section 5), including the certain-facts
+instance F_J of Theorem 5.3 as an explicit artifact.
+
+Run:  python examples/forensic_audit.py
+"""
+
+from repro import branch, build, constraint_set, implies_on, no_insert, no_remove
+from repro.instance import build_certain_facts
+
+# The record as received (the current instance J).
+current = build(
+    branch("patient",
+           branch("id1"),
+           branch("clinicalTrial"),
+           branch("visit", branch("prescription"))),
+    branch("patient",
+           branch("id2"),
+           branch("visit")),
+)
+
+# The governance contract under which the record travelled.
+contract = constraint_set(
+    ("/patient", "down"),                      # no new patients
+    ("/patient[/clinicalTrial]", "down"),      # no new trial memberships
+    ("/patient[/clinicalTrial]", "up"),        # ... and none dropped
+    ("//prescription", "down"),                # prescriptions never invented
+    ("/patient/visit", "up"),                  # visits are never lost
+)
+
+print("Received record:")
+print(current.pretty(show_ids=False))
+
+print("\nAudit questions (instance-based implication):")
+questions = [
+    ("no patient was added in transit", no_insert("/patient")),
+    ("no prescription was planted", no_insert("//prescription")),
+    ("no visit of a trial patient was planted",
+     no_insert("/patient[/clinicalTrial]/visit")),
+    ("no visit was dropped anywhere", no_remove("/patient/visit")),
+    ("trial membership unchanged", no_insert("/patient[/clinicalTrial]")),
+]
+for description, question in questions:
+    verdict = implies_on(contract.of_type(question.type), current, question)
+    answer = "GUARANTEED" if verdict.is_implied else "cannot be ruled out"
+    print(f"  {description}: {answer}")
+    if verdict.is_refuted and verdict.counterexample is not None:
+        past = verdict.counterexample.before
+        print("    a legal past that breaks it:")
+        for line in past.pretty(show_ids=False).splitlines():
+            print(f"      {line}")
+
+# ----------------------------------------------------------------------
+# The certain-facts instance F_J (Theorem 5.3) as a tangible artifact.
+# F_J is defined on the child-only fragment, so restrict to those rules.
+# ----------------------------------------------------------------------
+from repro import ConstraintSet
+from repro.xpath import is_child_only
+
+down_contract = ConstraintSet(
+    c for c in contract.no_insert if is_child_only(c.range))
+facts = build_certain_facts(down_contract, current)
+print("\nCertain-facts instance F_J (every legal past embeds it):")
+print(facts.pretty(show_ids=False))

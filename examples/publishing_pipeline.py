@@ -1,0 +1,101 @@
+"""Figure 1: Source → Broker → User exchange under update constraints.
+
+The Source publishes a product catalogue with update constraints attached
+(the kind enforceable with the digital-signature schemes cited by the
+paper).  The Broker edits the document; the User receives the final version
+and audits it, without any update log, in two ways:
+
+* the validity check — did the Broker stay within the rules?
+* instance-based reasoning — which integrity facts survive *any* legal
+  broker (Definition 2.5)?
+
+Run:  python examples/publishing_pipeline.py
+"""
+
+from repro import (
+    branch,
+    build,
+    constraint_set,
+    explain_violations,
+    implies_on,
+    no_insert,
+    no_remove,
+)
+
+# ----------------------------------------------------------------------
+# The Source's catalogue and its exchange contract C.
+# ----------------------------------------------------------------------
+source_doc = build(
+    branch("product",
+           branch("name"), branch("price", nid=501),
+           branch("contact", branch("phone", nid=502))),
+    branch("product",
+           branch("name"), branch("price", nid=503), branch("certified")),
+    branch("ads"),
+)
+
+contract = constraint_set(
+    # Certified products can never be invented after the fact...
+    ("/product[/certified]", "down"),
+    # ... nor dropped.
+    ("/product[/certified]", "up"),
+    # Prices may be removed but never introduced or swapped in.
+    ("//price", "down"),
+    # Private phone numbers may be filtered out, not planted.
+    ("//phone", "down"),
+    # Advertisement areas may only grow.
+    ("/ads/ad", "up"),
+)
+
+print("Source publishes:")
+print(source_doc.pretty(show_ids=False))
+
+# ----------------------------------------------------------------------
+# A well-behaved broker: removes a phone number, adds two ads.
+# ----------------------------------------------------------------------
+good_copy = source_doc.copy()
+good_copy.remove_subtree(502)
+ads_node = next(n.nid for n in good_copy.nodes() if n.label == "ads")
+good_copy.add_child(ads_node, "ad")
+good_copy.add_child(ads_node, "ad")
+
+violations = explain_violations(source_doc, good_copy, contract)
+print(f"\nHonest broker: {len(violations)} violation(s) — document accepted.")
+assert not violations
+
+# ----------------------------------------------------------------------
+# A dishonest broker: replaces a price with a new one.
+# ----------------------------------------------------------------------
+bad_copy = source_doc.copy()
+price_parent = bad_copy.parent(501)
+bad_copy.remove_subtree(501)
+bad_copy.add_child(price_parent, "price")  # fresh node = a *new* price
+
+violations = explain_violations(source_doc, bad_copy, contract)
+print(f"\nTampering broker: {len(violations)} violation(s):")
+for violation in violations:
+    print(f"  {violation}")
+assert violations
+
+# ----------------------------------------------------------------------
+# The User's audit: what can be trusted about the received document?
+# ----------------------------------------------------------------------
+received = good_copy
+print("\nUser-side audit of the received document (no update log!):")
+questions = [
+    ("no certified product was planted",
+     no_insert("/product[/certified]")),
+    ("no price on a certified product was planted",
+     no_insert("/product[/certified]/price")),
+    ("every visible price was in the original",
+     no_insert("//price")),
+    ("the original ads were kept",
+     no_remove("/ads/ad")),
+]
+for description, question in questions:
+    verdict = implies_on(contract, received, question)
+    mark = {True: "GUARANTEED", False: "not guaranteed"}.get(
+        verdict.is_implied, "undetermined")
+    if verdict.is_refuted:
+        mark = "not guaranteed (counterexample past exists)"
+    print(f"  {description}: {mark}")

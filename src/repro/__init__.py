@@ -1,0 +1,64 @@
+"""repro — a full reproduction of "Reasoning about XML update constraints"
+(Cautis, Abiteboul, Milo; PODS 2007 / JCSS 75(2009) 336-358).
+
+Public API quick tour
+---------------------
+>>> from repro import constraint_set, no_insert, implies
+>>> C = constraint_set(("/patient[/visit]", "down"),
+...                    ("/patient[/clinicalTrial]", "up"),
+...                    ("/patient[/clinicalTrial]", "down"))
+>>> implies(C, no_insert("/patient[/visit][/clinicalTrial]")).is_implied
+True
+
+Sub-packages: ``trees`` (data model), ``xpath`` (the fragment, containment,
+intersections), ``automata`` (linear-path machinery), ``constraints``
+(update constraints + validity), ``implication`` (Table 1 engines),
+``instance`` (Table 2 engines), ``reductions`` (hardness constructions),
+``keys`` / ``xic`` (the related formalisms of Section 3), ``bruteforce``
+(ground-truth oracles) and ``workloads`` (benchmark generators).
+"""
+
+from repro.constraints import (
+    ConstraintSet,
+    ConstraintType,
+    RelativeConstraint,
+    UpdateConstraint,
+    Violation,
+    check_sequence,
+    constraint_set,
+    explain_violations,
+    immutable,
+    is_valid,
+    no_insert,
+    no_remove,
+    relative,
+    satisfies_relative,
+)
+from repro.implication import (
+    Answer,
+    Counterexample,
+    ImplicationResult,
+    implies,
+    implies_single,
+)
+from repro.instance import implies_on
+from repro.trees import DataTree, Node, branch, build, leaf, parse_tree
+from repro.xpath import Pattern, contained, equivalent, evaluate, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # trees
+    "DataTree", "Node", "branch", "build", "leaf", "parse_tree",
+    # xpath
+    "Pattern", "parse", "evaluate", "contained", "equivalent",
+    # constraints
+    "ConstraintType", "UpdateConstraint", "ConstraintSet", "constraint_set",
+    "no_remove", "no_insert", "immutable", "relative", "RelativeConstraint",
+    "is_valid", "explain_violations", "check_sequence", "Violation",
+    "satisfies_relative",
+    # implication
+    "implies", "implies_single", "implies_on",
+    "Answer", "ImplicationResult", "Counterexample",
+]

@@ -1,0 +1,22 @@
+"""Word automata for the linear XPath fragment ``XP{/,//,*}``."""
+
+from repro.automata.compile import (
+    engine_alphabet,
+    linear_to_dfa,
+    linear_to_nfa,
+    word_of_node,
+)
+from repro.automata.dfa import DFA, intersection_nonempty, product_dfa, reachable_vectors
+from repro.automata.nfa import NFA
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "engine_alphabet",
+    "linear_to_dfa",
+    "linear_to_nfa",
+    "word_of_node",
+    "product_dfa",
+    "intersection_nonempty",
+    "reachable_vectors",
+]

@@ -1,0 +1,66 @@
+"""Compilation of linear patterns to word automata.
+
+A predicate-free pattern ``q`` in ``XP{/,//,*}`` selects a node iff its
+root-to-node label word lies in a regular language ``L(q)``::
+
+    /a   -> consume 'a'
+    //a  -> consume anything zero or more times, then 'a'
+    /*   -> consume any single symbol
+
+Compilation is over an explicit finite alphabet (problem labels plus the
+fresh label ``z``); see :func:`engine_alphabet`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from collections.abc import Iterable, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import FragmentError
+from repro.trees.ops import FRESH_LABEL
+from repro.xpath.ast import Axis, Pattern
+from repro.xpath.properties import is_linear, labels_of
+
+
+def engine_alphabet(patterns: Iterable[Pattern], extra: Iterable[str] = ()) -> tuple[str, ...]:
+    """The normalised finite alphabet: pattern labels + extras + fresh ``z``."""
+    labels = labels_of(*patterns) | set(extra) | {FRESH_LABEL}
+    return tuple(sorted(labels))
+
+
+def linear_to_nfa(pattern: Pattern, alphabet: Sequence[str]) -> NFA:
+    """NFA of a linear pattern: state ``i`` = "matched the first i steps"."""
+    if not is_linear(pattern):
+        raise FragmentError(f"{pattern} has predicates: not a linear path")
+    table: dict[tuple[int, str], set[int]] = {}
+
+    def add(state: int, symbol: str, target: int) -> None:
+        table.setdefault((state, symbol), set()).add(target)
+
+    for i, step in enumerate(pattern.steps):
+        if step.axis is Axis.DESC:
+            for symbol in alphabet:
+                add(i, symbol, i)  # absorb the gap
+        symbols = alphabet if step.label is None else (step.label,)
+        for symbol in symbols:
+            if symbol in alphabet:
+                add(i, symbol, i + 1)
+    frozen = {key: frozenset(targets) for key, targets in table.items()}
+    return NFA(alphabet, len(pattern.steps) + 1, {0}, frozen, {len(pattern.steps)})
+
+
+@lru_cache(maxsize=4096)
+def _linear_to_dfa_cached(pattern: Pattern, alphabet: tuple[str, ...]) -> DFA:
+    return linear_to_nfa(pattern, alphabet).determinize()
+
+
+def linear_to_dfa(pattern: Pattern, alphabet: Sequence[str]) -> DFA:
+    """Deterministic automaton of a linear pattern (memoised)."""
+    return _linear_to_dfa_cached(pattern, tuple(alphabet))
+
+
+def word_of_node(tree, nid: int) -> tuple[str, ...]:
+    """Root-to-node label word (root excluded): the automata-side view."""
+    return tree.path_labels(nid)

@@ -1,0 +1,21 @@
+"""Exhaustive small-universe oracles used as ground truth in tests."""
+
+from repro.bruteforce.enumerate_trees import (
+    all_instances,
+    forest_shapes,
+    materialize,
+    tree_shapes,
+    update_pairs,
+)
+from repro.bruteforce.oracle import OracleOutcome, oracle_implies, oracle_implies_on
+
+__all__ = [
+    "all_instances",
+    "update_pairs",
+    "tree_shapes",
+    "forest_shapes",
+    "materialize",
+    "OracleOutcome",
+    "oracle_implies",
+    "oracle_implies_on",
+]

@@ -1,0 +1,124 @@
+"""Exhaustive enumeration of small unordered labelled trees and update pairs.
+
+The brute-force oracle is the library's ground truth on tiny universes:
+every decision engine is validated against it in the test-suite.  Trees are
+enumerated as canonical shapes (label + sorted multiset of child shapes) to
+avoid isomorphic duplicates; update pairs enumerate, on top of two shapes,
+every injective matching of same-labelled nodes — the matched nodes are the
+survivors that keep their identity across the update, exactly the freedom
+Definition 2.3 grants.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from collections.abc import Iterator, Sequence
+
+from repro.trees.tree import DataTree
+
+Shape = tuple[str, tuple]  # (label, sorted tuple of child shapes)
+
+
+@lru_cache(maxsize=None)
+def tree_shapes(size: int, labels: tuple[str, ...]) -> tuple[Shape, ...]:
+    """All canonical tree shapes with exactly ``size`` nodes."""
+    if size <= 0:
+        return ()
+    shapes: list[Shape] = []
+    for label in labels:
+        for forest in forest_shapes(size - 1, labels):
+            shapes.append((label, forest))
+    return tuple(shapes)
+
+
+@lru_cache(maxsize=None)
+def forest_shapes(size: int, labels: tuple[str, ...]) -> tuple[tuple[Shape, ...], ...]:
+    """All canonical forests (sorted shape multisets) with ``size`` nodes."""
+    if size == 0:
+        return ((),)
+    forests: set[tuple[Shape, ...]] = set()
+    for first_size in range(1, size + 1):
+        for first in tree_shapes(first_size, labels):
+            for rest in forest_shapes(size - first_size, labels):
+                forests.add(tuple(sorted((first,) + rest)))
+    return tuple(sorted(forests))
+
+
+def all_instances(max_nodes: int, labels: Sequence[str]) -> Iterator[DataTree]:
+    """All trees with up to ``max_nodes`` non-root nodes (root excluded)."""
+    label_key = tuple(labels)
+    for size in range(0, max_nodes + 1):
+        for forest in forest_shapes(size, label_key):
+            yield materialize(forest)
+
+
+def materialize(forest: tuple[Shape, ...]) -> DataTree:
+    """Turn a canonical forest into a :class:`DataTree` (fresh ids)."""
+    tree = DataTree()
+
+    def attach(parent: int, shape: Shape) -> None:
+        nid = tree.add_child(parent, shape[0])
+        for child in shape[1]:
+            attach(nid, child)
+
+    for shape in forest:
+        attach(tree.root, shape)
+    return tree
+
+
+def update_pairs(max_nodes: int, labels: Sequence[str],
+                 budget: int | None = None) -> Iterator[tuple[DataTree, DataTree]]:
+    """All update pairs ``(I, J)`` over trees of bounded size.
+
+    For each pair of shapes, every injective matching between same-labelled
+    nodes is enumerated; matched nodes share an identifier (they are the
+    same node before and after), unmatched ones are distinct nodes.
+    """
+    instances = list(all_instances(max_nodes, labels))
+    produced = 0
+    for before_proto in instances:
+        before_nodes = [n for n in before_proto.node_ids() if n != before_proto.root]
+        for after_proto in instances:
+            after_nodes = [n for n in after_proto.node_ids() if n != after_proto.root]
+            for mapping in _matchings(before_proto, before_nodes,
+                                      after_proto, after_nodes):
+                before = before_proto.copy()
+                after = _with_shared_ids(after_proto, mapping)
+                yield before, after
+                produced += 1
+                if budget is not None and produced >= budget:
+                    return
+
+
+def _matchings(before: DataTree, before_nodes: list[int],
+               after: DataTree, after_nodes: list[int]) -> Iterator[dict[int, int]]:
+    """Injective partial matchings between same-labelled nodes (after->before)."""
+    for count in range(0, min(len(before_nodes), len(after_nodes)) + 1):
+        for before_subset in combinations(before_nodes, count):
+            for after_subset in combinations(after_nodes, count):
+                yield from _bijections(before, list(before_subset),
+                                       after, list(after_subset))
+
+
+def _bijections(before: DataTree, before_subset: list[int],
+                after: DataTree, after_subset: list[int],
+                acc: dict[int, int] | None = None) -> Iterator[dict[int, int]]:
+    acc = {} if acc is None else acc
+    if not after_subset:
+        yield dict(acc)
+        return
+    target = after_subset[0]
+    for i, source in enumerate(before_subset):
+        if before.label(source) != after.label(target):
+            continue
+        acc[target] = source
+        yield from _bijections(before, before_subset[:i] + before_subset[i + 1:],
+                               after, after_subset[1:], acc)
+        del acc[target]
+
+
+def _with_shared_ids(after_proto: DataTree, mapping: dict[int, int]) -> DataTree:
+    from repro.trees.ops import remap_ids
+
+    return remap_ids(after_proto, mapping)

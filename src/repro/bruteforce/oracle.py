@@ -1,0 +1,105 @@
+"""Ground-truth oracles on bounded universes.
+
+These oracles decide implication by exhaustive enumeration of candidate
+counterexamples up to a size bound.  Their verdicts are one-sided:
+
+* ``REFUTED`` is definitive (the witness pair is handed back and checked);
+* ``NO_COUNTEREXAMPLE_UP_TO_BOUND`` is definitive *for the bound* only.
+
+The test-suite uses them in both directions: an engine claiming IMPLIED
+must survive the oracle's search, and an engine claiming NOT_IMPLIED must
+produce a certificate the validity checker accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.bruteforce.enumerate_trees import all_instances, update_pairs
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.constraints.validity import is_valid, violation_of
+from repro.trees.ops import remap_ids
+from repro.trees.tree import DataTree
+from repro.xpath.properties import labels_of
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    counterexample: tuple[DataTree, DataTree] | None
+    pairs_checked: int
+
+    @property
+    def refuted(self) -> bool:
+        return self.counterexample is not None
+
+
+def _alphabet(premises: ConstraintSet, conclusion: UpdateConstraint,
+              extra: Iterable[str] = ()) -> tuple[str, ...]:
+    labels = labels_of(conclusion.range, *premises.ranges) | set(extra)
+    labels.add("z")  # one fresh label suffices for positive patterns
+    return tuple(sorted(labels))
+
+
+def oracle_implies(premises: ConstraintSet, conclusion: UpdateConstraint,
+                   max_nodes: int = 3, budget: int | None = 300000) -> OracleOutcome:
+    """Search all small update pairs for a counterexample to ``C ⊨ c``."""
+    checked = 0
+    for before, after in update_pairs(max_nodes, _alphabet(premises, conclusion),
+                                      budget=budget):
+        checked += 1
+        if violation_of(before, after, conclusion) is None:
+            continue
+        if is_valid(before, after, premises):
+            return OracleOutcome((before, after), checked)
+    return OracleOutcome(None, checked)
+
+
+def oracle_implies_on(premises: ConstraintSet, current: DataTree,
+                      conclusion: UpdateConstraint,
+                      max_nodes: int = 3, budget: int | None = 300000
+                      ) -> OracleOutcome:
+    """Search all small pasts ``I`` for a counterexample to ``C ⊨_J c``.
+
+    Candidate pasts are built from bounded shapes whose nodes are optionally
+    identified (injectively, label-respecting) with nodes of ``J``.
+    """
+    data_labels = {node.label for node in current.nodes() if node.nid != current.root}
+    alphabet = _alphabet(premises, conclusion, extra=data_labels)
+    j_nodes = [nid for nid in current.node_ids() if nid != current.root]
+    checked = 0
+    for proto in all_instances(max_nodes, alphabet):
+        proto_nodes = [n for n in proto.node_ids() if n != proto.root]
+        for mapping in _past_identifications(proto, proto_nodes, current, j_nodes):
+            past = remap_ids(proto, mapping)
+            checked += 1
+            if budget is not None and checked > budget:
+                return OracleOutcome(None, checked)
+            if violation_of(past, current, conclusion) is None:
+                continue
+            if is_valid(past, current, premises):
+                return OracleOutcome((past, current), checked)
+    return OracleOutcome(None, checked)
+
+
+def _past_identifications(proto: DataTree, proto_nodes: Sequence[int],
+                          current: DataTree, j_nodes: Sequence[int],
+                          index: int = 0, acc: dict[int, int] | None = None):
+    """Enumerate partial injective identifications proto-node -> J-node."""
+    acc = {} if acc is None else acc
+    if index == len(proto_nodes):
+        yield dict(acc)
+        return
+    node = proto_nodes[index]
+    # Option 1: keep the node fresh.
+    yield from _past_identifications(proto, proto_nodes, current, j_nodes,
+                                     index + 1, acc)
+    # Option 2: identify with an unused same-labelled J node.
+    used = set(acc.values())
+    for j in j_nodes:
+        if j in used or current.label(j) != proto.label(node):
+            continue
+        acc[node] = j
+        yield from _past_identifications(proto, proto_nodes, current, j_nodes,
+                                         index + 1, acc)
+        del acc[node]

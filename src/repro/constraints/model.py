@@ -1,0 +1,198 @@
+"""XML update constraints (Definitions 2.2 and 2.3).
+
+An update constraint is a pair ``(q, σ)`` of a *range* query and a *type*:
+
+* ``NO_REMOVE`` (``↑``): the answer set of ``q`` may only grow —
+  ``q(I) ⊆ q(J)``;
+* ``NO_INSERT`` (``↓``): the answer set may only shrink — ``q(J) ⊆ q(I)``.
+
+Immutability (the paper's ``(q, ↕)`` shorthand) is the conjunction of both
+and is modelled as a pair of constraints (:func:`immutable`).
+
+:class:`ConstraintSet` is the container used by every engine: it validates
+concreteness, exposes per-type views, the joint fragment, the label
+alphabet and the star length — all parameters of the paper's complexity
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import NotConcreteError
+from repro.xpath.ast import Pattern
+from repro.xpath.parser import parse
+from repro.xpath.properties import Fragment, fragment_of, labels_of, max_star_length
+
+
+class ConstraintType(Enum):
+    """The two update-restriction types of Definition 2.2."""
+
+    NO_REMOVE = "no-remove"   # ↑ : q(I) ⊆ q(J)
+    NO_INSERT = "no-insert"   # ↓ : q(J) ⊆ q(I)
+
+    @property
+    def arrow(self) -> str:
+        return "↑" if self is ConstraintType.NO_REMOVE else "↓"
+
+    @property
+    def opposite(self) -> "ConstraintType":
+        if self is ConstraintType.NO_REMOVE:
+            return ConstraintType.NO_INSERT
+        return ConstraintType.NO_REMOVE
+
+
+NO_REMOVE = ConstraintType.NO_REMOVE
+NO_INSERT = ConstraintType.NO_INSERT
+
+
+@dataclass(frozen=True)
+class UpdateConstraint:
+    """One update constraint ``(range, type)``."""
+
+    range: Pattern
+    type: ConstraintType
+
+    def __str__(self) -> str:
+        return f"({self.range}, {self.type.arrow})"
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.range.is_concrete
+
+    def require_concrete(self) -> None:
+        """Engines following the paper's presentation assume concrete paths."""
+        if not self.is_concrete:
+            raise NotConcreteError(
+                f"constraint {self} has a wildcard output; the paper's "
+                "procedures are stated for concrete paths"
+            )
+
+    def flipped(self) -> "UpdateConstraint":
+        """The same range with the opposite type (used by symmetry reductions)."""
+        return UpdateConstraint(self.range, self.type.opposite)
+
+
+def no_remove(query: str | Pattern) -> UpdateConstraint:
+    """Build a ``(q, ↑)`` constraint from a pattern or XPath text."""
+    return UpdateConstraint(_as_pattern(query), ConstraintType.NO_REMOVE)
+
+
+def no_insert(query: str | Pattern) -> UpdateConstraint:
+    """Build a ``(q, ↓)`` constraint from a pattern or XPath text."""
+    return UpdateConstraint(_as_pattern(query), ConstraintType.NO_INSERT)
+
+
+def immutable(query: str | Pattern) -> tuple[UpdateConstraint, UpdateConstraint]:
+    """The paper's ``(q, ↕)``: the answer set of ``q`` cannot change."""
+    pattern = _as_pattern(query)
+    return (
+        UpdateConstraint(pattern, ConstraintType.NO_REMOVE),
+        UpdateConstraint(pattern, ConstraintType.NO_INSERT),
+    )
+
+
+def _as_pattern(query: str | Pattern) -> Pattern:
+    return parse(query) if isinstance(query, str) else query
+
+
+class ConstraintSet:
+    """An immutable collection of update constraints with cached analysis."""
+
+    __slots__ = ("_constraints", "_fragment", "_star")
+
+    def __init__(self, constraints: Iterable[UpdateConstraint]):
+        self._constraints: tuple[UpdateConstraint, ...] = tuple(constraints)
+        self._fragment: Fragment | None = None
+        self._star: int | None = None
+
+    def __iter__(self) -> Iterator[UpdateConstraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(c) for c in self._constraints) + "}"
+
+    @property
+    def constraints(self) -> tuple[UpdateConstraint, ...]:
+        return self._constraints
+
+    @property
+    def ranges(self) -> tuple[Pattern, ...]:
+        return tuple(c.range for c in self._constraints)
+
+    def of_type(self, ctype: ConstraintType) -> "ConstraintSet":
+        """The sub-collection ``C_σ`` of one type (Section 4.1)."""
+        return ConstraintSet(c for c in self._constraints if c.type is ctype)
+
+    @property
+    def no_remove(self) -> "ConstraintSet":
+        return self.of_type(ConstraintType.NO_REMOVE)
+
+    @property
+    def no_insert(self) -> "ConstraintSet":
+        return self.of_type(ConstraintType.NO_INSERT)
+
+    @property
+    def is_single_type(self) -> bool:
+        return len({c.type for c in self._constraints}) <= 1
+
+    def fragment(self, *extra: Pattern) -> Fragment:
+        """Joint fragment of all ranges (and optional extra patterns)."""
+        patterns = self.ranges + tuple(extra)
+        if not patterns:
+            return Fragment(False, False, False)
+        return fragment_of(*patterns)
+
+    def labels(self, *extra: Pattern) -> set[str]:
+        return labels_of(*(self.ranges + tuple(extra)))
+
+    def star_length(self, *extra: Pattern) -> int:
+        return max_star_length(self.ranges + tuple(extra))
+
+    def require_concrete(self) -> None:
+        for constraint in self._constraints:
+            constraint.require_concrete()
+
+    def with_constraint(self, constraint: UpdateConstraint) -> "ConstraintSet":
+        return ConstraintSet(self._constraints + (constraint,))
+
+
+def constraint_set(*specs: UpdateConstraint | tuple[str, str] | str) -> ConstraintSet:
+    """Ergonomic constructor.
+
+    Accepts :class:`UpdateConstraint` objects, ``(xpath, "up"/"down")``
+    tuples, or strings of the form ``"/a/b ^"`` / ``"/a/b v"``.
+
+    >>> C = constraint_set(("/a/b", "up"), ("/a", "down"))
+    >>> len(C)
+    2
+    """
+    built: list[UpdateConstraint] = []
+    for spec in specs:
+        if isinstance(spec, UpdateConstraint):
+            built.append(spec)
+        elif isinstance(spec, tuple):
+            query, kind = spec
+            built.append(_from_kind(query, kind))
+        else:
+            text, _, kind = spec.rpartition(" ")
+            built.append(_from_kind(text, kind))
+    return ConstraintSet(built)
+
+
+_UP_NAMES = {"up", "^", "↑", "no-remove", "grow"}
+_DOWN_NAMES = {"down", "v", "↓", "no-insert", "shrink"}
+
+
+def _from_kind(query: str, kind: str) -> UpdateConstraint:
+    kind = kind.strip().lower()
+    if kind in _UP_NAMES:
+        return no_remove(query)
+    if kind in _DOWN_NAMES:
+        return no_insert(query)
+    raise ValueError(f"unknown constraint type {kind!r}")

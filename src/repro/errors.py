@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes are deliberately
+fine-grained: parsing problems, fragment violations (using a feature that a
+restricted engine does not accept) and structural tree errors are distinct
+failure modes with distinct recovery strategies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when an XPath expression or tree literal cannot be parsed.
+
+    Attributes:
+        text: the full input being parsed.
+        position: offset at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None and text:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class TreeError(ReproError):
+    """Raised on invalid structural operations on a :class:`DataTree`."""
+
+
+class FragmentError(ReproError):
+    """Raised when a query lies outside the XPath fragment an engine supports.
+
+    The decision procedures of the paper are fragment-specific (Table 1 and
+    Table 2); engines validate their inputs and raise this error rather than
+    silently producing unsound answers.
+    """
+
+
+class NotConcreteError(FragmentError):
+    """Raised when a non-concrete path (wildcard output) reaches an engine
+    that, following the paper's presentation, assumes concrete paths."""
+
+
+class UnsupportedProblemError(ReproError):
+    """Raised when no exact engine covers a problem instance and the caller
+    asked for a definite answer (``require_decision=True``)."""

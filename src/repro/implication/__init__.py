@@ -1,0 +1,46 @@
+"""General constraint implication — Section 4 / Table 1 of the paper."""
+
+from repro.implication.cross_type import cross_type_counterexample
+from repro.implication.general import implies
+from repro.implication.intersection_engine import implies_by_intersection
+from repro.implication.linear_claim import implies_linear_one_type
+from repro.implication.linear_engine import LinearRecordEngine, implies_linear
+from repro.implication.one_type import implies_one_type
+from repro.implication.profile_search import profile_swap_refutation
+from repro.implication.result import (
+    Answer,
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+    unknown,
+)
+from repro.implication.same_type import implies_child_only
+from repro.implication.theorem31 import (
+    build_interchange_counterexample,
+    build_replacement_counterexample,
+    counterexample_same_type,
+    implies_single,
+)
+
+__all__ = [
+    "implies",
+    "Answer",
+    "ImplicationResult",
+    "Counterexample",
+    "implied",
+    "not_implied",
+    "unknown",
+    "implies_single",
+    "implies_one_type",
+    "implies_by_intersection",
+    "implies_child_only",
+    "implies_linear",
+    "implies_linear_one_type",
+    "LinearRecordEngine",
+    "profile_swap_refutation",
+    "cross_type_counterexample",
+    "counterexample_same_type",
+    "build_replacement_counterexample",
+    "build_interchange_counterexample",
+]

@@ -1,0 +1,64 @@
+"""Cross-type implication: a one-type premise set never implies the
+opposite type.
+
+* No-remove constraints only restrict what must *survive* from ``I``; they
+  are indifferent to pure insertions.  Hence for any all-``↑`` set ``C`` and
+  any ``(q, ↓)``: grow ``J`` by a fresh canonical ``q``-branch — ``C`` holds
+  (nothing was removed) while ``q`` gained a node.
+* Symmetrically, all-``↓`` sets never imply a ``(q, ↑)``: shrink ``I`` by a
+  fresh ``q``-branch.
+
+These constructions give *exact* answers (and certificates) for the
+cross-type corners of Table 1, letting the dispatcher reduce every one-type
+question to the same-type engines.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.implication.result import Counterexample
+from repro.trees.ops import graft_at_root
+from repro.trees.tree import DataTree
+from repro.xpath.canonical import smallest_model
+
+
+def fresh_branch_insertion(base: DataTree, constraint: UpdateConstraint) -> Counterexample:
+    """Violate ``(q, ↓)`` against any backdrop: ``J = base ⊕ fresh q-branch``.
+
+    The grafted branch consists of brand-new nodes, so nothing is removed
+    anywhere — every no-remove constraint stays satisfied.
+    """
+    model = smallest_model(constraint.range)
+    before = base.copy()
+    after = base.copy()
+    mapping = graft_at_root(after, model.tree, fresh=False)
+    return Counterexample(before, after, witness=mapping[model.output])
+
+
+def fresh_branch_removal(base: DataTree, constraint: UpdateConstraint) -> Counterexample:
+    """Violate ``(q, ↑)``: ``I = base ⊕ fresh q-branch``, ``J = base``.
+
+    Dropping brand-new nodes shrinks every range, which no no-insert
+    constraint forbids.
+    """
+    model = smallest_model(constraint.range)
+    before = base.copy()
+    after = base.copy()
+    mapping = graft_at_root(before, model.tree, fresh=False)
+    return Counterexample(before, after, witness=mapping[model.output])
+
+
+def cross_type_counterexample(premises: ConstraintSet,
+                              conclusion: UpdateConstraint) -> Counterexample:
+    """Certificate that a premise set with no constraint of ``conclusion``'s
+    type cannot imply it.
+
+    Callers must ensure ``premises.of_type(conclusion.type)`` is empty; the
+    construction is then valid for the *whole* premise set: the untouched
+    side never changes, and the touched side only gains (resp. loses) fresh
+    nodes.
+    """
+    base = DataTree()
+    if conclusion.type is ConstraintType.NO_INSERT:
+        return fresh_branch_insertion(base, conclusion)
+    return fresh_branch_removal(base, conclusion)

@@ -1,0 +1,89 @@
+"""The general-implication dispatcher (all of Table 1).
+
+``implies(C, c)`` routes a problem to the strongest engine whose
+completeness conditions its fragment satisfies:
+
+====================================  =======================================
+problem shape                          engine (exactness)
+====================================  =======================================
+no premise of the conclusion's type    cross-type construction (exact)
+single-type premises                   canonical one-type engine (exact,
+                                       Theorem 4.7 cell; coNP)
+mixed types, no ``//``                 same-type reduction (exact,
+                                       Theorems 4.1 + 4.4/4.5; PTIME)
+mixed types, no predicates             linear record fixpoint (exact,
+                                       Theorem 4.3 cell)
+mixed types, ``//`` and ``[]``         hybrid: sound one-type implication
+                                       test + sound profile-swap refutation;
+                                       may return UNKNOWN (NEXPTIME cell)
+====================================  =======================================
+
+With ``require_decision=True`` an UNKNOWN outcome raises
+:class:`UnsupportedProblemError` instead — callers who must have an answer
+fail loudly rather than silently trusting a heuristic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.errors import UnsupportedProblemError
+from repro.implication.cross_type import cross_type_counterexample
+from repro.implication.linear_engine import implies_linear
+from repro.implication.one_type import implies_one_type
+from repro.implication.profile_search import profile_swap_refutation
+from repro.implication.result import (
+    ImplicationResult,
+    implied,
+    not_implied,
+    unknown,
+)
+from repro.implication.same_type import implies_child_only
+
+HYBRID_ENGINE = "hybrid-nexptime-cell"
+
+
+def implies(premises: ConstraintSet | Iterable[UpdateConstraint],
+            conclusion: UpdateConstraint,
+            require_decision: bool = False) -> ImplicationResult:
+    """Decide ``C ⊨ c`` (Definition 2.4), dispatching by fragment and types."""
+    if not isinstance(premises, ConstraintSet):
+        premises = ConstraintSet(premises)
+    conclusion.require_concrete()
+    premises.require_concrete()
+
+    same = premises.of_type(conclusion.type)
+    if len(same) == 0:
+        certificate = cross_type_counterexample(premises, conclusion)
+        return not_implied("cross-type", premises, conclusion, certificate,
+                           reason="no premise shares the conclusion's type")
+
+    if premises.is_single_type:
+        return implies_one_type(premises, conclusion)
+
+    fragment = premises.fragment(conclusion.range)
+    if not fragment.descendant:
+        return implies_child_only(premises, conclusion)
+    if not fragment.predicates:
+        return implies_linear(premises, conclusion)
+
+    # --- the NEXPTIME cell: hybrid, sound-only -------------------------
+    one_type = implies_one_type(same, conclusion)
+    if one_type.is_implied:
+        return implied(HYBRID_ENGINE, premises, conclusion,
+                       reason="already implied by the same-type premises alone")
+    certificate = profile_swap_refutation(premises, conclusion, subset_limit=2)
+    if certificate is not None:
+        return not_implied(HYBRID_ENGINE, premises, conclusion, certificate,
+                           reason="profile-preserving swap counterexample found")
+    if require_decision:
+        raise UnsupportedProblemError(
+            "mixed types with predicates and descendant axis (the paper's "
+            "NEXPTIME cell): sound tests were inconclusive"
+        )
+    return unknown(HYBRID_ENGINE, premises, conclusion,
+                   reason="sound implication test failed and no swap "
+                          "counterexample exists; the NEXPTIME cell needs the "
+                          "full DTD+regular-keys consistency reduction "
+                          "(see repro.keys.encoding)")

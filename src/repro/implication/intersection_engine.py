@@ -1,0 +1,68 @@
+"""Theorem 4.4: implication as intersection-equivalence.
+
+On ``XP{/,[],*}`` and ``XP{/,[],//}`` a single-type implication holds *iff*
+the conclusion range is equivalent to the intersection of some premise
+ranges — and it suffices to intersect every premise range containing the
+conclusion (adding more containing ranges only tightens the intersection
+towards ``q``)::
+
+    C ⊨ (q, σ)   iff   K := { qi : q ⊆ qi } ≠ ∅   and   ⋂K ⊆ q
+
+On the child-only fragment the intersection is a single pattern computed in
+linear time and all containments are homomorphism checks — the PTIME cell
+of Table 1 (Theorem 4.5).  With the descendant axis the ``⋂K ⊆ q`` test
+enumerates product patterns, matching the coNP-completeness of that cell
+(Theorem 4.9 via [13]).
+
+This engine is deliberately an *independent* decision procedure from
+:mod:`repro.implication.one_type`: the two are cross-validated against each
+other (and against the brute-force oracle) in the test-suite.  Certificates
+for refutations are delegated to the canonical engine.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.one_type import implies_one_type
+from repro.implication.result import ImplicationResult, implied, not_implied
+from repro.xpath.containment import contained
+from repro.xpath.intersection import intersection_contained
+
+ENGINE = "intersection-equivalence"
+
+
+def implies_by_intersection(premises: ConstraintSet,
+                            conclusion: UpdateConstraint) -> ImplicationResult:
+    """Decide one-type implication via Theorem 4.4's criterion."""
+    if not premises.is_single_type:
+        raise FragmentError("intersection engine requires a single-type premise set")
+    fragment = premises.fragment(conclusion.range)
+    if fragment.predicates and fragment.descendant and fragment.wildcard:
+        raise FragmentError(
+            "Theorem 4.4 covers XP{/,[],*} and XP{/,[],//}; "
+            f"the problem uses {fragment.name}"
+        )
+    conclusion.require_concrete()
+    premises.require_concrete()
+    q = conclusion.range
+    same_type = [c for c in premises if c.type is conclusion.type]
+    containing = [c.range for c in same_type if contained(q, c.range)]
+    if containing and intersection_contained(containing, q):
+        return implied(
+            ENGINE, premises, conclusion,
+            reason=f"q ≡ ⋂ of {len(containing)} premise range(s) (Theorem 4.4)",
+            subset=[str(r) for r in containing],
+        )
+    # Not implied: borrow the canonical engine's certificate machinery.
+    certified = implies_one_type(premises, conclusion, engine=ENGINE)
+    if certified.is_implied:
+        raise AssertionError(
+            "intersection and canonical engines disagree - this would "
+            "falsify Theorem 4.4; please report with the inputs"
+        )
+    return not_implied(
+        ENGINE, premises, conclusion, certified.counterexample,
+        reason="no premise subset intersects to q (Theorem 4.4)",
+        containing=[str(r) for r in containing],
+    )

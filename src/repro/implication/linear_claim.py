@@ -1,0 +1,104 @@
+"""Theorem 4.8's automata claim: one-type implication for linear paths.
+
+The proof of Theorem 4.8 reduces one-type implication over ``XP{/,//,*}`` to
+emptiness of products of the range automata and their complements.  In
+vector form (over the *exact* acceptance vectors realisable by some word):
+
+for an all-``↑`` premise set and conclusion ``(q, ↑)``::
+
+    C ⊭ c   iff   ∃ realisable (V₁, ℓ) with q ∈ V₁ such that
+                  S := V₁ ∖ {q} = ∅                      (delete the node)
+               or ∃ realisable (V₂, ℓ) with S ⊆ V₂, q ∉ V₂   (move the node)
+
+where a *realisable* ``(V, ℓ)`` is an exact set of ranges accepting some
+non-empty word ending in label ``ℓ`` (the label must be carried along: a
+moved node keeps its label).  The all-``↓`` case is the mirror image.
+
+This engine exists for cross-validation: it must agree with the record
+fixpoint engine (:mod:`repro.implication.linear_engine`) on every one-type
+linear instance, and the test-suite enforces that on random workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.automata.compile import engine_alphabet, linear_to_dfa
+from repro.automata.dfa import DFA
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import ImplicationResult, implied, not_implied
+from repro.xpath.properties import is_linear
+
+ENGINE = "linear-thm48-claim"
+
+Vector = tuple[frozenset[int], str]
+
+
+def labelled_vectors(dfas: Sequence[DFA]) -> dict[Vector, tuple[str, ...]]:
+    """Exact acceptance vectors of non-empty words, keyed with last symbol.
+
+    Returns a witness word per ``(vector, last-label)`` pair, by BFS over the
+    reachable product states.
+    """
+    alphabet = dfas[0].alphabet
+    start = tuple(d.start for d in dfas)
+    seen = {start}
+    queue: deque[tuple[tuple[int, ...], tuple[str, ...]]] = deque([(start, ())])
+    found: dict[Vector, tuple[str, ...]] = {}
+    while queue:
+        key, word = queue.popleft()
+        for symbol in alphabet:
+            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+            next_word = word + (symbol,)
+            vec = frozenset(i for i, (d, s) in enumerate(zip(dfas, nxt)) if s in d.accepting)
+            found.setdefault((vec, symbol), next_word)
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, next_word))
+    return found
+
+
+def implies_linear_one_type(premises: ConstraintSet,
+                            conclusion: UpdateConstraint) -> ImplicationResult:
+    """Decide one-type linear implication by the Theorem 4.8 claim."""
+    if not premises.is_single_type:
+        raise FragmentError("Theorem 4.8 claim engine requires one update type")
+    if len(premises) and next(iter(premises)).type is not conclusion.type:
+        from repro.implication.cross_type import cross_type_counterexample
+
+        certificate = cross_type_counterexample(premises, conclusion)
+        return not_implied(ENGINE, premises, conclusion, certificate,
+                           reason="premises are all of the opposite type")
+    patterns = [conclusion.range] + list(premises.ranges)
+    for pattern in patterns:
+        if not is_linear(pattern):
+            raise FragmentError(f"{pattern} has predicates: not in XP{{/,//,*}}")
+    conclusion.require_concrete()
+    premises.require_concrete()
+    alphabet = engine_alphabet(patterns)
+    dfas = [linear_to_dfa(p, alphabet) for p in patterns]
+    vectors = labelled_vectors(dfas)
+    mirror = conclusion.type is ConstraintType.NO_INSERT
+
+    for (v1, label), word1 in vectors.items():
+        if 0 not in v1:
+            continue
+        hits = v1 - {0}
+        if not hits:
+            return not_implied(
+                ENGINE, premises, conclusion,
+                reason=f"word {'/'.join(word1)} lies only in the conclusion range",
+                word=word1, move_word=None, mirrored=mirror,
+            )
+        for (v2, label2), word2 in vectors.items():
+            if label2 == label and 0 not in v2 and hits <= v2:
+                return not_implied(
+                    ENGINE, premises, conclusion,
+                    reason="node movable between realisable hit vectors",
+                    word=word1, move_word=word2, mirrored=mirror,
+                )
+    return implied(ENGINE, premises, conclusion,
+                   reason="no realisable vector pair permits a violation",
+                   vectors=len(vectors))

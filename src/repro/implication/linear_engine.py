@@ -1,0 +1,298 @@
+"""Exact mixed-type implication for linear paths (``XP{/,//,*}``).
+
+The paper routes this cell of Table 1 (Theorem 4.3) through consistency of
+DTDs with unary regular keys.  We implement an equivalent, self-contained
+decision procedure — the **record fixpoint engine** — that works directly on
+the word languages of the ranges.
+
+Model.  For linear queries a node's memberships depend only on its
+root-to-node label word.  A counterexample pair ``(I, J)`` therefore
+projects onto a finite set of *records* ``(u, v)`` — the word of each node
+in ``I`` and in ``J`` (``⊥`` when absent) — subject to:
+
+* label agreement: ``u`` and ``v`` end with the same symbol (a node has one
+  label);
+* constraint locality: ``u ∈ L(p) ⇒ v ∈ L(p)`` for each no-remove premise
+  ``p``, and ``v ∈ L(p) ⇒ u ∈ L(p)`` for each no-insert premise;
+* prefix support: every proper prefix of ``u`` is the ``u``-word of some
+  record (its ancestor in ``I``), and likewise for ``v`` in ``J``.
+
+Conversely, any finite record set closed under these rules assembles into a
+valid pair — ancestors can always be materialised as fresh branches because
+nothing bounds node multiplicity.  So::
+
+    C ⊭ (q,↑)  iff  some derivable record has  u ∈ L(q)  and  v ∉ L(q) (or ⊥)
+
+and symmetrically for ``↓``.  Derivability is computed as a least fixpoint
+over pairs of *product-DFA states* (finite!), with per-round witness words
+kept so a refutation can be re-materialised into an actual ``(I, J)`` pair
+— the certificate is then re-checked by the ordinary validity checker.
+
+Example 4.1 — where no-insert and no-remove constraints interact and the
+same-type property fails — is decided exactly by this engine and serves as
+its acceptance test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automata.compile import engine_alphabet, linear_to_dfa
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import (
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+)
+from repro.trees.node import fresh_id
+from repro.trees.tree import DataTree
+from repro.xpath.properties import is_linear
+
+ENGINE = "linear-record-fixpoint"
+
+Word = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _RecordKey:
+    """Equivalence class of records: product states + the node's label."""
+
+    state_i: int | None     # product state of u, None = node absent from I
+    state_j: int | None     # product state of v, None = node absent from J
+    label: str | None       # None only for the root record
+
+
+@dataclass
+class _Record:
+    key: _RecordKey
+    round: int
+    u_word: Word | None
+    v_word: Word | None
+
+
+class _Product:
+    """Reachable product of the range DFAs with acceptance vectors."""
+
+    def __init__(self, dfas):
+        self.alphabet = dfas[0].alphabet
+        start_key = tuple(d.start for d in dfas)
+        self.index: dict[tuple[int, ...], int] = {start_key: 0}
+        keys = [start_key]
+        self.delta: list[dict[str, int]] = []
+        queue = deque([start_key])
+        while queue:
+            key = queue.popleft()
+            row: dict[str, int] = {}
+            for symbol in self.alphabet:
+                nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+                if nxt not in self.index:
+                    self.index[nxt] = len(keys)
+                    keys.append(nxt)
+                    queue.append(nxt)
+                row[symbol] = self.index[nxt]
+            self.delta.append(row)
+        self.accepts: list[frozenset[int]] = [
+            frozenset(i for i, (d, s) in enumerate(zip(dfas, key)) if s in d.accepting)
+            for key in keys
+        ]
+        self.start = 0
+
+    @property
+    def n_states(self) -> int:
+        return len(self.delta)
+
+
+class LinearRecordEngine:
+    """The fixpoint computation for one implication problem."""
+
+    def __init__(self, premises: ConstraintSet, conclusion: UpdateConstraint):
+        for pattern in premises.ranges + (conclusion.range,):
+            if not is_linear(pattern):
+                raise FragmentError(f"{pattern} has predicates: not in XP{{/,//,*}}")
+        conclusion.require_concrete()
+        premises.require_concrete()
+        self.premises = premises
+        self.conclusion = conclusion
+        patterns = [conclusion.range] + list(premises.ranges)
+        alphabet = engine_alphabet(patterns)
+        self.product = _Product([linear_to_dfa(p, alphabet) for p in patterns])
+        self.up_idx = [i + 1 for i, c in enumerate(premises)
+                       if c.type is ConstraintType.NO_REMOVE]
+        self.down_idx = [i + 1 for i, c in enumerate(premises)
+                         if c.type is ConstraintType.NO_INSERT]
+        self.records: dict[_RecordKey, _Record] = {}
+        self.supp_i: dict[tuple[int, str], _Record] = {}
+        self.supp_j: dict[tuple[int, str], _Record] = {}
+        self._run_fixpoint()
+
+    # ------------------------------------------------------------------
+    # Local feasibility
+    # ------------------------------------------------------------------
+    def _locally_ok(self, state_i: int | None, state_j: int | None) -> bool:
+        acc = self.product.accepts
+        if state_i is not None and state_j is not None:
+            hit_i, hit_j = acc[state_i], acc[state_j]
+            return all(k in hit_j for k in self.up_idx if k in hit_i) and all(
+                k in hit_i for k in self.down_idx if k in hit_j
+            )
+        if state_i is not None:  # node deleted: must sit in no no-remove range
+            return not any(k in acc[state_i] for k in self.up_idx)
+        assert state_j is not None  # fresh node: must sit in no no-insert range
+        return not any(k in acc[state_j] for k in self.down_idx)
+
+    # ------------------------------------------------------------------
+    # Buildable endpoints under the current supports
+    # ------------------------------------------------------------------
+    def _endpoints(self, supports: dict[tuple[int, str], _Record]
+                   ) -> dict[tuple[int, str], Word]:
+        """All (state, last-symbol) pairs reachable through supported prefixes,
+        each with a shortest witness word."""
+        prod = self.product
+        usable: set[int] = {prod.start}
+        words: dict[int, Word] = {prod.start: ()}
+        queue = deque([prod.start])
+        found: dict[tuple[int, str], Word] = {}
+        while queue:
+            state = queue.popleft()
+            base = words[state]
+            for symbol, nxt in prod.delta[state].items():
+                pair = (nxt, symbol)
+                if pair not in found:
+                    found[pair] = base + (symbol,)
+                # The endpoint may serve as a prefix only if supported.
+                if pair in supports and nxt not in usable:
+                    usable.add(nxt)
+                    words[nxt] = base + (symbol,)
+                    queue.append(nxt)
+        return found
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+    def _run_fixpoint(self) -> None:
+        root = _Record(_RecordKey(self.product.start, self.product.start, None), 0, (), ())
+        self.records[root.key] = root
+        round_no = 0
+        while True:
+            round_no += 1
+            ends_i = self._endpoints(self.supp_i)
+            ends_j = self._endpoints(self.supp_j)
+            fresh_records: list[_Record] = []
+            # Records present on both sides (label must agree).
+            for (si, a), u_word in ends_i.items():
+                for (sj, b), v_word in ends_j.items():
+                    if a != b:
+                        continue
+                    key = _RecordKey(si, sj, a)
+                    if key in self.records or not self._locally_ok(si, sj):
+                        continue
+                    fresh_records.append(_Record(key, round_no, u_word, v_word))
+            # Deleted nodes (present in I only).
+            for (si, a), u_word in ends_i.items():
+                key = _RecordKey(si, None, a)
+                if key not in self.records and self._locally_ok(si, None):
+                    fresh_records.append(_Record(key, round_no, u_word, None))
+            # Fresh nodes (present in J only).
+            for (sj, b), v_word in ends_j.items():
+                key = _RecordKey(None, sj, b)
+                if key not in self.records and self._locally_ok(None, sj):
+                    fresh_records.append(_Record(key, round_no, None, v_word))
+            if not fresh_records:
+                break
+            for record in fresh_records:
+                self.records[record.key] = record
+                key = record.key
+                if key.state_i is not None and key.label is not None:
+                    self.supp_i.setdefault((key.state_i, key.label), record)
+                if key.state_j is not None and key.label is not None:
+                    self.supp_j.setdefault((key.state_j, key.label), record)
+
+    # ------------------------------------------------------------------
+    # Decision + certificate
+    # ------------------------------------------------------------------
+    def violating_record(self) -> _Record | None:
+        acc = self.product.accepts
+        want_remove = self.conclusion.type is ConstraintType.NO_REMOVE
+        for key, record in self.records.items():
+            if key.label is None:
+                continue
+            if want_remove:
+                if key.state_i is not None and 0 in acc[key.state_i] and (
+                    key.state_j is None or 0 not in acc[key.state_j]
+                ):
+                    return record
+            else:
+                if key.state_j is not None and 0 in acc[key.state_j] and (
+                    key.state_i is None or 0 not in acc[key.state_i]
+                ):
+                    return record
+        return None
+
+    # -- materialisation -------------------------------------------------
+    def _state_after(self, word: Word) -> list[int]:
+        states = [self.product.start]
+        for symbol in word:
+            states.append(self.product.delta[states[-1]][symbol])
+        return states
+
+    def _materialize_i_node(self, tree_i: DataTree, tree_j: DataTree,
+                            u_word: Word) -> int:
+        """Create the I-chain for ``u_word``; place intermediates in J per
+        their supports; return the id of the deepest node (not yet in J)."""
+        states = self._state_after(u_word)
+        parent = tree_i.root
+        for depth, symbol in enumerate(u_word, start=1):
+            nid = tree_i.add_child(parent, symbol)
+            if depth < len(u_word):
+                support = self.supp_i[(states[depth], symbol)]
+                if support.v_word is not None:
+                    self._attach_j_path(tree_i, tree_j, nid, support.v_word)
+            parent = nid
+        return parent
+
+    def _attach_j_path(self, tree_i: DataTree, tree_j: DataTree,
+                       nid: int, v_word: Word) -> None:
+        """Give node ``nid`` the J-position ``v_word``, building the chain."""
+        states = self._state_after(v_word)
+        parent = tree_j.root
+        for depth, symbol in enumerate(v_word[:-1], start=1):
+            support = self.supp_j[(states[depth], symbol)]
+            if support.u_word is None:
+                parent = tree_j.add_child(parent, symbol)
+            else:
+                mid = self._materialize_i_node(tree_i, tree_j, support.u_word)
+                parent = tree_j.add_child(parent, symbol, nid=mid)
+        tree_j.add_child(parent, v_word[-1], nid=nid)
+
+    def certificate(self, record: _Record) -> Counterexample:
+        tree_i = DataTree()
+        tree_j = DataTree()
+        if record.u_word is not None:
+            nid = self._materialize_i_node(tree_i, tree_j, record.u_word)
+        else:
+            nid = fresh_id()
+        if record.v_word is not None:
+            self._attach_j_path(tree_i, tree_j, nid, record.v_word)
+        return Counterexample(tree_i, tree_j, witness=nid)
+
+    def result(self) -> ImplicationResult:
+        record = self.violating_record()
+        if record is None:
+            return implied(ENGINE, self.premises, self.conclusion,
+                           reason="record fixpoint admits no violating node",
+                           records=len(self.records),
+                           product_states=self.product.n_states)
+        return not_implied(ENGINE, self.premises, self.conclusion,
+                           self.certificate(record),
+                           reason="derivable record escapes the conclusion range",
+                           records=len(self.records),
+                           product_states=self.product.n_states)
+
+
+def implies_linear(premises: ConstraintSet,
+                   conclusion: UpdateConstraint) -> ImplicationResult:
+    """Exact implication for arbitrary-type constraints over linear paths."""
+    return LinearRecordEngine(premises, conclusion).result()

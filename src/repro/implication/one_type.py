@@ -1,0 +1,125 @@
+"""Exact one-type implication on the full fragment (Theorem 4.7's cell).
+
+For an all-no-remove set ``C`` and conclusion ``c = (q, ↑)`` the engine
+decides implication through a *canonical-witness characterisation* derived
+from the paper's small-model pruning (proof of Theorem 4.7) and the
+Figure 3 glue-at-root technique:
+
+    C ⊭ c   iff   some canonical model ``(I*, n)`` of ``q`` (chain cap =
+    star-length of ``C ∪ {q}`` + 1, wildcards instantiated by the fresh
+    label) satisfies  ``⋂ Hit(n, I*) ⊄ q``,  where
+    ``Hit(n, I*) = { p ∈ C : n ∈ p(I*) }`` (and ``⋂∅ ⊄ q`` always holds).
+
+*Soundness*: from an escape witness ``(W, m)`` — a ground tree whose node
+``m`` lies in every range of ``Hit`` but not in ``q`` — we assemble the
+counterexample pair::
+
+    I = I*                          (n in q)
+    J = (I* with n ↦ fresh n')  ⊕  W-branch carrying the id n at m
+
+Grafting at the root never changes any node's memberships (queries are
+downward-only and predicates cannot apply to the root), so every node except
+``n`` keeps its ranges exactly; ``n`` keeps all its no-remove ranges via
+``W`` and leaves ``q`` — a valid pair violating ``c``.
+
+*Completeness*: a real witness pair prunes (Theorem 4.7: keep the marked
+``q``-embedding, relabel the rest to the fresh label, cap chains) to a
+canonical model ``I*``; pruning only shrinks ``Hit``, and the witness node's
+position in ``J`` still realises ``⋂Hit ∖ q``, so the escape test fires.
+
+The all-no-insert case is the exact mirror image (``I`` and ``J`` swap
+roles).  Wildcards are instantiated only by the fresh label: that choice
+*minimises* ``Hit``, and shrinking ``Hit`` can only make escape easier, so
+no generality is lost while the model count stays single-exponential.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import (
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+)
+from repro.trees.ops import fresh_label_for, graft_at_root, remap_ids
+from repro.trees.tree import DataTree
+from repro.xpath.canonical import CanonicalModel, canonical_models
+from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.intersection import escape_witness
+from repro.xpath.properties import labels_of, max_star_length
+
+ENGINE = "canonical-one-type"
+
+
+def _structural_counterexample(
+    model: CanonicalModel,
+    witness_tree: DataTree | None,
+    witness_output: int | None,
+) -> tuple[DataTree, DataTree, int]:
+    """Build the (grow-side, shrink-side) pair described in the module doc.
+
+    Returns ``(kept, moved, n)`` where ``kept`` contains ``n`` in ``q`` and
+    ``moved`` has ``n`` relocated to the witness position (or dropped when
+    no witness tree is needed because ``Hit`` was empty).
+    """
+    n = model.output
+    kept = model.tree
+    moved = kept.copy()
+    moved.relabel_fresh(n)  # n disappears from its q-position
+    if witness_tree is not None:
+        assert witness_output is not None
+        relocated = remap_ids(witness_tree, {witness_output: n})
+        graft_at_root(moved, relocated, fresh=False)
+    return kept, moved, n
+
+
+def decide_one_type(premise_ranges, q, ctype: ConstraintType,
+                    cap: int | None = None):
+    """Core decision: returns ``None`` (implied) or a structural certificate.
+
+    ``premise_ranges`` are the ranges of an all-``ctype`` premise set and
+    ``q`` the conclusion range of the same type.  The returned triple is
+    ``(kept, moved, n)`` oriented for the no-remove reading; the caller
+    mirrors it for no-insert.
+    """
+    ranges = list(premise_ranges)
+    if cap is None:
+        cap = max_star_length(ranges + [q]) + 1
+    fresh = fresh_label_for(labels_of(q, *ranges))
+    for model in canonical_models(q, cap, fresh=fresh):
+        hit = [p for p in ranges if model.output in evaluate_ids(p, model.tree)]
+        if not hit:
+            return _structural_counterexample(model, None, None)
+        witness = escape_witness(hit, [q])
+        if witness is not None:
+            return _structural_counterexample(model, witness.tree, witness.output)
+    return None
+
+
+def implies_one_type(premises: ConstraintSet, conclusion: UpdateConstraint,
+                     engine: str = ENGINE) -> ImplicationResult:
+    """Exact implication for a single-type problem on ``XP{/,[],//,*}``."""
+    if not premises.is_single_type:
+        raise FragmentError("one-type engine requires a single-type premise set")
+    conclusion.require_concrete()
+    premises.require_concrete()
+    if len(premises) and next(iter(premises)).type is not conclusion.type:
+        from repro.implication.cross_type import cross_type_counterexample
+
+        certificate = cross_type_counterexample(premises, conclusion)
+        return not_implied(engine, premises, conclusion, certificate,
+                           reason="premises are all of the opposite type")
+    outcome = decide_one_type(premises.ranges, conclusion.range, conclusion.type)
+    if outcome is None:
+        return implied(engine, premises, conclusion,
+                       reason="every canonical witness keeps the conclusion range")
+    kept, moved, n = outcome
+    if conclusion.type is ConstraintType.NO_REMOVE:
+        certificate = Counterexample(before=kept, after=moved, witness=n)
+    else:
+        # Mirror image: an insertion into q(J) is a removal read backwards.
+        certificate = Counterexample(before=moved, after=kept, witness=n)
+    return not_implied(engine, premises, conclusion, certificate,
+                       reason="canonical witness escapes the conclusion range")

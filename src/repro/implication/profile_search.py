@@ -1,0 +1,106 @@
+"""Sound refutation by profile-preserving swaps (hybrid engine core).
+
+A *profile* of a tree position is the exact set of premise ranges selecting
+it.  If some position ``u`` is selected by the conclusion range ``q`` with
+premise profile ``V``, and some position ``w`` realises the *same* premise
+profile ``V`` while avoiding ``q``, then swapping the two occupants refutes
+implication for **arbitrary** mixed premise sets::
+
+    I = T(u: n, w: m)        J = T(u: m, w: n)      (same underlying tree T)
+
+Every node keeps its exact premise profile across the update (``n`` and
+``m`` trade places between profile-equal positions; everyone else stays
+put), so every no-remove and every no-insert premise holds; ``n`` leaves
+``q`` (no-remove conclusion) or enters it (mirror).
+
+The search enumerates candidate ``u``-positions as canonical models of
+product patterns of ``q`` with small premise-range subsets (richer subsets
+= richer profiles), and asks :func:`repro.xpath.intersection.escape_witness`
+for a ``w`` with exactly the same profile.  The construction is *sound* on
+the full fragment ``XP{/,[],//,*}`` with mixed types — it powers the
+refutation half of the NEXPTIME cell's hybrid engine — but it is not
+complete: cascading multi-node counterexamples (Example 4.1 style) are out
+of its reach, which is exactly why the dispatcher prefers the exact engines
+whenever a fragment restriction applies.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.implication.result import Counterexample
+from repro.trees.ops import fresh_label_for, graft_at_root, swap_ids
+from repro.xpath.ast import Axis, Pattern, Step
+from repro.xpath.canonical import canonical_models
+from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.intersection import escape_witness, product_patterns
+from repro.xpath.properties import labels_of, max_star_length
+
+
+def _label_anchor(label: str) -> Pattern:
+    """The pattern ``//label`` — pins the last symbol of an escape witness."""
+    return Pattern((Step(Axis.DESC, label),))
+
+
+def _candidate_models(q: Pattern, ranges: list[Pattern], cap: int, fresh: str,
+                      subset_limit: int, model_budget: int):
+    """Canonical models of q (possibly enriched by premise ranges)."""
+    produced = 0
+    subsets: list[tuple[Pattern, ...]] = [()]
+    for size in range(1, subset_limit + 1):
+        subsets.extend(combinations(ranges, size))
+    for subset in subsets:
+        try:
+            prods = product_patterns([q, *subset]) if subset else [q]
+        except ValueError:
+            continue
+        for prod in prods:
+            for model in canonical_models(prod, cap, fresh=fresh):
+                yield model
+                produced += 1
+                if produced >= model_budget:
+                    return
+
+
+def profile_swap_refutation(
+    premises: ConstraintSet,
+    conclusion: UpdateConstraint,
+    subset_limit: int = 1,
+    model_budget: int = 2000,
+) -> Counterexample | None:
+    """Search for a profile-preserving swap counterexample (sound, incomplete).
+
+    Returns a validated certificate or ``None``; never a wrong answer.
+    """
+    q = conclusion.range
+    ranges = list(premises.ranges)
+    cap = max_star_length(ranges + [q]) + 1
+    fresh = fresh_label_for(labels_of(q, *ranges))
+    label = q.output_label
+    assert label is not None, "engines require concrete conclusions"
+    anchor = _label_anchor(label)
+
+    for model in _candidate_models(q, ranges, cap, fresh, subset_limit, model_budget):
+        n = model.output
+        profile = [c for c in premises if n in evaluate_ids(c.range, model.tree)]
+        hit_ranges = [c.range for c in profile]
+        avoid = [q] + [c.range for c in premises if c not in profile]
+        witness = escape_witness(hit_ranges + [anchor], avoid)
+        if witness is None:
+            continue
+        merged = model.tree.copy()
+        mapping = graft_at_root(merged, witness.tree, fresh=False)
+        m = mapping[witness.output]
+        if merged.label(n) != merged.label(m):
+            continue
+        swapped = swap_ids(merged, n, m)
+        if conclusion.type is ConstraintType.NO_REMOVE:
+            certificate = Counterexample(before=merged, after=swapped, witness=n)
+        else:
+            certificate = Counterexample(before=swapped, after=merged, witness=n)
+        # Self-check: the construction is proven sound, but re-validate with
+        # the independent checker before handing the certificate out.
+        if not certificate.check(premises, conclusion):
+            return certificate
+    return None

@@ -1,0 +1,111 @@
+"""Verdicts and certificates for the implication problems.
+
+Every engine returns an :class:`ImplicationResult`.  A ``NOT_IMPLIED``
+verdict should carry a *counterexample certificate*: a pair ``(I, J)`` valid
+for the premise constraints and violating the conclusion, plus the witness
+node.  Certificates are machine-checkable — :meth:`ImplicationResult.verify`
+re-validates them with the independent checker of
+:mod:`repro.constraints.validity`, and the test-suite calls it on every
+refutation any engine ever produces.
+
+``UNKNOWN`` verdicts are legal only for the hybrid engines covering the
+paper's NEXPTIME cell (mixed types, predicates and descendant axis
+together); they are never silent — ``reason`` explains which sound tests
+were exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.constraints.validity import explain_violations, violation_of
+from repro.trees.tree import DataTree
+
+
+class Answer(Enum):
+    IMPLIED = "implied"
+    NOT_IMPLIED = "not-implied"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "an Answer is three-valued; compare explicitly or use "
+            "ImplicationResult.is_implied / .is_refuted"
+        )
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A certificate of non-implication: a valid pair violating ``c``."""
+
+    before: DataTree
+    after: DataTree
+    witness: int | None = None  # id of a node violating the conclusion
+
+    def check(self, premises: ConstraintSet, conclusion: UpdateConstraint) -> list[str]:
+        """Return a list of problems (empty = the certificate is sound)."""
+        problems = [
+            f"premise broken: {violation}"
+            for violation in explain_violations(self.before, self.after, premises)
+        ]
+        if violation_of(self.before, self.after, conclusion) is None:
+            problems.append(f"conclusion {conclusion} is not violated")
+        return problems
+
+
+@dataclass(frozen=True)
+class ImplicationResult:
+    """Outcome of an implication query, with provenance and certificate."""
+
+    answer: Answer
+    engine: str
+    premises: ConstraintSet
+    conclusion: UpdateConstraint
+    reason: str = ""
+    counterexample: Counterexample | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_implied(self) -> bool:
+        return self.answer is Answer.IMPLIED
+
+    @property
+    def is_refuted(self) -> bool:
+        return self.answer is Answer.NOT_IMPLIED
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.answer is Answer.UNKNOWN
+
+    def verify(self) -> list[str]:
+        """Re-check the attached certificate; empty list means consistent."""
+        if self.counterexample is None:
+            return []
+        return self.counterexample.check(self.premises, self.conclusion)
+
+    def __str__(self) -> str:
+        tag = {Answer.IMPLIED: "⊨", Answer.NOT_IMPLIED: "⊭", Answer.UNKNOWN: "?"}[self.answer]
+        note = f" ({self.reason})" if self.reason else ""
+        return f"C {tag} {self.conclusion} [{self.engine}]{note}"
+
+
+def implied(engine: str, premises: ConstraintSet, conclusion: UpdateConstraint,
+            reason: str = "", **details: Any) -> ImplicationResult:
+    return ImplicationResult(Answer.IMPLIED, engine, premises, conclusion, reason,
+                             None, dict(details))
+
+
+def not_implied(engine: str, premises: ConstraintSet, conclusion: UpdateConstraint,
+                counterexample: Counterexample | None = None, reason: str = "",
+                **details: Any) -> ImplicationResult:
+    return ImplicationResult(Answer.NOT_IMPLIED, engine, premises, conclusion, reason,
+                             counterexample, dict(details))
+
+
+def unknown(engine: str, premises: ConstraintSet, conclusion: UpdateConstraint,
+            reason: str, **details: Any) -> ImplicationResult:
+    return ImplicationResult(Answer.UNKNOWN, engine, premises, conclusion, reason,
+                             None, dict(details))

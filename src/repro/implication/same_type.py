@@ -1,0 +1,60 @@
+"""Theorem 4.1: the same-type property on ``XP{/,[],*}``.
+
+Without the descendant axis, constraints of the opposite type cannot help:
+``C ⊨ c`` iff ``C_σ ⊨ c`` where ``σ`` is the type of ``c``.  (The theorem
+fails once ``//`` is allowed — Example 4.1 — and even without ``//`` once
+relative constraints enter — Example 6.1.)
+
+The engine therefore decides the mixed-type child-only cell *exactly* by
+delegating to the one-type machinery on ``C_σ``, in PTIME overall thanks to
+Theorem 4.4/4.5.  For refutations it upgrades the one-type counterexample
+to one valid for the *whole* premise set, as the proof of Theorem 4.1 does
+with its Figure 4/5 constructions; operationally we attempt, in order:
+
+1. the one-type certificate itself (frequently already valid for all of
+   ``C`` — we re-check with the independent validity checker);
+2. a profile-preserving swap (:mod:`repro.implication.profile_search`),
+   which mirrors the proof's ``J0``/least-upper-bound step;
+3. otherwise the verdict is still *exact* (Theorem 4.1 guarantees it) and
+   is returned with ``certificate=None`` plus an explanatory note.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.intersection_engine import implies_by_intersection
+from repro.implication.profile_search import profile_swap_refutation
+from repro.implication.result import ImplicationResult, implied, not_implied
+
+ENGINE = "same-type-thm41"
+
+
+def implies_child_only(premises: ConstraintSet,
+                       conclusion: UpdateConstraint) -> ImplicationResult:
+    """Exact mixed-type implication on ``XP{/,[],*}`` via Theorem 4.1."""
+    fragment = premises.fragment(conclusion.range)
+    if fragment.descendant:
+        raise FragmentError(
+            "the same-type property (Theorem 4.1) holds only without '//'; "
+            "Example 4.1 is the counterexample with descendant edges"
+        )
+    same = premises.of_type(conclusion.type)
+    inner = implies_by_intersection(same, conclusion)
+    if inner.is_implied:
+        return implied(ENGINE, premises, conclusion,
+                       reason=f"C_sigma implies c; same-type property applies "
+                              f"({inner.reason})",
+                       subset=inner.details.get("subset"))
+    certificate = inner.counterexample
+    if certificate is not None and certificate.check(premises, conclusion):
+        certificate = None  # breaks an opposite-type premise; try harder
+    if certificate is None:
+        certificate = profile_swap_refutation(premises, conclusion)
+    return not_implied(
+        ENGINE, premises, conclusion, certificate,
+        reason="C_sigma does not imply c; by Theorem 4.1 neither does C"
+               + ("" if certificate else
+                  " (certificate construction of Fig. 4/5 not attempted"
+                  " beyond the swap search; the verdict itself is exact)"),
+    )

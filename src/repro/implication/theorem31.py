@@ -1,0 +1,114 @@
+"""Theorem 3.1: single-constraint implication is query equivalence.
+
+For same-type constraints ``c1 = (q1, σ)`` and ``c2 = (q2, σ)``::
+
+    c1 ⊨ c2   iff   q1 ≡ q2
+
+The two directions of the proof are constructive and both constructions are
+implemented here:
+
+* ``q2 ⊄ q1`` — take a tree ``T`` with ``n ∈ q2(T) - q1(T)`` and replace
+  ``n`` by a fresh same-labelled node: ``q2`` loses ``n`` while ``q1`` never
+  contained it;
+* ``q1 ⊄ q2`` (Figure 3) — glue a tree ``T`` (with ``n ∈ q2(T)``) and a
+  separator ``T'`` (with ``n' ∈ q1(T') - q2(T')``) at the root, then
+  *interchange* ``n`` and ``n'``: since grafting at the root never affects
+  membership of a node (queries are downward and predicates never apply to
+  the root), the swap removes ``n`` from ``q2`` without touching ``q1``.
+
+Both return :class:`Counterexample` certificates; the no-insert case is the
+mirror image (swap the roles of before/after).
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.implication.result import (
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+)
+from repro.trees.ops import graft_at_root, replace_with_fresh_copy, swap_ids
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Pattern
+from repro.xpath.canonical import smallest_model
+from repro.xpath.containment import contained, equivalent, find_separating_model
+
+
+def build_replacement_counterexample(q1: Pattern, q2: Pattern) -> Counterexample | None:
+    """Counterexample to ``(q1,↑) ⊨ (q2,↑)`` when ``q2 ⊄ q1``.
+
+    ``I`` is a separating model (its output is in ``q2`` but not ``q1``);
+    ``J`` replaces that node by a fresh one with the same label.
+    """
+    model = find_separating_model(q2, q1)
+    if model is None:
+        return None
+    before = model.tree
+    after = before.copy()
+    replace_with_fresh_copy(after, model.output)
+    return Counterexample(before, after, witness=model.output)
+
+
+def build_interchange_counterexample(q1: Pattern, q2: Pattern) -> Counterexample | None:
+    """The Figure 3 counterexample to ``(q1,↑) ⊨ (q2,↑)`` when ``q1 ⊄ q2``.
+
+    Assumes ``q2 ⊆ q1`` (otherwise use the replacement construction, which
+    is cheaper).  Returns ``None`` when ``q1 ⊆ q2`` — no counterexample of
+    this shape exists.
+    """
+    separator = find_separating_model(q1, q2)   # n' ∈ q1 - q2
+    if separator is None:
+        return None
+    anchor = smallest_model(q2)                 # n ∈ q2 (and hence ∈ q1 if q2 ⊆ q1)
+    n = anchor.output
+    before = anchor.tree.copy()
+    mapping = graft_at_root(before, separator.tree, fresh=False)
+    n_prime = mapping[separator.output]
+    if before.label(n) != before.label(n_prime):
+        # Outputs of comparable concrete queries always agree on labels;
+        # incomparable ones are handled by the replacement construction.
+        return None
+    after = swap_ids(before, n, n_prime)
+    return Counterexample(before, after, witness=n)
+
+
+def counterexample_same_type(q1: Pattern, q2: Pattern) -> Counterexample | None:
+    """A pair valid for ``(q1,↑)`` and violating ``(q2,↑)``, if one exists."""
+    direct = build_replacement_counterexample(q1, q2)
+    if direct is not None:
+        return direct
+    return build_interchange_counterexample(q1, q2)
+
+
+def _mirror(certificate: Counterexample | None) -> Counterexample | None:
+    """Swap before/after — the no-insert problem is the time-reversed one."""
+    if certificate is None:
+        return None
+    return Counterexample(certificate.after, certificate.before, certificate.witness)
+
+
+def implies_single(c1: UpdateConstraint, c2: UpdateConstraint) -> ImplicationResult:
+    """Decide ``{c1} ⊨ c2`` (Theorem 3.1), with certificates.
+
+    Same-type pairs reduce to query equivalence.  Opposite-type pairs are
+    never implied: a fresh-branch construction yields a counterexample (see
+    :mod:`repro.implication.cross_type`).
+    """
+    premises = ConstraintSet([c1])
+    if c1.type is not c2.type:
+        from repro.implication.cross_type import cross_type_counterexample
+
+        certificate = cross_type_counterexample(premises, c2)
+        return not_implied("theorem-3.1", premises, c2, certificate,
+                           reason="opposite update types never imply each other")
+    if equivalent(c1.range, c2.range):
+        return implied("theorem-3.1", premises, c2, reason="q1 ≡ q2")
+    certificate = counterexample_same_type(c1.range, c2.range)
+    if c2.type is ConstraintType.NO_INSERT:
+        certificate = _mirror(certificate)
+    return not_implied("theorem-3.1", premises, c2, certificate,
+                       reason="q1 ≢ q2 (Theorem 3.1)",
+                       contained_12=contained(c1.range, c2.range),
+                       contained_21=contained(c2.range, c1.range))

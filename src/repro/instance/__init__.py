@@ -1,0 +1,21 @@
+"""Instance-based implication — Section 5 / Table 2 of the paper."""
+
+from repro.instance.certain_facts import build_certain_facts, implies_by_certain_facts
+from repro.instance.cross_type import implies_cross_type
+from repro.instance.general import implies_on
+from repro.instance.linear_engine import implies_no_insert_linear
+from repro.instance.no_insert_engine import implies_no_insert
+from repro.instance.no_remove_engine import implies_no_remove, merge_variants
+from repro.instance.search import bounded_refutation
+
+__all__ = [
+    "implies_on",
+    "implies_no_insert",
+    "implies_no_insert_linear",
+    "implies_no_remove",
+    "implies_by_certain_facts",
+    "build_certain_facts",
+    "implies_cross_type",
+    "bounded_refutation",
+    "merge_variants",
+]

@@ -1,0 +1,132 @@
+"""Theorem 5.3: the certain-facts instance ``F_J`` (PTIME, ``XP{/,[],*}``, ``↓``).
+
+The proof of Theorem 5.3 constructs, from the current instance ``J`` and an
+all-no-insert constraint set ``C``, a single instance ``F_J`` containing
+*all certain facts* about any legal past:
+
+* for every constraint ``(q_i, ↓)`` and every node ``n ∈ q_i(J)``, a tree
+  shaped like ``q_i`` is added, with ``n``'s real identifier at the
+  distinguished node, fresh identifiers elsewhere and the fresh label at
+  wildcards;
+* trees sharing the distinguished identifier are merged along their
+  root-to-``n`` spines (tree-ness forces the ancestors to coincide):
+  concrete labels beat fresh ones, real identifiers beat fresh ones, and —
+  as the proof argues — no conflicts can arise because all merged spines
+  describe the same actual path of ``J``.
+
+Then  ``C ⊨_J (q, ↓)``  iff  ``q(J) ⊆ q(F_J)`` (on real identifiers).
+
+This engine is deliberately *redundant* with
+:mod:`repro.instance.no_insert_engine` on its fragment — the pair is
+cross-validated in the tests, reproducing the paper's own two proofs.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import ImplicationResult, implied, not_implied
+from repro.trees.ops import fresh_label_for
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Pattern, Pred
+from repro.xpath.evaluator import evaluate, evaluate_ids
+from repro.xpath.properties import labels_of
+
+ENGINE = "instance-certain-facts"
+
+
+class _SpineNode:
+    """A node of the merged certain-facts tree under construction.
+
+    Spines are root-to-``n`` chains, so each node has at most one spine
+    child; predicate trees collected from the merged constraints hang off
+    as separate branches when materialised.
+    """
+
+    __slots__ = ("label", "nid", "child", "pred_trees")
+
+    def __init__(self) -> None:
+        self.label: str | None = None      # None = still fresh ("z")
+        self.nid: int | None = None        # None = fresh identifier
+        self.child: "_SpineNode | None" = None
+        self.pred_trees: list[tuple[Pred, ...]] = []
+
+
+def build_certain_facts(premises: ConstraintSet, current: DataTree) -> DataTree:
+    """Materialise ``F_J`` exactly as in the proof of Theorem 5.3."""
+    fragment = premises.fragment()
+    if fragment.descendant:
+        raise FragmentError("F_J is defined for the child-only fragment XP{/,[],*}")
+    fresh = fresh_label_for(labels_of(*premises.ranges) | {
+        node.label for node in current.nodes()
+    })
+    # One merged spine per witnessed real node; spines are independent
+    # except that two witnesses sharing an identifier share everything.
+    spines: dict[int, _SpineNode] = {}
+    for constraint in premises:
+        pattern = constraint.range
+        for node in evaluate(pattern, current):
+            root = spines.setdefault(node.nid, _SpineNode())
+            cursor = root
+            for step in pattern.steps:
+                if cursor.child is None:
+                    cursor.child = _SpineNode()
+                nxt = cursor.child
+                if step.label is not None:
+                    if nxt.label is not None and nxt.label != step.label:
+                        raise AssertionError(
+                            "label conflict while merging F_J spines - "
+                            "impossible per Theorem 5.3's proof"
+                        )
+                    nxt.label = step.label
+                if step.preds:
+                    nxt.pred_trees.append(step.preds)
+                cursor = nxt
+            cursor.nid = node.nid  # the distinguished node keeps its identity
+
+    result = DataTree()
+    for spine in spines.values():
+        _materialize(result, result.root, spine, fresh)
+    return result
+
+
+def _materialize(tree: DataTree, parent: int, node: _SpineNode, fresh: str) -> None:
+    child = node.child
+    if child is None:
+        return
+    label = child.label if child.label is not None else fresh
+    nid = tree.add_child(parent, label, nid=child.nid)
+    for preds in child.pred_trees:
+        for pred in preds:
+            _materialize_pred(tree, nid, pred, fresh)
+    _materialize(tree, nid, child, fresh)
+
+
+def _materialize_pred(tree: DataTree, parent: int, pred: Pred, fresh: str) -> None:
+    label = pred.label if pred.label is not None else fresh
+    nid = tree.add_child(parent, label)
+    for child in pred.children:
+        _materialize_pred(tree, nid, child, fresh)
+
+
+def implies_by_certain_facts(premises: ConstraintSet, current: DataTree,
+                             conclusion: UpdateConstraint) -> ImplicationResult:
+    """Theorem 5.3's decision: ``C ⊨_J c`` iff ``q(J) ⊆ q(F_J)``."""
+    if any(c.type is not ConstraintType.NO_INSERT for c in premises):
+        raise FragmentError("F_J engine requires an all-no-insert premise set")
+    if conclusion.type is not ConstraintType.NO_INSERT:
+        raise FragmentError("F_J engine decides no-insert conclusions")
+    fragment = premises.fragment(conclusion.range)
+    if fragment.descendant:
+        raise FragmentError("F_J engine covers XP{/,[],*} (Theorem 5.3)")
+    fact_tree = build_certain_facts(premises, current)
+    answers_now = evaluate_ids(conclusion.range, current)
+    answers_certain = evaluate_ids(conclusion.range, fact_tree)
+    escaped = sorted(answers_now - answers_certain)
+    if escaped:
+        return not_implied(ENGINE, premises, conclusion,
+                           reason=f"nodes {escaped} of q(J) are not certain in F_J",
+                           f_j_size=fact_tree.size, escaped=escaped)
+    return implied(ENGINE, premises, conclusion,
+                   reason="q(J) ⊆ q(F_J): every member of q(J) is a certain fact",
+                   f_j_size=fact_tree.size)

@@ -1,0 +1,85 @@
+"""Theorem 5.4: instance-based no-insert implication for linear paths.
+
+On ``XP{/,//,*}`` the escape test of the general no-insert engine reduces to
+word-automata emptiness: a node ``n ∈ q(J)`` refutes implication iff the
+language  ``⋂{L(p) : p ∈ Hit(n)} ∖ L(q)``  is non-empty (with ``Hit(n) = ∅``
+meaning unconditional refutation).  With the number of constraints and the
+wildcard gaps bounded, the product automata stay polynomial — exactly the
+tractability conditions the theorem states.
+
+The engine returns the same certificates as the general engine: the witness
+word materialises as a fresh branch of the past instance, the node ``n``
+relocating to its tip.
+"""
+
+from __future__ import annotations
+
+from repro.automata.compile import engine_alphabet, linear_to_dfa
+from repro.automata.dfa import product_dfa
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import (
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+)
+from repro.trees.tree import DataTree
+from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.properties import is_linear
+
+ENGINE = "instance-linear-automata"
+
+
+def _witness_word(hit_patterns, q, alphabet) -> tuple[str, ...] | None:
+    """A shortest word in ``⋂ L(hit) ∖ L(q)``, or ``None``."""
+    dfas = [linear_to_dfa(p, alphabet) for p in hit_patterns]
+    dfas.append(linear_to_dfa(q, alphabet).complement())
+    prod, _ = product_dfa(dfas)
+    return prod.shortest_accepted()
+
+
+def _past_instance(current: DataTree, n: int, word: tuple[str, ...] | None) -> DataTree:
+    past = current.copy()
+    past.relabel_fresh(n)
+    if word is not None:
+        parent = past.root
+        for symbol in word[:-1]:
+            parent = past.add_child(parent, symbol)
+        past.add_child(parent, word[-1], nid=n)
+    return past
+
+
+def implies_no_insert_linear(premises: ConstraintSet, current: DataTree,
+                             conclusion: UpdateConstraint) -> ImplicationResult:
+    """Exact all-``↓`` instance-based implication over ``XP{/,//,*}``."""
+    if any(c.type is not ConstraintType.NO_INSERT for c in premises):
+        raise FragmentError("linear instance engine requires all-no-insert premises")
+    if conclusion.type is not ConstraintType.NO_INSERT:
+        raise FragmentError("linear instance engine decides no-insert conclusions")
+    patterns = list(premises.ranges) + [conclusion.range]
+    for pattern in patterns:
+        if not is_linear(pattern):
+            raise FragmentError(f"{pattern} has predicates: not in XP{{/,//,*}}")
+    conclusion.require_concrete()
+    premises.require_concrete()
+    data_labels = {node.label for node in current.nodes()}
+    alphabet = engine_alphabet(patterns, extra=data_labels)
+    q = conclusion.range
+    range_hits = {c: evaluate_ids(c.range, current) for c in premises}
+    for node in sorted(evaluate_ids(q, current)):
+        hit = [c.range for c in premises if node in range_hits[c]]
+        if not hit:
+            past = _past_instance(current, node, None)
+            return not_implied(ENGINE, premises, conclusion,
+                               Counterexample(past, current, witness=node),
+                               reason=f"node {node} sits in no premise range")
+        word = _witness_word(hit, q, alphabet)
+        if word is not None:
+            past = _past_instance(current, node, word)
+            return not_implied(ENGINE, premises, conclusion,
+                               Counterexample(past, current, witness=node),
+                               reason=f"word {'/'.join(word)} realises ⋂Hit - q",
+                               word=word)
+    return implied(ENGINE, premises, conclusion,
+                   reason="for every node of q(J), ⋂Hit ⊆ q on words")

@@ -1,0 +1,178 @@
+"""Theorem 5.5: instance-based no-remove implication by possible embeddings.
+
+Setting: ``C`` all ``↑``, conclusion ``c = (q, ↑)``, current instance ``J``.
+A violation is a past instance ``I`` with a node ``n ∈ q(I)`` that is *not*
+in ``q(J)``, while every node of ``I`` keeps all its no-remove ranges into
+``J``.  Following the proof:
+
+* ``I`` can be taken to be a *possible embedding* of ``q``: a homomorphic
+  image of a canonical instantiation of ``q`` (no redundant nodes), with
+  wildcards drawn from the labels of ``J`` plus a fresh label and chain gaps
+  capped by the star length;
+* every node of ``I`` lying in some premise range must be *identified* with
+  a distinct node of ``J`` carrying the same label and at least the same
+  range memberships — a bipartite matching problem (solved exactly with
+  networkx's Hopcroft-Karp);
+* the witness node additionally must avoid ``q(J)`` (or stay fresh).
+
+Complexity matches the theorem: polynomial in ``|J|`` and ``|C|``,
+exponential in ``|c|`` (instantiations x sibling-merge quotients).
+
+Scope note (documented deviation): homomorphic images are enumerated as
+*sibling-label merges* of canonical instantiations.  This captures every
+quotient of a ground tree and is complete whenever ``q`` is linear or
+child-only; when ``q`` combines ``//`` with predicates, embeddings that
+route a descendant gap *through another predicate's concrete nodes* are not
+enumerated, so the engine may over-report implication on such queries.  The
+brute-force oracle tests pin down the fragments where exactness is claimed.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.implication.result import (
+    Counterexample,
+    ImplicationResult,
+    implied,
+    not_implied,
+)
+from repro.trees.ops import fresh_label_for, remap_ids
+from repro.trees.tree import DataTree
+from repro.xpath.canonical import canonical_models
+from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.properties import labels_of, max_star_length
+
+ENGINE = "instance-no-remove-embeddings"
+
+
+# ----------------------------------------------------------------------
+# Sibling-merge closure (homomorphic quotients of a ground tree)
+# ----------------------------------------------------------------------
+def merge_variants(tree: DataTree, output: int, budget: int = 512):
+    """Enumerate quotients of ``tree`` under same-label sibling merges.
+
+    Yields ``(tree, output)`` pairs, the original included, deduplicated by
+    shape.  Merging two same-labelled siblings redirects the children of one
+    under the other; the output node always survives a merge involving it.
+    """
+    seen: set[tuple] = set()
+    stack: list[tuple[DataTree, int]] = [(tree, output)]
+    produced = 0
+    while stack and produced < budget:
+        current, out = stack.pop()
+        key = _shape_key(current, out)
+        if key in seen:
+            continue
+        seen.add(key)
+        produced += 1
+        yield current, out
+        for parent in list(current.node_ids()):
+            kids = current.children(parent)
+            for i in range(len(kids)):
+                for j in range(i + 1, len(kids)):
+                    a, b = kids[i], kids[j]
+                    if current.label(a) != current.label(b):
+                        continue
+                    keep, drop = (a, b) if b != out else (b, a)
+                    merged = current.copy()
+                    for child in merged.children(drop):
+                        merged.move(child, keep)
+                    merged.remove_subtree(drop)
+                    stack.append((merged, out))
+
+
+def _shape_key(tree: DataTree, out: int) -> tuple:
+    def shape(nid: int) -> tuple:
+        kids = sorted(shape(c) for c in tree.children(nid))
+        return ((tree.label(nid), nid == out), tuple(kids))
+
+    return shape(tree.root)
+
+
+# ----------------------------------------------------------------------
+# Identification against J (bipartite matching)
+# ----------------------------------------------------------------------
+def _identify(candidate: DataTree, output: int, current: DataTree,
+              premises: ConstraintSet, q_answers: set[int]) -> dict[int, int] | None:
+    """Match obligation-carrying candidate nodes to distinct J-nodes.
+
+    Returns the id substitution (candidate id -> J id) or ``None``.
+    """
+    range_hits_j = {c: evaluate_ids(c.range, current) for c in premises}
+    range_hits_i = {c: evaluate_ids(c.range, candidate) for c in premises}
+    j_nodes = [nid for nid in current.node_ids() if nid != current.root]
+
+    graph = nx.Graph()
+    need: list[int] = []
+    for nid in candidate.node_ids():
+        if nid == candidate.root:
+            continue
+        obligations = [c for c in premises if nid in range_hits_i[c]]
+        if not obligations:
+            continue
+        need.append(nid)
+        label = candidate.label(nid)
+        for j in j_nodes:
+            if current.label(j) != label:
+                continue
+            if any(j not in range_hits_j[c] for c in obligations):
+                continue
+            if nid == output and j in q_answers:
+                continue  # the witness must not already satisfy q in J
+            graph.add_edge(("i", nid), ("j", j))
+    for nid in need:
+        if ("i", nid) not in graph:
+            return None
+    if not need:
+        return {}
+    matching = nx.algorithms.bipartite.maximum_matching(
+        graph, top_nodes=[("i", n) for n in need]
+    )
+    mapping: dict[int, int] = {}
+    for nid in need:
+        partner = matching.get(("i", nid))
+        if partner is None:
+            return None
+        mapping[nid] = partner[1]
+    return mapping
+
+
+def implies_no_remove(premises: ConstraintSet, current: DataTree,
+                      conclusion: UpdateConstraint,
+                      merge_budget: int = 512) -> ImplicationResult:
+    """Instance-based implication for an all-``↑`` problem (Theorem 5.5)."""
+    if any(c.type is not ConstraintType.NO_REMOVE for c in premises):
+        raise FragmentError("no-remove engine requires an all-no-remove premise set")
+    if conclusion.type is not ConstraintType.NO_REMOVE:
+        raise FragmentError("no-remove engine decides no-remove conclusions")
+    conclusion.require_concrete()
+    premises.require_concrete()
+    q = conclusion.range
+    cap = max_star_length(list(premises.ranges) + [q]) + 1
+    data_labels = {node.label for node in current.nodes() if node.nid != current.root}
+    fresh = fresh_label_for(labels_of(q, *premises.ranges) | data_labels)
+    wildcard_labels = sorted(data_labels) + [fresh]
+    q_answers = evaluate_ids(q, current)
+
+    checked = 0
+    for model in canonical_models(q, cap, wildcard_labels=wildcard_labels, fresh=fresh):
+        for candidate, output in merge_variants(model.tree, model.output,
+                                                budget=merge_budget):
+            checked += 1
+            mapping = _identify(candidate, output, current, premises, q_answers)
+            if mapping is None:
+                continue
+            past = remap_ids(candidate, mapping)
+            witness = mapping.get(output, output)
+            return not_implied(ENGINE, premises, conclusion,
+                               Counterexample(past, current, witness=witness),
+                               reason="a possible embedding of q admits a "
+                                      "consistent identification against J",
+                               candidates_checked=checked)
+    return implied(ENGINE, premises, conclusion,
+                   reason="no possible embedding of q can be identified "
+                          "consistently with J",
+                   candidates_checked=checked)

@@ -1,0 +1,107 @@
+"""Bounded counterexample search for mixed-type instance problems.
+
+The mixed-type cells of Table 2 are coNP-complete already for ``XP{/,[]}``
+(Theorem 5.2), and unlike the general-implication case no fragment
+restriction rescues tractability.  The hybrid engine therefore combines
+
+* the *sound* subset test — ``C' ⊆ C`` and ``C' ⊨_J c`` imply ``C ⊨_J c`` —
+  instantiated with the same-type premises and their exact engines, and
+* a *sound* refutation search over structured candidate pasts, each
+  validated by the independent checker before being returned.
+
+Candidate families (for a no-insert conclusion; the no-remove side mirrors
+via the embedding engine):
+
+1. single relocations — the certificates of the pure no-insert engine,
+   re-checked against the full premise set;
+2. bounded cascades — up to ``max_moves`` nodes of ``J`` relocated /
+   replaced simultaneously, the discrete analogue of Theorem 5.2's
+   "shuffle the truth assignments" counterexamples.
+
+The search never lies: an exhausted budget yields ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.constraints.validity import is_valid, violation_of
+from repro.implication.result import Counterexample
+from repro.trees.tree import DataTree
+
+
+def _candidate_is_refutation(past: DataTree, current: DataTree,
+                             premises: ConstraintSet,
+                             conclusion: UpdateConstraint) -> bool:
+    return (
+        violation_of(past, current, conclusion) is not None
+        and is_valid(past, current, premises)
+    )
+
+
+def single_relocation_candidates(current: DataTree, conclusion: UpdateConstraint,
+                                 premises: ConstraintSet):
+    """Pasts produced by the pure engines' constructions, to be re-checked."""
+    from repro.constraints.model import ConstraintType
+    from repro.instance.no_insert_engine import implies_no_insert
+    from repro.instance.no_remove_engine import implies_no_remove
+
+    same = premises.of_type(conclusion.type)
+    if conclusion.type is ConstraintType.NO_INSERT:
+        outcome = implies_no_insert(same, current, conclusion)
+    else:
+        outcome = implies_no_remove(same, current, conclusion)
+    if outcome.counterexample is not None:
+        yield outcome.counterexample.before, outcome.counterexample.witness
+
+
+def cascade_candidates(current: DataTree, max_moves: int, budget: int):
+    """Pasts obtained by relocating up to ``max_moves`` nodes of ``J``.
+
+    Relocation targets are other nodes of the tree (including the root);
+    self- and descendant-targets are skipped.  ``budget`` caps the number of
+    candidates generated.
+    """
+    movable = [nid for nid in current.node_ids() if nid != current.root]
+    produced = 0
+    for count in range(1, max_moves + 1):
+        for nodes in combinations(movable, count):
+            targets = [nid for nid in current.node_ids()]
+            for assignment in _assignments(nodes, targets):
+                candidate = current.copy()
+                try:
+                    for nid, target in assignment:
+                        candidate.move(nid, target)
+                except Exception:
+                    continue
+                produced += 1
+                yield candidate, None
+                if produced >= budget:
+                    return
+
+
+def _assignments(nodes, targets):
+    if not nodes:
+        yield ()
+        return
+    head, *rest = nodes
+    for target in targets:
+        if target == head:
+            continue
+        for tail in _assignments(rest, targets):
+            yield ((head, target),) + tail
+
+
+def bounded_refutation(premises: ConstraintSet, current: DataTree,
+                       conclusion: UpdateConstraint,
+                       max_moves: int = 2, budget: int = 5000
+                       ) -> Counterexample | None:
+    """Search the candidate families; return a *validated* certificate."""
+    for past, witness in single_relocation_candidates(current, conclusion, premises):
+        if _candidate_is_refutation(past, current, premises, conclusion):
+            return Counterexample(past, current, witness=witness)
+    for past, witness in cascade_candidates(current, max_moves, budget):
+        if _candidate_is_refutation(past, current, premises, conclusion):
+            return Counterexample(past, current, witness=witness)
+    return None

@@ -1,0 +1,56 @@
+"""DTDs + unary regular keys substrate (Section 3.2 / Theorem 4.2)."""
+
+from repro.keys.dtd import DTD, flat_star_dtd
+from repro.keys.encoding import (
+    annotation_is_consistent,
+    branch_path,
+    consistent_annotations,
+    encode_constraints,
+    encode_pair,
+    encoding_alphabet,
+    pair_satisfies_encoding,
+    pattern_closure,
+    reg,
+)
+from repro.keys.regex import (
+    AnyOf,
+    Alt,
+    Epsilon,
+    Plus,
+    Regex,
+    Seq,
+    Star,
+    Sym,
+    alt,
+    any_of,
+    plus,
+    seq,
+    star,
+    sym,
+)
+from repro.keys.regular import (
+    AttributedTree,
+    RegularInclusion,
+    RegularKey,
+    check_all,
+)
+
+__all__ = [
+    "DTD",
+    "flat_star_dtd",
+    "Regex", "Sym", "AnyOf", "Seq", "Alt", "Star", "Plus", "Epsilon",
+    "sym", "any_of", "seq", "alt", "star", "plus",
+    "AttributedTree",
+    "RegularKey",
+    "RegularInclusion",
+    "check_all",
+    "reg",
+    "branch_path",
+    "encode_pair",
+    "encode_constraints",
+    "encoding_alphabet",
+    "pair_satisfies_encoding",
+    "pattern_closure",
+    "annotation_is_consistent",
+    "consistent_annotations",
+]

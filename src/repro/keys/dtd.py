@@ -1,0 +1,74 @@
+"""Document Type Definitions over label alphabets.
+
+A DTD maps each element type to a content model — a regular expression over
+element types that the sequence of a node's children must match (the paper
+treats documents as unordered, and all DTDs it builds use order-insensitive
+models of the shape ``(l1 | ... | lk)*``, so the insertion order of our
+trees is an innocuous proxy for a linearisation).
+
+Used by the Section 3.2 / Theorem 4.2 encoding of update-constraint
+implication into consistency of DTDs with unary regular key constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.keys.regex import Regex, star, any_of
+from repro.trees.tree import DataTree
+
+
+@dataclass
+class DTD:
+    """Element types with content models; ``root_type`` anchors conformance."""
+
+    root_type: str
+    productions: dict[str, Regex] = field(default_factory=dict)
+    alphabet: tuple[str, ...] = ()
+
+    def define(self, label: str, model: Regex) -> "DTD":
+        self.productions[label] = model
+        return self
+
+    def _resolved_alphabet(self) -> tuple[str, ...]:
+        if self.alphabet:
+            return self.alphabet
+        return tuple(sorted(self.productions))
+
+    def check(self, tree: DataTree) -> list[str]:
+        """All conformance violations (empty list = the tree conforms)."""
+        problems: list[str] = []
+        alphabet = self._resolved_alphabet()
+        if tree.label(tree.root) != self.root_type:
+            problems.append(
+                f"root has type {tree.label(tree.root)!r}, expected {self.root_type!r}"
+            )
+        for nid in tree.node_ids():
+            label = tree.label(nid)
+            model = self.productions.get(label)
+            if model is None:
+                problems.append(f"no production for element type {label!r} (node {nid})")
+                continue
+            children = [tree.label(c) for c in tree.children(nid)]
+            if any(c not in alphabet for c in children):
+                unknown = [c for c in children if c not in alphabet]
+                problems.append(f"node {nid}: child types {unknown} outside the DTD")
+                continue
+            if not model.matches(children, alphabet):
+                problems.append(
+                    f"node {nid} ({label}): children {children} violate the content model"
+                )
+        return problems
+
+    def conforms(self, tree: DataTree) -> bool:
+        return not self.check(tree)
+
+
+def flat_star_dtd(root_type: str, element_types: list[str]) -> DTD:
+    """The paper's workhorse DTD: every element allows ``(l1|...|lk)*``."""
+    dtd = DTD(root_type, alphabet=tuple(sorted({root_type, *element_types})))
+    model = star(any_of(*element_types))
+    dtd.define(root_type, model)
+    for label in element_types:
+        dtd.define(label, model)
+    return dtd

@@ -1,0 +1,246 @@
+"""Encoding update-constraint problems into DTDs + regular keys.
+
+This is the machinery of Example 3.1 and the linear-path part of the proof
+of Theorem 4.2: an update pair ``(I, J)`` (optionally with a witness node)
+becomes a single document with branches ``I``, ``J`` and ``witness``; node
+identity becomes the ``@id`` attribute; and
+
+* two *keys* state that no identifier repeats within a branch,
+* each no-remove constraint ``(q, ↑)`` becomes the unary foreign key
+  ``root.I.reg(q).@id ⊆ root.J.reg(q).@id`` (no-insert mirrored),
+* the witness constraints pin a node violating the conclusion.
+
+``encode_pair`` + ``pair_satisfies_encoding`` realise the equivalence the
+paper states: *(I, J) is valid for C iff the encoded document satisfies the
+encoded constraints* — the test-suite checks it on random pairs.
+
+For ranges with predicates the proof's *annotated labels* are needed; the
+functions :func:`pattern_closure` and :func:`consistent_annotations`
+implement that machinery (the set ``P`` of sub-patterns and the consistency
+filter over annotations), exposing the exponential blow-up that drives the
+NEXPTIME upper bound — benchmarked in ``benchmarks/bench_keys.py``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable, Sequence
+
+from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
+from repro.errors import FragmentError
+from repro.keys.regex import AnyOf, Regex, Star, any_of, seq, star, sym
+from repro.keys.regular import (
+    AttributedTree,
+    RegularInclusion,
+    RegularKey,
+    check_all,
+)
+from repro.trees.ops import collect_labels, fresh_label_for
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Axis, Pattern, Pred, Step
+from repro.xpath.containment import contained
+from repro.xpath.properties import is_linear, labels_of
+
+
+# ----------------------------------------------------------------------
+# reg(q): linear patterns to path regexes (proof of Theorem 4.2, step 1)
+# ----------------------------------------------------------------------
+def reg(pattern: Pattern) -> Regex:
+    """The paper's ``reg(q)``: '/'->concatenation, '*'->any, '//'->gap."""
+    if not is_linear(pattern):
+        raise FragmentError("reg(q) is defined for linear paths; predicates "
+                            "need the annotated-label construction")
+    parts: list[Regex] = []
+    for step in pattern.steps:
+        if step.axis is Axis.DESC:
+            parts.append(Star(AnyOf()))
+        parts.append(AnyOf() if step.label is None else sym(step.label))
+    return seq(*parts)
+
+
+def branch_path(branch: str, pattern: Pattern) -> Regex:
+    """``root.<branch>.reg(q)`` — paths are rooted under a branch marker."""
+    return seq(sym(branch), reg(pattern))
+
+
+# ----------------------------------------------------------------------
+# The φ transformation and the constraint emission
+# ----------------------------------------------------------------------
+def encode_pair(before: DataTree, after: DataTree,
+                witness: int | None = None) -> AttributedTree:
+    """``φ(I, J, n)``: one document with I / J / witness branches.
+
+    Original node identifiers become ``@id`` values; the document's own
+    node ids are fresh.
+    """
+    from repro.trees.ops import copy_subtree
+
+    doc = DataTree("doc")
+    id_attr: dict[int, int] = {}
+    for branch_label, source in (("I", before), ("J", after)):
+        anchor = doc.add_child(doc.root, branch_label)
+        for top in source.children(source.root):
+            mapping = copy_subtree(source, top, doc, anchor, fresh=True)
+            for original, copied in mapping.items():
+                id_attr[copied] = original
+    if witness is not None:
+        w_anchor = doc.add_child(doc.root, "witness")
+        marker = doc.add_child(w_anchor, "Id")
+        id_attr[marker] = witness
+    return AttributedTree(doc, id_attr)
+
+
+def encoding_alphabet(premises: ConstraintSet, conclusion: UpdateConstraint,
+                      *trees: DataTree) -> tuple[str, ...]:
+    labels = labels_of(conclusion.range, *premises.ranges)
+    labels |= collect_labels(*trees)
+    labels.add(fresh_label_for(labels))
+    return tuple(sorted(labels | {"I", "J", "witness", "Id"}))
+
+
+def encode_constraints(premises: ConstraintSet, conclusion: UpdateConstraint | None,
+                       ) -> list[RegularKey | RegularInclusion]:
+    """The regular constraint set Σ of the proof (keys 4-5, inclusions 6-7,
+    witness constraints 8-9 when a conclusion is supplied)."""
+    in_branch = seq(sym("I"), AnyOf(), Star(AnyOf()))
+    in_branch_j = seq(sym("J"), AnyOf(), Star(AnyOf()))
+    constraints: list[RegularKey | RegularInclusion] = [
+        RegularKey("key-I", in_branch),
+        RegularKey("key-J", in_branch_j),
+    ]
+    for i, constraint in enumerate(premises):
+        if constraint.type is ConstraintType.NO_REMOVE:
+            constraints.append(RegularInclusion(
+                f"up-{i}", branch_path("I", constraint.range),
+                branch_path("J", constraint.range)))
+        else:
+            constraints.append(RegularInclusion(
+                f"down-{i}", branch_path("J", constraint.range),
+                branch_path("I", constraint.range)))
+    if conclusion is not None:
+        source_branch = "I" if conclusion.type is ConstraintType.NO_REMOVE else "J"
+        other_branch = "J" if source_branch == "I" else "I"
+        constraints.append(RegularInclusion(
+            "witness-in-range",
+            seq(sym("witness"), sym("Id")),
+            branch_path(source_branch, conclusion.range)))
+        # The witness id must be *absent* from the other branch's range —
+        # expressed in the paper as a key over the union of the two paths.
+        constraints.append(_WitnessExclusion(
+            "witness-escapes", branch_path(other_branch, conclusion.range)))
+    return constraints
+
+
+class _WitnessExclusion(RegularInclusion):
+    """Constraint (9): witness id and the opposite range share no id.
+
+    The paper states it as a key over ``witness | J.reg(q)``; checking it
+    directly is clearer: no id on the excluded path equals the witness id.
+    """
+
+    def __init__(self, name: str, excluded: Regex):
+        super().__init__(name, seq(sym("witness"), sym("Id")), excluded)
+
+    def violations(self, doc: AttributedTree, alphabet: tuple[str, ...]) -> list[str]:
+        witness_values = set(doc.id_values(self.source, alphabet))
+        clashing = witness_values & set(doc.id_values(self.target, alphabet))
+        return [f"{self.name}: witness @id={v} also lies in the excluded range"
+                for v in sorted(clashing)]
+
+
+def pair_satisfies_encoding(premises: ConstraintSet, before: DataTree,
+                            after: DataTree) -> bool:
+    """Does the encoded φ-document satisfy the encoded premise constraints?
+
+    Equivalent to ``(I, J) ⊨ C`` for linear premises (Example 3.1's claim).
+    """
+    doc = encode_pair(before, after)
+    alphabet = tuple(sorted(
+        {"I", "J", "witness", "Id"} | collect_labels(before, after)
+        | labels_of(*premises.ranges)
+    ))
+    return not check_all(doc, alphabet, encode_constraints(premises, None))
+
+
+# ----------------------------------------------------------------------
+# Annotated labels (proof of Theorem 4.2, predicate case)
+# ----------------------------------------------------------------------
+def pattern_closure(patterns: Iterable[Pattern], labels: Sequence[str]
+                    ) -> list[Pred]:
+    """The set ``P`` of Section 4.2: all boolean sub-patterns plus derived ones.
+
+    For each sub-path starting with an edge we include it as a boolean
+    pattern; descendant-rooted patterns additionally spawn their child-
+    rooted versions and one ``/l//rest`` version per label; wildcard-rooted
+    child patterns spawn one ``/l rest`` version per label.
+    """
+    found: set[Pred] = set()
+
+    def visit(pred: Pred) -> None:
+        if pred in found:
+            return
+        found.add(pred)
+        if pred.axis is Axis.DESC:
+            visit(Pred(Axis.CHILD, pred.label, pred.children))
+            for label in labels:
+                visit(Pred(Axis.CHILD, label, (Pred(Axis.DESC, pred.label,
+                                                    pred.children),)))
+        if pred.axis is Axis.CHILD and pred.label is None:
+            for label in labels:
+                visit(Pred(Axis.CHILD, label, pred.children))
+        for child in pred.children:
+            visit(child)
+
+    for pattern in patterns:
+        boolean = pattern.as_boolean()
+        # every suffix of the spine is a sub-pattern anchored one level up
+        current = boolean
+        while True:
+            visit(current)
+            spine_children = [c for c in current.children]
+            if not spine_children:
+                break
+            # descend along the first child chain (the spine continuation)
+            current = spine_children[-1]
+    return sorted(found, key=lambda p: p.sort_key())
+
+
+def _conjunction_pattern(preds: Sequence[Pred], anchor: str) -> Pattern:
+    return Pattern((Step(Axis.CHILD, anchor, tuple(preds)),))
+
+
+def annotation_is_consistent(included: Sequence[Pred], universe: Sequence[Pred],
+                             anchor: str = "anchorlbl") -> bool:
+    """Is an annotation consistent (no excluded pattern is implied)?
+
+    ``m`` is consistent when for every ``p ∈ P - m`` the conjunction of the
+    included patterns does not imply ``p`` — decided by exact containment
+    on the anchored patterns.
+    """
+    if not included:
+        return True
+    base = _conjunction_pattern(included, anchor)
+    for pred in universe:
+        if pred in included:
+            continue
+        if contained(base, _conjunction_pattern([pred], anchor)):
+            return False
+    return True
+
+
+def consistent_annotations(universe: Sequence[Pred], limit: int | None = None,
+                           max_size: int | None = None) -> list[tuple[Pred, ...]]:
+    """Enumerate consistent annotations over ``P`` (budgeted).
+
+    The count is exponential in ``|P|`` — exactly the blow-up behind the
+    NEXPTIME upper bound; the benchmark measures its growth.
+    """
+    results: list[tuple[Pred, ...]] = []
+    sizes = range(0, (max_size if max_size is not None else len(universe)) + 1)
+    for size in sizes:
+        for subset in combinations(universe, size):
+            if annotation_is_consistent(subset, universe):
+                results.append(subset)
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results

@@ -1,0 +1,92 @@
+"""Unary regular key and foreign key constraints (Section 3.2).
+
+Following [Arenas-Fan-Libkin] as the paper uses them: a *key*
+``β.@id → β`` states that no two distinct nodes on a path matching the
+regular expression ``β`` share an ``id`` value; a *foreign key* (inclusion)
+``β1.@id ⊆ β2.@id`` states that every ``id`` value found on ``β1`` also
+occurs on ``β2``.
+
+The paper encodes node identity as an ``@id`` attribute; here an
+:class:`AttributedTree` carries the attribute map explicitly, because the
+encoded document intentionally repeats identifier *values* across its ``I``
+and ``J`` branches while our :class:`DataTree` node ids stay unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.keys.regex import Regex
+from repro.trees.tree import DataTree
+
+
+@dataclass
+class AttributedTree:
+    """A data tree plus an ``@id`` attribute valuation."""
+
+    tree: DataTree
+    id_attr: dict[int, int] = field(default_factory=dict)
+
+    def nodes_matching(self, path: Regex, alphabet: tuple[str, ...]) -> list[int]:
+        """Nodes whose root-to-node label word matches ``path``."""
+        dfa = path.to_dfa(alphabet)
+        hits: list[int] = []
+        for nid in self.tree.node_ids():
+            if nid == self.tree.root:
+                continue
+            if dfa.accepts(self.tree.path_labels(nid)):
+                hits.append(nid)
+        return hits
+
+    def id_values(self, path: Regex, alphabet: tuple[str, ...]) -> list[int]:
+        return [self.id_attr[n] for n in self.nodes_matching(path, alphabet)
+                if n in self.id_attr]
+
+
+@dataclass(frozen=True)
+class RegularKey:
+    """``path.@id → path``: the id attribute is a key on the path."""
+
+    name: str
+    path: Regex
+
+    def violations(self, doc: AttributedTree, alphabet: tuple[str, ...]) -> list[str]:
+        seen: dict[int, int] = {}
+        problems: list[str] = []
+        for nid in doc.nodes_matching(self.path, alphabet):
+            value = doc.id_attr.get(nid)
+            if value is None:
+                problems.append(f"{self.name}: node {nid} lacks an @id")
+                continue
+            if value in seen and seen[value] != nid:
+                problems.append(
+                    f"{self.name}: nodes {seen[value]} and {nid} share @id={value}"
+                )
+            seen.setdefault(value, nid)
+        return problems
+
+
+@dataclass(frozen=True)
+class RegularInclusion:
+    """``source.@id ⊆ target.@id``: a unary foreign key."""
+
+    name: str
+    source: Regex
+    target: Regex
+
+    def violations(self, doc: AttributedTree, alphabet: tuple[str, ...]) -> list[str]:
+        target_values = set(doc.id_values(self.target, alphabet))
+        problems = []
+        for value in doc.id_values(self.source, alphabet):
+            if value not in target_values:
+                problems.append(f"{self.name}: @id={value} missing from the target path")
+        return problems
+
+
+def check_all(doc: AttributedTree, alphabet: tuple[str, ...],
+              constraints: list[RegularKey | RegularInclusion]) -> list[str]:
+    """All violations across a constraint collection."""
+    problems: list[str] = []
+    for constraint in constraints:
+        problems.extend(constraint.violations(doc, alphabet))
+    return problems

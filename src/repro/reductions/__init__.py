@@ -1,0 +1,43 @@
+"""The paper's coNP-hardness reductions (Theorems 4.6, 5.2, 5.6)."""
+
+from repro.reductions.cnf import (
+    CNF,
+    EXAMPLE_SAT,
+    EXAMPLE_UNSAT,
+    Literal,
+    clause,
+    cnf,
+    random_3cnf,
+)
+from repro.reductions.general_hardness import (
+    GeneralHardnessProblem,
+    build_problem,
+    pair_from_assignment,
+)
+from repro.reductions.instance_hardness import (
+    InstanceHardnessProblem,
+    build_current_instance,
+    build_premises,
+    past_from_assignment,
+    theorem_52_problem,
+    theorem_56_problem,
+)
+
+__all__ = [
+    "CNF",
+    "Literal",
+    "clause",
+    "cnf",
+    "random_3cnf",
+    "EXAMPLE_SAT",
+    "EXAMPLE_UNSAT",
+    "GeneralHardnessProblem",
+    "build_problem",
+    "pair_from_assignment",
+    "InstanceHardnessProblem",
+    "theorem_52_problem",
+    "theorem_56_problem",
+    "build_current_instance",
+    "build_premises",
+    "past_from_assignment",
+]

@@ -1,0 +1,101 @@
+"""3CNF formulas with a brute-force satisfiability oracle.
+
+The coNP-hardness proofs of Theorems 4.6, 5.2 and 5.6 reduce from 3CNF
+unsatisfiability.  The reduction generators consume this representation;
+the exhaustive SAT oracle supplies ground truth for the (tiny) formulas the
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from collections.abc import Iterator
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal: variable index (1-based) and polarity."""
+
+    var: int
+    positive: bool
+
+    def holds(self, assignment: dict[int, bool]) -> bool:
+        return assignment[self.var] == self.positive
+
+    def __str__(self) -> str:
+        return ("x" if self.positive else "¬x") + str(self.var)
+
+
+Clause = tuple[Literal, Literal, Literal]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A 3CNF formula over variables ``x1 .. xn``."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if not 1 <= literal.var <= self.n_vars:
+                    raise ValueError(f"literal {literal} out of range")
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return all(any(lit.holds(assignment) for lit in clause)
+                   for clause in self.clauses)
+
+    def assignments(self) -> Iterator[dict[int, bool]]:
+        for values in product((False, True), repeat=self.n_vars):
+            yield {i + 1: value for i, value in enumerate(values)}
+
+    def satisfying_assignment(self) -> dict[int, bool] | None:
+        for assignment in self.assignments():
+            if self.evaluate(assignment):
+                return assignment
+        return None
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.satisfying_assignment() is not None
+
+    def __str__(self) -> str:
+        return " ∧ ".join(
+            "(" + " ∨ ".join(str(lit) for lit in clause) + ")"
+            for clause in self.clauses
+        )
+
+
+def clause(*spec: int) -> Clause:
+    """Build a clause from signed variable indices, e.g. ``clause(1, -2, 3)``."""
+    if len(spec) != 3:
+        raise ValueError("3CNF clauses have exactly three literals")
+    return tuple(Literal(abs(v), v > 0) for v in spec)  # type: ignore[return-value]
+
+
+def cnf(n_vars: int, *clauses: Clause) -> CNF:
+    return CNF(n_vars, tuple(clauses))
+
+
+def random_3cnf(rng: random.Random, n_vars: int, n_clauses: int) -> CNF:
+    """A uniformly random 3CNF formula (variables may repeat in a clause)."""
+    clauses = []
+    for _ in range(n_clauses):
+        vars_ = rng.sample(range(1, n_vars + 1), k=min(3, n_vars))
+        while len(vars_) < 3:
+            vars_.append(rng.randint(1, n_vars))
+        clauses.append(tuple(
+            Literal(v, rng.random() < 0.5) for v in vars_
+        ))
+    return CNF(n_vars, tuple(clauses))  # type: ignore[arg-type]
+
+
+# Canonical tiny examples used across tests and benchmarks.
+EXAMPLE_SAT = cnf(3, clause(1, -2, 3), clause(-1, 2, 3))
+EXAMPLE_UNSAT = cnf(
+    2,
+    clause(1, 1, 2), clause(1, 1, -2), clause(-1, -1, 2), clause(-1, -1, -2),
+)

@@ -1,0 +1,187 @@
+"""Theorem 4.6: coNP-hardness of general implication for ``XP{/,[],//}``.
+
+From a 3CNF formula over ``x1..xn`` the reduction emits a premise set ``C``
+and conclusion ``c`` such that ``C ⊨ c`` iff the formula is unsatisfiable.
+The conclusion range is one long path::
+
+    /s/x1//x2//...//xn//m//x1//+//-//x2//+//-//...//xn//+//-//e    (↑)
+
+To delete the ``e`` node one must reshuffle the ``+``/``-`` nodes between
+the two halves of the path (the ``m`` node splits them), and the premises
+conspire so that the only legal shuffles are *perfect splits* encoding
+satisfying assignments — each clause contributes two no-insert constraints
+ruling out splits that leave it unsatisfied in the upper half.
+
+As with the instance-based reduction, the satisfiable direction is
+constructive: :func:`pair_from_assignment` materialises the counterexample
+update pair the proof describes (assignment signs move into the upper
+half), and the tests verify it against the independent validity checker.
+The generated problems also drive the NEXPTIME-cell benchmarks: they are
+mixed-type, with predicates and descendant edges — exactly the fragment
+where the paper's upper bound explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.model import (
+    ConstraintSet,
+    UpdateConstraint,
+    no_insert,
+    no_remove,
+)
+from repro.reductions.cnf import CNF
+from repro.trees.tree import DataTree
+
+
+@dataclass(frozen=True)
+class GeneralHardnessProblem:
+    """One generated instance of the Theorem 4.6 reduction."""
+
+    formula: CNF
+    premises: ConstraintSet
+    conclusion: UpdateConstraint
+
+
+def _x(i: int) -> str:
+    return f"x{i}"
+
+
+def _conclusion_path(n: int) -> str:
+    upper = "/s/" + _x(1) + "".join(f"//{_x(i)}" for i in range(2, n + 1))
+    lower = "".join(f"//{_x(i)}//+//-" for i in range(1, n + 1))
+    return f"{upper}//m{lower}//e"
+
+
+def _sub_path(n: int) -> str:
+    """The sub-pattern ``p`` following ``s`` in the conclusion range."""
+    upper = f"//{_x(1)}" + "".join(f"//{_x(i)}" for i in range(2, n + 1))
+    lower = "".join(f"//{_x(i)}//+//-" for i in range(1, n + 1))
+    return f"{upper}//m{lower}//e"
+
+
+def build_problem(formula: CNF) -> GeneralHardnessProblem:
+    """Emit ``(C, c)`` with ``C ⊨ c`` iff ``formula`` is unsatisfiable."""
+    n = formula.n_vars
+    p = _sub_path(n)
+    constraints: list[UpdateConstraint] = []
+
+    # Group 1: the path to e in I is clean (no stray x/m/sign nodes in gaps).
+    constraints.append(no_remove(f"/s[//m//m]{p}"))
+    for i in range(1, n + 1):
+        constraints.append(no_remove(f"/s[//{_x(i)}//{_x(i)}//m]{p}"))
+        constraints.append(no_remove(f"/s[//m//{_x(i)}//{_x(i)}]{p}"))
+        for j in range(1, i):
+            constraints.append(no_remove(f"/s[//{_x(i)}//{_x(j)}//m]{p}"))
+            constraints.append(no_remove(f"/s[//m//{_x(i)}//{_x(j)}]{p}"))
+    constraints.append(no_remove(f"/s[//+//m]{p}"))
+    constraints.append(no_remove(f"/s[//-//m]{p}"))
+    for i in range(1, n):
+        constraints.append(no_remove(f"/s[//m//{_x(i)}//+//+//{_x(i + 1)}]{p}"))
+        constraints.append(no_remove(f"/s[//m//{_x(i)}//-//-//{_x(i + 1)}]{p}"))
+
+    # e itself must stay on the general path.
+    skeleton = "/s//" + "//".join(_x(i) for i in range(1, n + 1)) + "//m//" + \
+        "//".join(_x(i) for i in range(1, n + 1)) + "//e"
+    constraints.append(no_remove(skeleton))
+
+    # Structure of the path to e in J.
+    constraints.append(no_insert("/s//m//m//e"))
+    for i in range(1, n + 1):
+        constraints.append(no_insert(f"/s//{_x(i)}//{_x(i)}//m//e"))
+        constraints.append(no_insert(f"/s//m//{_x(i)}//{_x(i)}//e"))
+
+    # All n +'s and -'s stay on the path.
+    constraints.append(no_remove("/s" + "//+" * n + "//e"))
+    constraints.append(no_remove("/s" + "//-" * n + "//e"))
+
+    # At most one sign between consecutive x's in the upper half...
+    for i in range(1, n):
+        for s1, s2 in ("++", "--", "+-", "-+"):
+            constraints.append(
+                no_insert(f"/s//{_x(i)}//{s1}//{s2}//{_x(i + 1)}//m//e"))
+    # ... and in the lower half no two same signs nor '-' before '+'.
+    for i in range(1, n):
+        for s1, s2 in ("++", "--", "-+"):
+            constraints.append(
+                no_insert(f"/s//m//{_x(i)}//{s1}//{s2}//{_x(i + 1)}//e"))
+
+    # Moving any sign up forces a perfect split.
+    for j in range(1, n):
+        constraints.append(no_insert(f"/s//+//m//{_x(j)}//+//-//{_x(j + 1)}//e"))
+        constraints.append(no_insert(f"/s//-//m//{_x(j)}//+//-//{_x(j + 1)}//e"))
+
+    # Clause constraints: the satisfying signs cannot all stay in the lower
+    # half (i.e. at least one satisfying literal moved to the upper half).
+    for clause_ in formula.clauses:
+        unique = {(lit.var, lit.positive) for lit in clause_}
+        if len({var for var, _ in unique}) < len(unique):
+            continue  # tautological clause (x and ¬x): always satisfied
+        by_var = sorted(set(clause_), key=lambda lit: lit.var)
+        inner = ""
+        last_boundary: int | None = None
+        for lit in by_var:
+            sign = "+" if lit.positive else "-"
+            if last_boundary != lit.var:
+                inner += f"//{_x(lit.var)}"
+            inner += f"//{sign}"
+            nxt = lit.var + 1
+            if nxt <= n:
+                inner += f"//{_x(nxt)}"
+                last_boundary = nxt
+            else:
+                last_boundary = None
+        for lead in "+-":
+            constraints.append(no_insert(f"/s//{lead}//m{inner}//e"))
+
+    conclusion = no_remove(_conclusion_path(n))
+    return GeneralHardnessProblem(formula, ConstraintSet(constraints), conclusion)
+
+
+def pair_from_assignment(problem: GeneralHardnessProblem,
+                         assignment: dict[int, bool]) -> tuple[DataTree, DataTree, int]:
+    """The counterexample update pair encoded by a satisfying assignment.
+
+    ``I`` is the clean conclusion path (upper half sign-free, lower half
+    ``xi, +, -`` triplets); ``J`` moves, for each variable, its satisfying
+    sign into the upper half right below ``xi``.  Returns ``(I, J, e_id)``.
+    """
+    n = problem.formula.n_vars
+    before = DataTree()
+    s_node = before.add_child(before.root, "s")
+    parent = s_node
+    upper_x: dict[int, int] = {}
+    lower_x: dict[int, int] = {}
+    for i in range(1, n + 1):
+        parent = before.add_child(parent, _x(i))
+        upper_x[i] = parent
+    m_node = before.add_child(parent, "m")
+    parent = m_node
+    signs: dict[tuple[int, str], int] = {}
+    for i in range(1, n + 1):
+        parent = before.add_child(parent, _x(i))
+        lower_x[i] = parent
+        plus = before.add_child(parent, "+")
+        minus = before.add_child(plus, "-")
+        signs[(i, "+")] = plus
+        signs[(i, "-")] = minus
+        parent = minus
+    e_node = before.add_child(parent, "e")
+
+    # J is rebuilt as a single path with the same identifiers, the
+    # satisfying sign of each variable relocated to the upper half.
+    after = DataTree()
+    order: list[int] = [s_node]
+    for i in range(1, n + 1):
+        good = "+" if assignment[i] else "-"
+        order.extend([upper_x[i], signs[(i, good)]])
+    order.append(m_node)
+    for i in range(1, n + 1):
+        bad = "-" if assignment[i] else "+"
+        order.extend([lower_x[i], signs[(i, bad)]])
+    order.append(e_node)
+    parent = after.root
+    for nid in order:
+        parent = after.add_child(parent, before.label(nid), nid=nid)
+    return before, after, e_node

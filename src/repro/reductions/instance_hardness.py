@@ -1,0 +1,173 @@
+"""Theorem 5.2 (and 5.6): coNP-hardness of instance-based implication.
+
+The reduction builds, from a 3CNF formula ``f`` over ``x1..xn``, the current
+instance ``J`` of Figure 6::
+
+    root ── a ── 1                      root ── a ── 2
+            ├── v(x1, +, -)                    ├── v(x1)
+            ├── v(x2, +, -)                    ├── v(x2)
+            └── ...                            └── ...
+
+together with immutability constraints freezing the skeleton, constraints
+forcing every variable of the ``a1`` branch to have kept at least one truth
+value, and one no-remove constraint per clause whose *empty* answer in ``J``
+forces at least one satisfying literal of the clause into the ``a1`` branch
+of any legal past.  Then::
+
+    C ⊨_J (/a[/1][/v[/+][/-]], ↓)    iff    f is unsatisfiable
+
+The reduction is *constructive in the satisfiable direction*: from a
+satisfying assignment, :func:`past_from_assignment` produces the explicit
+past instance ``I`` (truth values split between the branches according to
+the assignment) that the proof describes, and the test-suite verifies with
+the independent checker that ``(I, J)`` is valid and violates ``c``.
+
+:func:`theorem_56_problem` is the ``↑``-conclusion variant the paper uses to
+adapt the proof (end of Theorem 5.2, reused by Theorem 5.6): a ``w`` marker
+is added under ``a2`` and the conclusion becomes ``(/a[/1][/w], ↑)``.  The
+fully no-remove premise rewriting of Theorem 5.6 is only sketched in the
+paper ("c will now be as big as J") and is reproduced here at the level of
+that sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.model import (
+    ConstraintSet,
+    UpdateConstraint,
+    immutable,
+    no_insert,
+    no_remove,
+)
+from repro.reductions.cnf import CNF
+from repro.trees.builders import Spec, branch, build
+from repro.trees.tree import DataTree
+
+
+@dataclass(frozen=True)
+class InstanceHardnessProblem:
+    """One generated instance of the Theorem 5.2 reduction."""
+
+    formula: CNF
+    premises: ConstraintSet
+    current: DataTree
+    conclusion: UpdateConstraint
+    plus_ids: dict[int, int]   # variable -> id of its '+' node
+    minus_ids: dict[int, int]  # variable -> id of its '-' node
+    v1_ids: dict[int, int]     # variable -> id of its a1-branch v node
+    v2_ids: dict[int, int]     # variable -> id of its a2-branch v node
+    w_id: int | None = None
+
+
+def _variable_label(i: int) -> str:
+    return f"x{i}"
+
+
+def build_current_instance(formula: CNF, with_w: bool = False
+                           ) -> tuple[DataTree, dict, dict, dict, dict, int | None]:
+    """The Figure 6 instance ``J`` (optionally with the Theorem 5.6 ``w``)."""
+    n = formula.n_vars
+    base = 10_000
+    plus_ids = {i: base + 10 * i + 1 for i in range(1, n + 1)}
+    minus_ids = {i: base + 10 * i + 2 for i in range(1, n + 1)}
+    v1_ids = {i: base + 10 * i + 3 for i in range(1, n + 1)}
+    v2_ids = {i: base + 10 * i + 4 for i in range(1, n + 1)}
+    w_id = base + 9_999 if with_w else None
+
+    a1_kids: list[Spec] = [branch("1")]
+    for i in range(1, n + 1):
+        a1_kids.append(
+            branch("v",
+                   branch(_variable_label(i)),
+                   branch("+", nid=plus_ids[i]),
+                   branch("-", nid=minus_ids[i]),
+                   nid=v1_ids[i])
+        )
+    a2_kids: list[Spec] = [branch("2")]
+    for i in range(1, n + 1):
+        a2_kids.append(branch("v", branch(_variable_label(i)), nid=v2_ids[i]))
+    if with_w:
+        a2_kids.append(branch("w", nid=w_id))
+    current = build(branch("a", *a1_kids), branch("a", *a2_kids))
+    return current, plus_ids, minus_ids, v1_ids, v2_ids, w_id
+
+
+def build_premises(formula: CNF, with_w: bool = False) -> ConstraintSet:
+    """The constraint set ``C`` of the proof of Theorem 5.2."""
+    n = formula.n_vars
+    constraints: list[UpdateConstraint] = []
+    constraints.extend(immutable("/a"))
+    constraints.extend(immutable("/a[/1]"))
+    constraints.extend(immutable("/a[/2]"))
+    constraints.extend(immutable("/a/v"))
+    for i in range(1, n + 1):
+        x = _variable_label(i)
+        constraints.extend(immutable(f"/a[/1]/v[/{x}]"))
+        constraints.extend(immutable(f"/a[/2]/v[/{x}]"))
+    all_vars_1 = "/a[/1]" + "".join(f"[/v[/{_variable_label(i)}]]" for i in range(1, n + 1))
+    all_vars_2 = "/a[/2]" + "".join(f"[/v[/{_variable_label(i)}]]" for i in range(1, n + 1))
+    constraints.extend(immutable(all_vars_1))
+    constraints.extend(immutable(all_vars_2))
+    for i in range(1, n + 1):
+        x = _variable_label(i)
+        constraints.extend(immutable(f"/a/v[/{x}]/+"))
+        constraints.extend(immutable(f"/a/v[/{x}]/-"))
+    # Every variable kept at least one truth value in the a1 branch:
+    # the range is empty in J, and no-remove forbids it ever shrinking,
+    # so it was empty in any legal past.
+    for i in range(1, n + 1):
+        x = _variable_label(i)
+        constraints.append(no_remove(f"/a[/2][/v[/{x}][/+][/-]]"))
+    # One constraint per clause: at least one satisfying literal sits in a1.
+    for clause_ in formula.clauses:
+        preds = "".join(
+            f"[/v[/{_variable_label(lit.var)}][/{'+' if lit.positive else '-'}]]"
+            for lit in clause_
+        )
+        constraints.append(no_remove(f"/a[/2]{preds}"))
+    if with_w:
+        constraints.extend(immutable("/a/w"))
+        constraints.extend(immutable("/a[/1][/w][/v[/+][/-]]"))
+    return ConstraintSet(constraints)
+
+
+def theorem_52_problem(formula: CNF) -> InstanceHardnessProblem:
+    """The full Theorem 5.2 problem: ``C ⊨_J c`` iff ``formula`` is UNSAT."""
+    current, plus_ids, minus_ids, v1_ids, v2_ids, _ = build_current_instance(formula)
+    premises = build_premises(formula)
+    conclusion = no_insert("/a[/1][/v[/+][/-]]")
+    return InstanceHardnessProblem(formula, premises, current, conclusion,
+                                   plus_ids, minus_ids, v1_ids, v2_ids)
+
+
+def theorem_56_problem(formula: CNF) -> InstanceHardnessProblem:
+    """The Theorem 5.6 variant with the ``w`` marker and a ``↑`` conclusion."""
+    current, plus_ids, minus_ids, v1_ids, v2_ids, w_id = build_current_instance(
+        formula, with_w=True)
+    premises = build_premises(formula, with_w=True)
+    conclusion = no_remove("/a[/1][/w]")
+    return InstanceHardnessProblem(formula, premises, current, conclusion,
+                                   plus_ids, minus_ids, v1_ids, v2_ids, w_id)
+
+
+def past_from_assignment(problem: InstanceHardnessProblem,
+                         assignment: dict[int, bool]) -> DataTree:
+    """The explicit legal past encoded by a satisfying assignment.
+
+    In the past instance each ``a1`` variable subtree keeps exactly the
+    truth value the assignment selects; the opposite value sits under the
+    corresponding ``a2`` variable subtree.  (For the Theorem 5.6 variant the
+    ``w`` marker moves below ``a1``, witnessing the ``↑`` conclusion.)
+    """
+    past = problem.current.copy()
+    for var, value in assignment.items():
+        # Move the sign contradicting the assignment to the a2 branch.
+        bad = problem.minus_ids[var] if value else problem.plus_ids[var]
+        past.move(bad, problem.v2_ids[var])
+    if problem.w_id is not None:
+        # Theorem 5.6: in the past, w hung below a1 (it was moved to a2).
+        a1 = past.parent(problem.v1_ids[1])
+        past.move(problem.w_id, a1)
+    return past

@@ -1,0 +1,47 @@
+"""Unordered XML data trees with node identity (paper Definition 2.1)."""
+
+from repro.trees.builders import Spec, branch, build, leaf, parse_tree
+from repro.trees.node import Node, fresh_id, reset_ids
+from repro.trees.ops import (
+    FRESH_LABEL,
+    collect_labels,
+    copy_subtree,
+    fresh_label_for,
+    graft_at_root,
+    prune_to_union,
+    relabel_outside,
+    remap_ids,
+    replace_with_fresh_copy,
+    restrict_labels,
+    swap_ids,
+)
+from repro.trees.serialize import from_dict, to_dict, to_literal, to_xml
+from repro.trees.tree import ROOT_LABEL, DataTree
+
+__all__ = [
+    "DataTree",
+    "Node",
+    "ROOT_LABEL",
+    "FRESH_LABEL",
+    "Spec",
+    "branch",
+    "build",
+    "leaf",
+    "parse_tree",
+    "fresh_id",
+    "reset_ids",
+    "copy_subtree",
+    "graft_at_root",
+    "replace_with_fresh_copy",
+    "remap_ids",
+    "swap_ids",
+    "fresh_label_for",
+    "relabel_outside",
+    "prune_to_union",
+    "restrict_labels",
+    "collect_labels",
+    "to_literal",
+    "to_dict",
+    "from_dict",
+    "to_xml",
+]

@@ -1,0 +1,157 @@
+"""Convenient construction of :class:`DataTree` instances.
+
+Two styles are offered:
+
+* a nested-call combinator (:func:`branch` / :func:`build`) used across the
+  test-suite and the examples, e.g.::
+
+      tree = build(
+          branch("patient", branch("visit"), branch("clinicalTrial")),
+          branch("patient", branch("visit")),
+      )
+
+* a compact literal parser (:func:`parse_tree`) for the string form
+  ``"patient(visit, clinicalTrial(drug)), patient(visit)"`` — handy in
+  doctests and benchmark configuration files.  Identifiers may be pinned
+  with ``label#id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.trees.tree import ROOT_LABEL, DataTree
+
+
+@dataclass
+class Spec:
+    """A node specification: label, optional pinned id, child specs."""
+
+    label: str
+    nid: int | None = None
+    kids: list["Spec"] = field(default_factory=list)
+
+
+def branch(label: str, *kids: Spec, nid: int | None = None) -> Spec:
+    """Describe one node with its children (combinator form)."""
+    return Spec(label, nid, list(kids))
+
+
+def leaf(label: str, nid: int | None = None) -> Spec:
+    """Describe a childless node."""
+    return Spec(label, nid, [])
+
+
+def build(*top: Spec, root_label: str = ROOT_LABEL) -> DataTree:
+    """Materialise a tree whose root has the given top-level children.
+
+    Pinned identifiers are reserved up front so that fresh identifiers
+    allocated for the unpinned nodes can never collide with them.
+    """
+    from repro.trees.node import GLOBAL_IDS
+
+    def reserve(spec: Spec) -> None:
+        if spec.nid is not None:
+            GLOBAL_IDS.reserve_above(spec.nid)
+        for kid in spec.kids:
+            reserve(kid)
+
+    for spec in top:
+        reserve(spec)
+    tree = DataTree(root_label)
+    for spec in top:
+        _attach(tree, tree.root, spec)
+    return tree
+
+
+def _attach(tree: DataTree, parent: int, spec: Spec) -> int:
+    nid = tree.add_child(parent, spec.label, nid=spec.nid)
+    for kid in spec.kids:
+        _attach(tree, nid, kid)
+    return nid
+
+
+# ----------------------------------------------------------------------
+# Literal parser
+# ----------------------------------------------------------------------
+class _TreeScanner:
+    """Recursive-descent scanner for the compact tree literal syntax."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-+"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a label")
+        return self.text[start:self.pos]
+
+    def spec(self) -> Spec:
+        label = self.name()
+        nid: int | None = None
+        self.skip_ws()
+        if self.peek() == "#":
+            self.pos += 1
+            digits = self.name()
+            if not digits.isdigit():
+                raise self.error("node id must be numeric")
+            nid = int(digits)
+        kids: list[Spec] = []
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            self.skip_ws()
+            if self.peek() != ")":
+                kids.append(self.spec())
+                self.skip_ws()
+                while self.peek() == ",":
+                    self.pos += 1
+                    kids.append(self.spec())
+                    self.skip_ws()
+            self.expect(")")
+        return Spec(label, nid, kids)
+
+    def top(self) -> list[Spec]:
+        specs = [self.spec()]
+        self.skip_ws()
+        while self.peek() == ",":
+            self.pos += 1
+            specs.append(self.spec())
+            self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing input")
+        return specs
+
+
+def parse_tree(text: str, root_label: str = ROOT_LABEL) -> DataTree:
+    """Parse the compact literal form into a :class:`DataTree`.
+
+    >>> t = parse_tree("a(b, c(d))")
+    >>> sorted(n.label for n in t.nodes())
+    ['a', 'b', 'c', 'd', 'root']
+    """
+    specs = _TreeScanner(text).top()
+    return build(*specs, root_label=root_label)

@@ -1,0 +1,185 @@
+"""Structural operations used by the paper's constructions.
+
+The counterexample proofs (Theorem 3.1 / Figure 3, Theorem 4.1 / Figures 4-5,
+Theorems 4.7 and 5.1) repeatedly use a small toolbox of operations:
+
+* *copying* a subtree with fresh identifiers ("by copy of a tree we denote a
+  tree having the exact structure and labels, but fresh IDs"),
+* *glueing* two instances at the root (Figure 3: "by putting together T and
+  T', the presence of n and n' in range queries is not affected in any way"),
+* *relabelling to a fresh label* ``z`` (the pruning steps of Theorems 4.7 and
+  5.1 change unmarked nodes "into some unique, new label"),
+
+and this module implements them once so every engine shares the same audited
+code path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TreeError
+from repro.trees.tree import DataTree
+
+#: The fresh label used by every pruning/normalisation step, following the
+#: paper's convention of calling it ``z``.
+FRESH_LABEL = "z"
+
+
+def fresh_label_for(used: set[str]) -> str:
+    """A label guaranteed absent from ``used``.
+
+    The soundness of every canonical-model argument requires the fresh
+    label to be genuinely fresh; when user data already uses ``z`` we
+    underscore until free.
+    """
+    candidate = FRESH_LABEL
+    while candidate in used:
+        candidate += "_"
+    return candidate
+
+
+def copy_subtree(src: DataTree, nid: int, dst: DataTree, parent: int,
+                 fresh: bool = True) -> dict[int, int]:
+    """Copy the subtree of ``src`` rooted at ``nid`` under ``dst``'s ``parent``.
+
+    Returns the mapping from source ids to destination ids.  With
+    ``fresh=True`` (the default) all copied nodes receive new identifiers —
+    the paper's notion of *copy*.  With ``fresh=False`` identifiers are
+    preserved, which is only legal when they do not clash with ``dst``.
+    """
+    mapping: dict[int, int] = {}
+    stack = [(nid, parent)]
+    while stack:
+        cur, tgt = stack.pop()
+        new_id = dst.add_child(tgt, src.label(cur), nid=None if fresh else cur)
+        mapping[cur] = new_id
+        for child in src.children(cur):
+            stack.append((child, new_id))
+    return mapping
+
+
+def graft_at_root(base: DataTree, extra: DataTree, fresh: bool = False) -> dict[int, int]:
+    """Merge ``extra`` into ``base`` by identifying the two roots.
+
+    All top-level subtrees of ``extra`` become additional top-level subtrees
+    of ``base``.  Because the query grammar forbids predicates on the root
+    and only navigates downward, grafting at the root never *removes* a
+    node's membership in any range, and the memberships of grafted nodes are
+    computed within their own subtree — the key invariant behind Figure 3.
+
+    Returns the id mapping for the grafted nodes (identity mapping when
+    ``fresh=False``).
+    """
+    mapping: dict[int, int] = {extra.root: base.root}
+    for child in extra.children(extra.root):
+        mapping.update(copy_subtree(extra, child, base, base.root, fresh=fresh))
+    return mapping
+
+
+def replace_with_fresh_copy(tree: DataTree, nid: int) -> int:
+    """Substitute node ``nid`` by a fresh node with the same label.
+
+    Children and position are preserved; only the identifier changes.  This
+    is the `I[n -> n']` operation from the proof of Theorem 3.1.  Returns the
+    new identifier.
+    """
+    return tree.relabel_fresh(nid)
+
+
+def relabel_outside(tree: DataTree, keep: set[int], label: str = FRESH_LABEL) -> DataTree:
+    """Return a copy where every non-root node outside ``keep`` is replaced by
+    a fresh node carrying the fresh label ``z``.
+
+    This is the second pruning step of Theorems 4.7/5.1: unmarked nodes are
+    replaced by fresh ``z`` nodes, which (for concrete queries) can belong to
+    no range.
+    """
+    clone = tree.copy()
+    for nid in list(clone.node_ids()):
+        if nid == clone.root or nid in keep:
+            continue
+        clone.relabel_fresh(nid, label)
+    return clone
+
+
+def prune_to_union(tree: DataTree, keep: Iterable[int]) -> DataTree:
+    """Return a copy containing only ``keep``-nodes and their ancestors.
+
+    Children not on a path towards a kept node are removed — the "remove all
+    the nodes that do not have a marked descendant" step of the pruning
+    arguments.
+    """
+    keep_set = set(keep)
+    marked: set[int] = {tree.root}
+    for nid in keep_set:
+        if nid not in tree:
+            raise TreeError(f"kept node {nid} not in tree")
+        marked.update(tree.ancestors(nid, include_self=True))
+    clone = tree.copy()
+    for nid in list(clone.node_ids()):
+        if nid in marked or nid not in clone:
+            continue
+        clone.remove_subtree(nid)
+    return clone
+
+
+def restrict_labels(tree: DataTree, alphabet: set[str], label: str = FRESH_LABEL) -> DataTree:
+    """Rename every non-root label outside ``alphabet`` to the fresh label.
+
+    Because the query languages are positive (no label inequality tests),
+    this renaming preserves membership in every range over ``alphabet`` —
+    the normalisation applied at the start of Theorem 4.2's proof.  Node
+    identifiers of renamed nodes change (they are different nodes).
+    """
+    clone = tree.copy()
+    for nid in list(clone.node_ids()):
+        if nid == clone.root:
+            continue
+        if clone.label(nid) not in alphabet:
+            clone.relabel_fresh(nid, label)
+    return clone
+
+
+def remap_ids(tree: DataTree, mapping: dict[int, int]) -> DataTree:
+    """Return a copy with node identifiers renamed by ``mapping``.
+
+    Identifiers absent from the mapping are preserved.  Swapping two ids
+    (``{a: b, b: a}``) implements the "interchange n and n'" step of the
+    Figure 3 counterexample; the mapped ids must not collide with the
+    remaining ones.
+    """
+    def rename(nid: int) -> int:
+        return mapping.get(nid, nid)
+
+    new_ids = [rename(nid) for nid in tree.node_ids()]
+    if len(set(new_ids)) != len(new_ids):
+        raise TreeError("id remapping creates a collision")
+    clone = DataTree(tree.label(tree.root), root_id=rename(tree.root))
+    stack = [(child, clone.root) for child in reversed(tree.children(tree.root))]
+    while stack:
+        src, parent = stack.pop()
+        new_id = clone.add_child(parent, tree.label(src), nid=rename(src))
+        stack.extend((c, new_id) for c in reversed(tree.children(src)))
+    return clone
+
+
+def swap_ids(tree: DataTree, a: int, b: int) -> DataTree:
+    """Copy of ``tree`` with the identifiers of two nodes exchanged.
+
+    Labels must agree — in the paper's model only same-labelled nodes are
+    interchangeable without perturbing any range.
+    """
+    if tree.label(a) != tree.label(b):
+        raise TreeError("interchanged nodes must carry the same label")
+    return remap_ids(tree, {a: b, b: a})
+
+
+def collect_labels(*trees: DataTree) -> set[str]:
+    """All labels appearing in the given trees (roots excluded)."""
+    labels: set[str] = set()
+    for tree in trees:
+        for node in tree.nodes():
+            if node.nid != tree.root:
+                labels.add(node.label)
+    return labels

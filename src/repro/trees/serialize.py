@@ -1,0 +1,71 @@
+"""Serialization of data trees.
+
+Three interchange forms are supported:
+
+* the compact literal of :mod:`repro.trees.builders` (``to_literal``),
+* nested dictionaries (``to_dict`` / ``from_dict``) for JSON-ish storage,
+* a minimal XML rendering (``to_xml``) in which node identifiers are emitted
+  as ``id`` attributes — mirroring how the paper encodes identifiers when
+  translating to regular key constraints (Example 3.1) and XICs
+  (Example 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TreeError
+from repro.trees.tree import DataTree
+
+
+def to_literal(tree: DataTree, with_ids: bool = False) -> str:
+    """Render as the compact literal accepted by ``parse_tree``."""
+
+    def render(nid: int) -> str:
+        tag = tree.label(nid) + (f"#{nid}" if with_ids else "")
+        kids = tree.children(nid)
+        if not kids:
+            return tag
+        return tag + "(" + ", ".join(render(k) for k in kids) + ")"
+
+    tops = tree.children(tree.root)
+    return ", ".join(render(t) for t in tops)
+
+
+def to_dict(tree: DataTree, nid: int | None = None) -> dict[str, Any]:
+    """Nested-dictionary form: ``{"id", "label", "children"}``."""
+    nid = tree.root if nid is None else nid
+    return {
+        "id": nid,
+        "label": tree.label(nid),
+        "children": [to_dict(tree, c) for c in tree.children(nid)],
+    }
+
+
+def from_dict(data: dict[str, Any]) -> DataTree:
+    """Rebuild a tree from its nested-dictionary form."""
+    try:
+        tree = DataTree(data["label"], root_id=data["id"])
+    except KeyError as exc:
+        raise TreeError(f"missing key in tree dict: {exc}") from exc
+
+    def attach(parent: int, spec: dict[str, Any]) -> None:
+        nid = tree.add_child(parent, spec["label"], nid=spec["id"])
+        for kid in spec.get("children", ()):
+            attach(nid, kid)
+
+    for kid in data.get("children", ()):
+        attach(tree.root, kid)
+    return tree
+
+
+def to_xml(tree: DataTree, nid: int | None = None, indent: int = 0) -> str:
+    """Minimal XML rendering with ``id`` attributes."""
+    nid = tree.root if nid is None else nid
+    pad = "  " * indent
+    label = tree.label(nid)
+    kids = tree.children(nid)
+    if not kids:
+        return f'{pad}<{label} id="{nid}"/>'
+    inner = "\n".join(to_xml(tree, c, indent + 1) for c in kids)
+    return f'{pad}<{label} id="{nid}">\n{inner}\n{pad}</{label}>'

@@ -1,0 +1,21 @@
+"""Seeded random workloads for benchmarks and property tests."""
+
+from repro.workloads.generators import (
+    FragmentSpec,
+    random_constraints,
+    random_pattern,
+    random_pred,
+    random_tree,
+    random_valid_pair,
+    scaling_labels,
+)
+
+__all__ = [
+    "FragmentSpec",
+    "random_pattern",
+    "random_pred",
+    "random_constraints",
+    "random_tree",
+    "random_valid_pair",
+    "scaling_labels",
+]

@@ -1,0 +1,137 @@
+"""Random workload generators for property tests and benchmarks.
+
+Everything is seeded and deterministic: every benchmark row in
+EXPERIMENTS.md can be regenerated bit-for-bit.  Generators are
+fragment-aware so each cell of Table 1 / Table 2 gets inputs from exactly
+the XPath fragment its complexity bound speaks about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.model import (
+    ConstraintSet,
+    ConstraintType,
+    UpdateConstraint,
+)
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Axis, Pattern, Pred, Step, normalize
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """Which navigational features a generated pattern may use."""
+
+    predicates: bool = True
+    descendant: bool = True
+    wildcard: bool = True
+
+    @staticmethod
+    def from_name(name: str) -> "FragmentSpec":
+        return FragmentSpec(
+            predicates="[]" in name,
+            descendant="//" in name,
+            wildcard="*" in name,
+        )
+
+
+def random_pattern(rng: random.Random, labels: list[str], spec: FragmentSpec,
+                   spine: int = 3, pred_prob: float = 0.4,
+                   max_pred_depth: int = 2) -> Pattern:
+    """A random concrete pattern of the given fragment."""
+    steps = []
+    for position in range(spine):
+        axis = Axis.DESC if spec.descendant and rng.random() < 0.5 else Axis.CHILD
+        last = position == spine - 1
+        if not last and spec.wildcard and rng.random() < 0.25:
+            label: str | None = None
+        else:
+            label = rng.choice(labels)
+        preds: tuple[Pred, ...] = ()
+        if spec.predicates and not (position == 0) and rng.random() < pred_prob:
+            preds = (random_pred(rng, labels, spec, max_pred_depth),)
+        steps.append(Step(axis, label, preds))
+    return normalize(Pattern(tuple(steps)))
+
+
+def random_pred(rng: random.Random, labels: list[str], spec: FragmentSpec,
+                depth: int) -> Pred:
+    axis = Axis.DESC if spec.descendant and rng.random() < 0.4 else Axis.CHILD
+    label = None if spec.wildcard and rng.random() < 0.2 else rng.choice(labels)
+    children: tuple[Pred, ...] = ()
+    if depth > 1 and rng.random() < 0.35:
+        children = (random_pred(rng, labels, spec, depth - 1),)
+    return Pred(axis, label, children)
+
+
+def random_constraints(rng: random.Random, labels: list[str], spec: FragmentSpec,
+                       count: int, types: str = "mixed",
+                       spine: int = 3) -> ConstraintSet:
+    """A random premise set; ``types`` is 'up', 'down' or 'mixed'."""
+    constraints = []
+    for _ in range(count):
+        pattern = random_pattern(rng, labels, spec, spine=rng.randint(1, spine))
+        if types == "up":
+            ctype = ConstraintType.NO_REMOVE
+        elif types == "down":
+            ctype = ConstraintType.NO_INSERT
+        else:
+            ctype = rng.choice(list(ConstraintType))
+        constraints.append(UpdateConstraint(pattern, ctype))
+    return ConstraintSet(constraints)
+
+
+def random_tree(rng: random.Random, labels: list[str], size: int,
+                max_children: int = 4) -> DataTree:
+    """A random tree with ``size`` non-root nodes (uniform attachment)."""
+    tree = DataTree()
+    nodes = [tree.root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        if len(tree.children(parent)) >= max_children:
+            parent = tree.root
+        nid = tree.add_child(parent, rng.choice(labels))
+        nodes.append(nid)
+    return tree
+
+
+def random_valid_pair(rng: random.Random, tree: DataTree,
+                      constraints: ConstraintSet,
+                      edits: int = 4) -> tuple[DataTree, DataTree]:
+    """A pair ``(I, J)`` produced by random edits, filtered for validity.
+
+    Edits that break a constraint are rolled back, so the result is always
+    valid — a generator of *positive* instances for the validity checker
+    and the publishing example.
+    """
+    from repro.constraints.validity import is_valid
+
+    before = tree.copy()
+    after = tree.copy()
+    for _ in range(edits):
+        candidate = after.copy()
+        op = rng.random()
+        nodes = [n for n in candidate.node_ids() if n != candidate.root]
+        try:
+            if op < 0.4 and nodes:
+                candidate.remove_subtree(rng.choice(nodes))
+            elif op < 0.8:
+                parent = rng.choice(list(candidate.node_ids()))
+                candidate.add_child(parent, rng.choice(
+                    [candidate.label(n) for n in nodes] or ["x"]))
+            elif nodes:
+                node = rng.choice(nodes)
+                target = rng.choice(list(candidate.node_ids()))
+                candidate.move(node, target)
+        except Exception:
+            continue
+        if is_valid(before, candidate, constraints):
+            after = candidate
+    return before, after
+
+
+def scaling_labels(count: int) -> list[str]:
+    """A deterministic label alphabet ``l0 .. l<count-1>``."""
+    return [f"l{i}" for i in range(count)]

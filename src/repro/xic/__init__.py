@@ -1,0 +1,25 @@
+"""XML Integrity Constraints substrate (Section 3.3): model, encoding, chase."""
+
+from repro.xic.chase import ChaseResult, chase_implication
+from repro.xic.encode import constraint_to_xic, id_discipline
+from repro.xic.model import (
+    ROOT_VAR,
+    EqAtom,
+    StepAtom,
+    XIC,
+    satisfies,
+    satisfies_all,
+)
+
+__all__ = [
+    "XIC",
+    "StepAtom",
+    "EqAtom",
+    "ROOT_VAR",
+    "satisfies",
+    "satisfies_all",
+    "constraint_to_xic",
+    "id_discipline",
+    "ChaseResult",
+    "chase_implication",
+]

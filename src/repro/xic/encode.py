@@ -1,0 +1,89 @@
+"""Example 3.2: expressing update constraints as XICs.
+
+An update constraint over the pair ``(I, J)`` becomes an implication
+between the two branches of the encoded document: for
+``(q, ↑)`` — *if the I-branch matches q at a node with some @id value, the
+J-branch matches q at a node with the same value* — plus the id-discipline
+constraints (existence, per-node uniqueness, injectivity within a branch).
+
+The generated XICs are *unbounded* (descendant steps and an existential
+@id), which is the paper's point: the classical chase need not terminate
+on them (Example 3.3 / :mod:`repro.xic.chase`).
+"""
+
+from __future__ import annotations
+
+from repro.constraints.model import ConstraintType, UpdateConstraint
+from repro.xic.model import ROOT_VAR, EqAtom, StepAtom, XIC
+from repro.xpath.ast import Axis, Pattern
+from repro.xpath.properties import is_linear
+from repro.errors import FragmentError
+
+
+def _branch_atoms(branch: str, pattern: Pattern, prefix: str
+                  ) -> tuple[list[StepAtom], str]:
+    """Atoms walking ``pattern`` inside a branch; returns (atoms, last var)."""
+    atoms = [StepAtom(ROOT_VAR, "child", branch, f"{prefix}b")]
+    current = f"{prefix}b"
+    for index, step in enumerate(pattern.steps):
+        nxt = f"{prefix}{index}"
+        axis = "child" if step.axis is Axis.CHILD else "desc"
+        atoms.append(StepAtom(current, axis, step.label, nxt))
+        current = nxt
+    return atoms, current
+
+
+def id_discipline(branch: str, label: str) -> list[XIC]:
+    """Existence and uniqueness of @id for ``label`` nodes of a branch."""
+    exists = XIC(
+        body=(StepAtom(ROOT_VAR, "child", branch, "xb"),
+              StepAtom("xb", "desc", label, "x")),
+        head=(StepAtom("x", "attr", None, "v"),),
+        head_vars=("v",),
+    )
+    unique = XIC(
+        body=(StepAtom(ROOT_VAR, "child", branch, "xb"),
+              StepAtom("xb", "desc", label, "x"),
+              StepAtom("x", "attr", None, "v"),
+              StepAtom("x", "attr", None, "w")),
+        head=(EqAtom("v", "w"),),
+        head_vars=(),
+    )
+    injective = XIC(
+        body=(StepAtom(ROOT_VAR, "child", branch, "xb"),
+              StepAtom("xb", "desc", label, "x"),
+              StepAtom("xb", "desc", label, "y"),
+              StepAtom("x", "attr", None, "v"),
+              StepAtom("y", "attr", None, "v")),
+        head=(EqAtom("x", "y"),),
+        head_vars=(),
+    )
+    return [exists, unique, injective]
+
+
+def constraint_to_xic(constraint: UpdateConstraint) -> XIC:
+    """The main implication XIC of Example 3.2 (linear ranges)."""
+    if not is_linear(constraint.range):
+        raise FragmentError(
+            "the Example 3.2 encoding is spelled out for linear ranges; "
+            "predicate atoms extend it mechanically but are not needed by "
+            "the tests"
+        )
+    if constraint.type is ConstraintType.NO_REMOVE:
+        src_branch, dst_branch = "I", "J"
+    else:
+        src_branch, dst_branch = "J", "I"
+    body_atoms, body_out = _branch_atoms(src_branch, constraint.range, "s")
+    head_atoms, head_out = _branch_atoms(dst_branch, constraint.range, "t")
+    body = tuple(body_atoms) + (StepAtom(body_out, "attr", None, "val"),)
+    head = tuple(head_atoms) + (StepAtom(head_out, "attr", None, "val"),)
+    head_vars = tuple(
+        var for atom in head_atoms for var in (atom.source, atom.target)
+        if var.startswith("t")
+    )
+    # Deduplicate while preserving order.
+    seen: list[str] = []
+    for var in head_vars:
+        if var not in seen:
+            seen.append(var)
+    return XIC(body=body, head=head, head_vars=tuple(seen))

@@ -1,0 +1,147 @@
+"""XML Integrity Constraints (Section 3.3, following [Deutsch-Tannen]).
+
+An XIC has the shape::
+
+    ∀ x1..xn  A(x1..xn)  →  ∃ y1..ym  B(x1..xn, y1..ym)
+
+where ``A`` and ``B`` are conjunctions of path atoms ``u p v`` (``p`` a
+step: ``/label``, ``//label`` or ``/@id``) and equalities.  Satisfaction is
+checked over the two-branch encoding of an update pair (the same
+``AttributedTree`` documents the keys substrate uses), by exhaustive
+binding enumeration — exponential, but the encodings are evaluated on tiny
+documents only; the *reasoning*-side takeaway of Section 3.3 is negative
+(the chase diverges, see :mod:`repro.xic.chase`), and this module exists to
+state the encoding of Example 3.2 precisely and test its equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from collections.abc import Iterator, Sequence
+
+from repro.keys.regular import AttributedTree
+
+ROOT_VAR = "$root"
+
+
+@dataclass(frozen=True)
+class StepAtom:
+    """``u p v``: node ``v`` is reached from ``u`` by one step."""
+
+    source: str
+    axis: str          # "child", "desc" or "attr"
+    label: str | None  # element label, None for wildcard; ignored for attr
+    target: str
+
+
+@dataclass(frozen=True)
+class EqAtom:
+    left: str
+    right: str
+
+
+Atom = StepAtom | EqAtom
+
+
+@dataclass(frozen=True)
+class XIC:
+    """One integrity constraint; variables are strings, ``$root`` reserved."""
+
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    head_vars: tuple[str, ...]  # the existential variables of the head
+
+    def variables(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for atom in self.body:
+            for var in _atom_vars(atom):
+                if var not in names and var != ROOT_VAR:
+                    names.append(var)
+        return tuple(names)
+
+    @property
+    def is_bounded(self) -> bool:
+        """Bounded XICs forbid ``//`` and attributes under the existential.
+
+        The paper's observation: the XICs encoding update constraints are
+        *unbounded* (both culprits appear), so chase termination is not
+        guaranteed — Example 3.3 exhibits divergence.
+        """
+        for atom in self.head:
+            if isinstance(atom, StepAtom) and atom.axis in ("desc", "attr"):
+                for var in (atom.source, atom.target):
+                    if var in self.head_vars:
+                        return False
+        return True
+
+
+def _atom_vars(atom: Atom) -> tuple[str, ...]:
+    if isinstance(atom, StepAtom):
+        return (atom.source, atom.target)
+    return (atom.left, atom.right)
+
+
+class Universe:
+    """Evaluation context: nodes and attribute values of a document."""
+
+    def __init__(self, doc: AttributedTree):
+        self.doc = doc
+        self.nodes = list(doc.tree.node_ids())
+        self.values = sorted(set(doc.id_attr.values()))
+
+    def candidates(self) -> list:
+        return self.nodes + self.values
+
+    def step_holds(self, atom: StepAtom, src, dst) -> bool:
+        tree = self.doc.tree
+        if atom.axis == "attr":
+            return src in tree._labels and self.doc.id_attr.get(src) == dst
+        if src not in tree._labels or dst not in tree._labels:
+            return False
+        if atom.label is not None and tree.label(dst) != atom.label:
+            return False
+        if atom.axis == "child":
+            return tree.parent(dst) == src
+        return tree.is_ancestor(src, dst)
+
+
+def _bindings(universe: Universe, variables: Sequence[str],
+              fixed: dict) -> Iterator[dict]:
+    options = universe.candidates()
+    for values in product(options, repeat=len(variables)):
+        binding = dict(fixed)
+        binding.update(zip(variables, values))
+        yield binding
+
+
+def _atoms_hold(universe: Universe, atoms: Sequence[Atom], binding: dict) -> bool:
+    for atom in atoms:
+        if isinstance(atom, EqAtom):
+            if binding[atom.left] != binding[atom.right]:
+                return False
+        else:
+            if not universe.step_holds(atom, binding[atom.source],
+                                       binding[atom.target]):
+                return False
+    return True
+
+
+def satisfies(doc: AttributedTree, constraint: XIC) -> bool:
+    """Exhaustive-check satisfaction of one XIC over the document."""
+    universe = Universe(doc)
+    fixed = {ROOT_VAR: doc.tree.root}
+    for binding in _bindings(universe, constraint.variables(), fixed):
+        if not _atoms_hold(universe, constraint.body, binding):
+            continue
+        witnessed = any(
+            _atoms_hold(universe, constraint.head, extended)
+            for extended in _bindings(universe, constraint.head_vars, binding)
+        )
+        if not witnessed:
+            return False
+    return True
+
+
+def satisfies_all(doc: AttributedTree, constraints: Sequence[XIC]) -> bool:
+    return all(satisfies(doc, c) for c in constraints)

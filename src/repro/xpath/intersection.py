@@ -1,0 +1,208 @@
+"""Intersections of tree-pattern queries.
+
+``XP{/,[],*}`` is closed under intersection (a single merged pattern,
+computable in linear time — used by Theorem 4.4's PTIME test).  Fragments
+with the descendant axis are *not* closed; instead, the intersection of
+``q1 .. qk`` is equivalent to a finite **union of product patterns**: every
+way of aligning the k spines into one global spine, merging co-located
+steps.  Formally::
+
+    q1 ∩ ... ∩ qk  ≡  ⋃ { P*_a : a a valid spine alignment }
+
+(soundness: every product pattern is contained in every ``qi``;
+completeness: a tree where all ``qi`` select a common node ``n`` co-locates
+the k spines along the root-to-``n`` path, which induces an alignment whose
+product pattern matches).  Alignments are enumerated by a backtracking merge
+that respects child-edge adjacency, label compatibility and output
+co-location.
+
+On top of product patterns the module offers the three tests used by the
+implication engines:
+
+* ``intersection_contained(Q, q)`` — is ``⋂Q ⊆ q``?
+* ``intersection_equivalent(Q, q)`` — is ``⋂Q ≡ q``?  (Theorem 4.4's
+  criterion)
+* ``escape_witness(Q, avoid)`` — a ground tree + node selected by every
+  pattern of ``Q`` and by none of ``avoid`` (the counterexample seed of the
+  canonical engines); ``None`` when no such tree exists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.xpath.ast import Axis, Pattern, Pred, Step, normalize_preds
+from repro.xpath.canonical import CanonicalModel, canonical_models
+from repro.xpath.containment import contained
+from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.properties import fragment_of, star_length
+
+
+# ----------------------------------------------------------------------
+# Closed-form intersection for the child-only fragment
+# ----------------------------------------------------------------------
+def intersect_child_only(patterns: Sequence[Pattern]) -> Pattern | None:
+    """Exact intersection within ``XP{/,[],*}``; ``None`` means empty.
+
+    Spines must have equal length (child edges fix the output depth); a
+    concrete-label conflict at any position empties the intersection.
+    Predicates are conjoined position-wise.
+    """
+    if not patterns:
+        raise ValueError("intersection of an empty family is the universal query")
+    for p in patterns:
+        if fragment_of(p).descendant:
+            raise ValueError(f"{p} uses '//': not in the child-only fragment")
+    length = patterns[0].spine_length
+    if any(p.spine_length != length for p in patterns):
+        return None
+    steps: list[Step] = []
+    for i in range(length):
+        label: str | None = None
+        preds: tuple[Pred, ...] = ()
+        for p in patterns:
+            step = p.steps[i]
+            if step.label is not None:
+                if label is not None and label != step.label:
+                    return None
+                label = step.label
+            preds = preds + step.preds
+        steps.append(Step(Axis.CHILD, label, normalize_preds(preds)))
+    return Pattern(tuple(steps))
+
+
+# ----------------------------------------------------------------------
+# Product patterns (general fragment)
+# ----------------------------------------------------------------------
+def product_patterns(patterns: Sequence[Pattern]) -> list[Pattern]:
+    """All product patterns of a spine alignment of ``patterns``.
+
+    The returned (possibly empty) list of patterns has union equivalent to
+    the intersection of the inputs.  The list length is bounded by the
+    number of order-preserving interleavings of the spines — exponential in
+    the worst case, matching the coNP lower bounds of the problems built on
+    it.
+    """
+    if not patterns:
+        raise ValueError("product of an empty family is the universal query")
+    spines = [p.steps for p in patterns]
+    results: list[Pattern] = []
+    seen: set[Pattern] = set()
+
+    def merge_position(selection: list[int]) -> Step | None:
+        """Merge the next step of each selected pattern (None on conflict)."""
+        label: str | None = None
+        preds: tuple[Pred, ...] = ()
+        forced_child = False
+        for p_idx in selection:
+            step = spines[p_idx][state[p_idx]]
+            if step.axis is Axis.CHILD:
+                forced_child = True
+            if step.label is not None:
+                if label is not None and label != step.label:
+                    return None
+                label = step.label
+            preds = preds + step.preds
+        axis = Axis.CHILD if forced_child else Axis.DESC
+        return Step(axis, label, normalize_preds(preds))
+
+    k = len(spines)
+    state = [0] * k                      # next unplaced step per pattern
+    just_placed = [True] * k             # was the previous step at position t-1?
+    acc: list[Step] = []
+
+    def recurse() -> None:
+        if all(state[i] == len(spines[i]) for i in range(k)):
+            pattern = Pattern(tuple(acc))
+            if pattern not in seen:
+                seen.add(pattern)
+                results.append(pattern)
+            return
+        # Mandatory selections: child-axis steps must follow immediately.
+        mandatory = []
+        optional = []
+        for i in range(k):
+            if state[i] == len(spines[i]):
+                # Exhausted pattern: its output is above a position still to
+                # be created — outputs cannot co-locate.  Dead branch.
+                return
+            axis = spines[i][state[i]].axis
+            if axis is Axis.CHILD:
+                if not just_placed[i]:
+                    return  # the child edge can no longer be satisfied
+                mandatory.append(i)
+            else:
+                optional.append(i)
+        for extra_mask in range(1 << len(optional)):
+            selection = list(mandatory)
+            for bit, i in enumerate(optional):
+                if extra_mask >> bit & 1:
+                    selection.append(i)
+            if not selection:
+                continue
+            # Output co-location: a step that is its pattern's last may only
+            # be placed when every pattern simultaneously places its last.
+            closing = [i for i in selection if state[i] + 1 == len(spines[i])]
+            if closing:
+                if len(selection) != k or len(closing) != k:
+                    continue
+            step = merge_position(selection)
+            if step is None:
+                continue
+            acc.append(step)
+            saved_placed = just_placed.copy()
+            for i in range(k):
+                advanced = i in selection
+                if advanced:
+                    state[i] += 1
+                just_placed[i] = advanced
+            recurse()
+            for i in selection:
+                state[i] -= 1
+            just_placed[:] = saved_placed
+            acc.pop()
+
+    recurse()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Tests built on product patterns
+# ----------------------------------------------------------------------
+def intersection_contained(patterns: Sequence[Pattern], q: Pattern) -> bool:
+    """Exact test of ``⋂patterns ⊆ q`` (empty intersection is contained)."""
+    frag = fragment_of(*patterns)
+    if not frag.descendant:
+        merged = intersect_child_only(patterns)
+        return merged is None or contained(merged, q)
+    return all(contained(prod, q) for prod in product_patterns(patterns))
+
+
+def intersection_equivalent(patterns: Sequence[Pattern], q: Pattern) -> bool:
+    """Exact test of ``⋂patterns ≡ q`` — Theorem 4.4's criterion."""
+    return all(contained(q, p) for p in patterns) and intersection_contained(patterns, q)
+
+
+def escape_witness(
+    patterns: Sequence[Pattern],
+    avoid: Iterable[Pattern],
+) -> CanonicalModel | None:
+    """A ground model whose output all ``patterns`` select but no ``avoid`` does.
+
+    Canonical-model completeness: chains are capped at
+    ``max star-length over avoid + 1`` and wildcards instantiated with the
+    fresh label ``z`` — for positive patterns the fresh label minimises
+    accidental membership, so if any witness exists a canonical one does.
+    """
+    from repro.trees.ops import fresh_label_for
+    from repro.xpath.properties import labels_of
+
+    avoid = list(avoid)
+    cap = max((star_length(a) for a in avoid), default=0) + 1
+    fresh = fresh_label_for(labels_of(*patterns, *avoid))
+    for prod in product_patterns(patterns):
+        for model in canonical_models(prod, cap, fresh=fresh):
+            out = model.output
+            if all(out not in evaluate_ids(a, model.tree) for a in avoid):
+                return model
+    return None

@@ -1,0 +1,111 @@
+"""Recursive-descent parser for the fragment ``XP{/,[],//,*}``.
+
+Accepted syntax, exactly the paper's grammar plus two leniencies used in the
+paper's own prose:
+
+* a predicate may omit its leading slash — ``/a/b[c]`` (Example 3.3) is read
+  as ``/a/b[/c]``;
+* whitespace is ignored everywhere.
+
+The parser produces normalized :class:`Pattern` objects (predicates sorted),
+so ``parse(str(p)) == p`` holds for every normalized pattern ``p``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ParseError
+from repro.xpath.ast import Axis, Pattern, Pred, Step, normalize
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-+")
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def axis(self) -> Axis:
+        self.skip_ws()
+        if self.text.startswith("//", self.pos):
+            self.pos += 2
+            return Axis.DESC
+        if self.text.startswith("/", self.pos):
+            self.pos += 1
+            return Axis.CHILD
+        raise self.error("expected '/' or '//'")
+
+    def label(self) -> str | None:
+        self.skip_ws()
+        if self.peek() == "*":
+            self.pos += 1
+            return None
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a label or '*'")
+        return self.text[start:self.pos]
+
+    def predicates(self) -> tuple[Pred, ...]:
+        preds: list[Pred] = []
+        while self.peek() == "[":
+            self.pos += 1
+            preds.append(self.pred_path())
+            self.skip_ws()
+            if self.peek() != "]":
+                raise self.error("expected ']'")
+            self.pos += 1
+        return tuple(preds)
+
+    def pred_path(self) -> Pred:
+        """Parse the path inside a predicate into a chain of Pred nodes."""
+        # Leniency: missing leading slash means child axis.
+        axis = self.axis() if self.peek() == "/" else Axis.CHILD
+        label = self.label()
+        preds = list(self.predicates())
+        # Continuation of the path inside the predicate.
+        if self.peek() == "/":
+            preds.append(self.pred_path())
+        return Pred(axis, label, tuple(preds))
+
+    def pattern(self) -> Pattern:
+        steps: list[Step] = []
+        while not self.at_end():
+            axis = self.axis()
+            label = self.label()
+            preds = self.predicates()
+            steps.append(Step(axis, label, preds))
+        if not steps:
+            raise self.error("empty pattern")
+        return Pattern(tuple(steps))
+
+
+@lru_cache(maxsize=16384)
+def parse(text: str) -> Pattern:
+    """Parse an XPath expression of ``XP{/,[],//,*}`` into a normalized
+    :class:`Pattern`.
+
+    >>> str(parse('/a//b[/c][//d]/e'))
+    '/a//b[/c][//d]/e'
+    >>> str(parse('/a/b[c]'))  # lenient predicate slash
+    '/a/b[/c]'
+    """
+    pattern = _Scanner(text).pattern()
+    return normalize(pattern)

@@ -1,0 +1,187 @@
+"""Syntactic analysis of patterns: fragments, star length, labels.
+
+The paper's complexity landscape (Tables 1 and 2) is organised along two
+axes: which navigational primitives a pattern uses (``[]``, ``//``, ``*``)
+and properties such as *star length* — "the maximal length of a chain of
+wildcards occurring in the path" ([Miklau-Suciu]), which controls the size
+of canonical models and of the DFAs for linear paths.
+
+The :class:`Fragment` value computed here drives engine dispatch: every
+decision procedure declares which fragments it covers and validates inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.xpath.ast import Axis, Pattern, Pred, Step
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """Feature set of one or more patterns."""
+
+    predicates: bool
+    descendant: bool
+    wildcard: bool
+
+    def __or__(self, other: "Fragment") -> "Fragment":
+        return Fragment(
+            self.predicates or other.predicates,
+            self.descendant or other.descendant,
+            self.wildcard or other.wildcard,
+        )
+
+    @property
+    def name(self) -> str:
+        parts = ["/"]
+        if self.predicates:
+            parts.append("[]")
+        if self.descendant:
+            parts.append("//")
+        if self.wildcard:
+            parts.append("*")
+        return "XP{" + ",".join(parts) + "}"
+
+    def within(self, predicates: bool = True, descendant: bool = True,
+               wildcard: bool = True) -> bool:
+        """Is this fragment inside the fragment allowing the given features?"""
+        return (
+            (predicates or not self.predicates)
+            and (descendant or not self.descendant)
+            and (wildcard or not self.wildcard)
+        )
+
+
+def _walk_nodes(pattern: Pattern) -> Iterator[tuple[Axis, str | None, tuple[Pred, ...]]]:
+    """Yield (axis, label, children-preds) for every node of the pattern."""
+
+    def walk_pred(pred: Pred) -> Iterator[tuple[Axis, str | None, tuple[Pred, ...]]]:
+        yield (pred.axis, pred.label, pred.children)
+        for child in pred.children:
+            yield from walk_pred(child)
+
+    for step in pattern.steps:
+        yield (step.axis, step.label, step.preds)
+        for pred in step.preds:
+            yield from walk_pred(pred)
+
+
+def fragment_of(*patterns: Pattern) -> Fragment:
+    """Least fragment containing all given patterns."""
+    predicates = descendant = wildcard = False
+    for pattern in patterns:
+        for axis, label, preds in _walk_nodes(pattern):
+            if preds:
+                predicates = True
+            if axis is Axis.DESC:
+                descendant = True
+            if label is None:
+                wildcard = True
+        # A step's preds mark the predicates feature even when nested empty.
+    return Fragment(predicates, descendant, wildcard)
+
+
+def labels_of(*patterns: Pattern) -> set[str]:
+    """All concrete labels appearing in the patterns."""
+    found: set[str] = set()
+    for pattern in patterns:
+        for _, label, _ in _walk_nodes(pattern):
+            if label is not None:
+                found.add(label)
+    return found
+
+
+def star_length(*patterns: Pattern) -> int:
+    """Maximal length of a chain of wildcards linked by child edges.
+
+    Following [Miklau-Suciu], this bounds how long the fresh-label chains in
+    canonical models must be (cap = star length + 1) and how large the DFA of
+    a linear path gets.  Chains are measured across spines and predicate
+    trees alike.
+    """
+    best = 0
+    for pattern in patterns:
+        best = max(best, _star_length_spine(pattern.steps))
+        for step in pattern.steps:
+            for pred in step.preds:
+                best = max(best, _star_length_pred(pred))
+    return best
+
+
+def _star_length_spine(steps: tuple[Step, ...]) -> int:
+    best = run = 0
+    for step in steps:
+        if step.label is None and step.axis is Axis.CHILD:
+            run += 1
+        elif step.label is None:  # wildcard entered via //: starts a new chain
+            run = 1
+        else:
+            run = 0
+        best = max(best, run)
+        for pred in step.preds:
+            best = max(best, _star_length_pred(pred))
+    # The first step of a chain entered via '/' from a concrete node counts 1.
+    return best
+
+
+def _star_length_pred(pred: Pred) -> int:
+    """Longest downward all-wildcard child-edge chain within a predicate."""
+    best = 0
+
+    def chain(p: Pred) -> int:
+        """Longest wildcard chain starting at p going down via child edges."""
+        if p.label is not None:
+            return 0
+        down = 0
+        for c in p.children:
+            if c.axis is Axis.CHILD:
+                down = max(down, chain(c))
+        return 1 + down
+
+    def walk(p: Pred) -> None:
+        nonlocal best
+        if p.label is None:
+            best = max(best, chain(p))
+        for c in p.children:
+            walk(c)
+
+    walk(pred)
+    return best
+
+
+def max_star_length(patterns: Iterable[Pattern]) -> int:
+    """Star length over a collection (0 for the empty collection)."""
+    return max((star_length(p) for p in patterns), default=0)
+
+
+def wildcard_gap_bound(*patterns: Pattern) -> int:
+    """Maximal number of wildcards between two consecutive ``//`` edges.
+
+    This is the parameter the paper's Theorems 4.3/4.8/5.4 bound by a
+    constant: the DFA of a linear path is exponential only in it.
+    """
+    best = 0
+    for pattern in patterns:
+        run = 0
+        for step in pattern.steps:
+            if step.axis is Axis.DESC:
+                run = 0
+            if step.label is None:
+                run += 1
+                best = max(best, run)
+            # Concrete labels do not reset the count within a // segment:
+            # the DFA blow-up is driven by wildcards per segment.
+        run = 0
+    return best
+
+
+def is_linear(pattern: Pattern) -> bool:
+    """True when the pattern has no predicates (fragment ``XP{/,//,*}``)."""
+    return all(not step.preds for step in pattern.steps)
+
+
+def is_child_only(pattern: Pattern) -> bool:
+    """True when the pattern uses no descendant axis (``XP{/,[],*}``)."""
+    return not fragment_of(pattern).descendant

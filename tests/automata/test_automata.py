@@ -1,0 +1,110 @@
+"""Word automata: compilation of linear patterns, DFA algebra, vectors."""
+
+import pytest
+
+from repro.automata import (
+    engine_alphabet,
+    intersection_nonempty,
+    linear_to_dfa,
+    linear_to_nfa,
+    product_dfa,
+    reachable_vectors,
+)
+from repro.errors import FragmentError
+from repro.trees import parse_tree
+from repro.xpath import evaluate_ids, parse
+
+
+ALPHABET = ("a", "b", "c", "z")
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("text,word,accept", [
+        ("/a", ("a",), True),
+        ("/a", ("b",), False),
+        ("/a/b", ("a", "b"), True),
+        ("/a/b", ("a", "z", "b"), False),
+        ("/a//b", ("a", "b"), True),
+        ("/a//b", ("a", "z", "z", "b"), True),
+        ("//b", ("b",), True),
+        ("//b", ("z", "b"), True),
+        ("//b", ("b", "z"), False),
+        ("/*", ("c",), True),
+        ("/*/b", ("z", "b"), True),
+        ("/a/*//c", ("a", "z", "c"), True),
+        ("/a/*//c", ("a", "c"), False),
+    ])
+    def test_word_semantics(self, text, word, accept):
+        dfa = linear_to_dfa(parse(text), ALPHABET)
+        assert dfa.accepts(word) is accept
+        assert linear_to_nfa(parse(text), ALPHABET).accepts(word) is accept
+
+    def test_rejects_predicates(self):
+        with pytest.raises(FragmentError):
+            linear_to_nfa(parse("/a[/b]"), ALPHABET)
+
+    def test_empty_word_never_accepted(self):
+        for text in ("/a", "//a", "/*"):
+            assert not linear_to_dfa(parse(text), ALPHABET).accepts(())
+
+    def test_engine_alphabet(self):
+        alphabet = engine_alphabet([parse("/a//b")], extra=["q"])
+        assert set(alphabet) == {"a", "b", "q", "z"}
+
+    def test_agreement_with_tree_evaluation(self):
+        """A node is selected iff its word is accepted (linear fragment)."""
+        tree = parse_tree("a(b(c), z(b)), b")
+        for text in ("/a/b", "//b", "/a//c", "/*/b", "//*"):
+            pattern = parse(text)
+            dfa = linear_to_dfa(pattern, ALPHABET)
+            selected = evaluate_ids(pattern, tree)
+            for nid in tree.node_ids():
+                if nid == tree.root:
+                    continue
+                assert dfa.accepts(tree.path_labels(nid)) == (nid in selected), (
+                    text, tree.path_labels(nid))
+
+
+class TestDfaAlgebra:
+    def test_complement(self):
+        dfa = linear_to_dfa(parse("/a/b"), ALPHABET)
+        comp = dfa.complement()
+        assert not comp.accepts(("a", "b"))
+        assert comp.accepts(("a",))
+        assert comp.accepts(())
+
+    def test_shortest_accepted(self):
+        dfa = linear_to_dfa(parse("/a//b"), ALPHABET)
+        assert dfa.shortest_accepted() == ("a", "b")
+
+    def test_emptiness(self):
+        dfa = linear_to_dfa(parse("/a"), ALPHABET)
+        both = product_dfa([dfa, linear_to_dfa(parse("/b"), ALPHABET)])[0]
+        assert both.is_empty()
+
+    def test_intersection_witness(self):
+        word = intersection_nonempty([
+            linear_to_dfa(parse("//a//c"), ALPHABET),
+            linear_to_dfa(parse("//b//c"), ALPHABET),
+        ])
+        assert word is not None
+        assert linear_to_dfa(parse("//a//c"), ALPHABET).accepts(word)
+        assert linear_to_dfa(parse("//b//c"), ALPHABET).accepts(word)
+
+    def test_product_vectors(self):
+        dfas = [linear_to_dfa(parse(t), ALPHABET) for t in ("//a", "//b")]
+        _, vectors = product_dfa(dfas)
+        assert frozenset() in vectors
+
+    def test_reachable_vectors_exactness(self):
+        dfas = [linear_to_dfa(parse(t), ALPHABET) for t in ("//b", "/a/b")]
+        vectors = reachable_vectors(dfas)
+        # (a, b) hits both; (b,) hits only //b; (a,) hits neither.
+        assert frozenset({0, 1}) in vectors
+        assert frozenset({0}) in vectors
+        assert frozenset() in vectors
+        # /a/b without //b is impossible.
+        assert frozenset({1}) not in vectors
+        for vector, word in vectors.items():
+            for i, dfa in enumerate(dfas):
+                assert dfa.accepts(word) == (i in vector)

@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's running instances and seeded randomness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constraints import constraint_set
+from repro.trees import branch, build
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def figure2_instances():
+    """The (I, J) pair of Figure 2 / Example 2.1.
+
+    I: patient(visit n7, clinicalTrial), patient(visit)
+    J: same but the visit n7 has been deleted.
+    The ids below are pinned so tests can refer to the paper's n7.
+    """
+    before = build(
+        branch("patient",
+               branch("visit", nid=700107),
+               branch("clinicalTrial", nid=700108),
+               nid=700101),
+        branch("patient", branch("visit", nid=700109), nid=700102),
+    )
+    after = before.copy()
+    after.remove_subtree(700107)
+    return before, after
+
+
+@pytest.fixture
+def example21_constraints():
+    """c1, c2 (immutability pair), c3 of Example 2.1."""
+    return constraint_set(
+        ("/patient[/visit]", "down"),
+        ("/patient[/clinicalTrial]", "up"),
+        ("/patient[/clinicalTrial]", "down"),
+        ("/patient/visit", "up"),
+    )

@@ -1,0 +1,177 @@
+"""Update constraints: model, validity (Definitions 2.2/2.3), sequences,
+and relative constraints (Section 6)."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    ConstraintType,
+    check_sequence,
+    constraint_set,
+    example_61,
+    example_62,
+    explain_violations,
+    immutable,
+    is_valid,
+    no_insert,
+    no_remove,
+    relative,
+    relative_violations,
+    satisfies_relative,
+    violation_of,
+)
+from repro.errors import NotConcreteError
+from repro.trees import branch, build, parse_tree
+from repro.xpath import parse
+
+
+class TestModel:
+    def test_constructors(self):
+        up = no_remove("/a/b")
+        down = no_insert("/a/b")
+        assert up.type is ConstraintType.NO_REMOVE
+        assert down.type is ConstraintType.NO_INSERT
+        assert up.range == down.range == parse("/a/b")
+
+    def test_arrow_rendering(self):
+        assert "↑" in str(no_remove("/a"))
+        assert "↓" in str(no_insert("/a"))
+
+    def test_immutable_is_a_pair(self):
+        pair = immutable("/a")
+        assert {c.type for c in pair} == set(ConstraintType)
+
+    def test_flipped(self):
+        assert no_remove("/a").flipped() == no_insert("/a")
+
+    def test_constraint_set_parsing(self):
+        cs = constraint_set(("/a", "up"), ("/b", "down"), "/c ^", "/d v")
+        assert len(cs) == 4
+        assert len(cs.no_remove) == 2
+        assert len(cs.no_insert) == 2
+
+    def test_constraint_set_type_views(self):
+        cs = constraint_set(("/a", "up"), ("/b", "down"))
+        assert not cs.is_single_type
+        assert cs.no_remove.is_single_type
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_set(("/a", "sideways"))
+
+    def test_concreteness_enforcement(self):
+        with pytest.raises(NotConcreteError):
+            no_remove("/a/*").require_concrete()
+
+    def test_fragment_and_star(self):
+        cs = constraint_set(("/a//b", "up"), ("/a[/c]", "down"))
+        frag = cs.fragment()
+        assert frag.descendant and frag.predicates and not frag.wildcard
+        assert cs.labels() == {"a", "b", "c"}
+
+
+class TestValidity:
+    def test_identity_pair_always_valid(self, example21_constraints):
+        tree = parse_tree("patient(visit), patient(clinicalTrial)")
+        assert is_valid(tree, tree, example21_constraints)
+
+    def test_example21_verdicts(self, figure2_instances):
+        """Figure 2: (I,J) is valid for c1 and c2 but not for c3."""
+        before, after = figure2_instances
+        c1 = no_insert("/patient[/visit]")
+        c2a, c2b = immutable("/patient[/clinicalTrial]")
+        c3 = no_remove("/patient/visit")
+        assert violation_of(before, after, c1) is None
+        assert violation_of(before, after, c2a) is None
+        assert violation_of(before, after, c2b) is None
+        violation = violation_of(before, after, c3)
+        assert violation is not None
+        assert {n.nid for n in violation.removed} == {700107}
+
+    def test_violation_direction_no_insert(self):
+        before = parse_tree("a")
+        after = parse_tree("a(b)")
+        constraint = no_insert("/a/b")
+        violation = violation_of(before, after, constraint)
+        assert violation is not None and violation.inserted
+
+    def test_move_preserves_identity(self):
+        before = build(branch("a", branch("b", nid=333001)), branch("c"))
+        after = before.copy()
+        after.move(333001, next(n.nid for n in after.nodes() if n.label == "c"))
+        # //b keeps the same node; /a/b loses it.
+        assert violation_of(before, after, no_remove("//b")) is None
+        assert violation_of(before, after, no_remove("/a/b")) is not None
+
+    def test_fresh_replacement_is_a_removal(self):
+        before = parse_tree("a(b)")
+        after = before.copy()
+        b = next(n.nid for n in after.nodes() if n.label == "b")
+        after.relabel_fresh(b)
+        assert violation_of(before, after, no_remove("/a/b")) is not None
+        assert violation_of(before, after, no_insert("/a/b")) is not None
+
+    def test_explain_collects_all(self, figure2_instances):
+        before, after = figure2_instances
+        cs = constraint_set(("/patient/visit", "up"), ("/patient", "up"))
+        violations = explain_violations(before, after, cs)
+        assert len(violations) == 1
+        assert "removed" in str(violations[0])
+
+    def test_sequence_pairwise(self):
+        t0 = parse_tree("a(b)")
+        t1 = t0.copy()
+        b = next(n.nid for n in t1.nodes() if n.label == "b")
+        t1.remove_subtree(b)
+        t2 = t1.copy()
+        t2.add_child(next(n.nid for n in t2.nodes() if n.label == "a"), "b")
+        constraint = ConstraintSet([no_remove("/a/b")])
+        problems = check_sequence([t0, t1, t2], constraint, pairwise=True)
+        assert {(i, j) for i, j, _ in problems} == {(0, 1), (0, 2)}
+        assert not check_sequence([t0, t1, t2], constraint, pairwise=False) == []
+
+
+class TestRelative:
+    def test_semantics_per_scope_node(self):
+        before = build(
+            branch("patient", branch("visit", nid=444001), nid=444000),
+            branch("patient", nid=444002),
+        )
+        after = before.copy()
+        after.move(444001, 444002)  # visit moved to the other patient
+        absolute = no_remove("/patient/visit")
+        scoped = relative("/patient", "/visit", "up")
+        assert violation_of(before, after, absolute) is None
+        assert not satisfies_relative(before, after, scoped)
+        problems = relative_violations(before, after, scoped)
+        assert problems and problems[0][0] == 444000
+
+    def test_scope_only_on_shared_nodes(self):
+        before = build(branch("patient", branch("visit")))
+        after = parse_tree("patient(visit)")  # all-new nodes
+        scoped = relative("/patient", "/visit", "up")
+        # the old patient is not in scope of both instances: vacuously valid
+        assert satisfies_relative(before, after, scoped)
+
+    def test_example_61_same_type_failure(self):
+        """Example 6.1: C implies c but the ↑ constraint alone does not."""
+        from repro.implication import implies_single
+
+        constraints, c, c3, c2rel = example_61()
+        alone = implies_single(c3, c)
+        assert alone.is_refuted
+        # The counterexample to {c3} ⊨ c must break c1 or the relative c2.
+        certificate = alone.counterexample
+        assert certificate is not None
+        c1 = constraints[0]
+        breaks_c1 = violation_of(certificate.before, certificate.after, c1)
+        breaks_c2 = not satisfies_relative(certificate.before,
+                                           certificate.after, c2rel)
+        assert breaks_c1 is not None or breaks_c2
+
+    def test_example_62_stepwise_validity_gap(self):
+        """Example 6.2: consecutive pairs valid, overall pair invalid."""
+        constraint, sequence = example_62()
+        for one, two in zip(sequence, sequence[1:]):
+            assert satisfies_relative(one, two, constraint)
+        assert not satisfies_relative(sequence[0], sequence[-1], constraint)

@@ -1,0 +1,272 @@
+"""General implication engines (Table 1): unit tests and cross-validation.
+
+Every NOT_IMPLIED certificate any engine produces is re-checked with the
+independent validity checker; every IMPLIED verdict on a tiny instance is
+challenged by the brute-force oracle.
+"""
+
+import pytest
+
+from repro.bruteforce import oracle_implies
+from repro.constraints import ConstraintSet, constraint_set, no_insert, no_remove
+from repro.errors import FragmentError
+from repro.implication import (
+    Answer,
+    implies,
+    implies_by_intersection,
+    implies_child_only,
+    implies_linear,
+    implies_linear_one_type,
+    implies_one_type,
+    implies_single,
+)
+from repro.xpath import parse
+
+
+def assert_refutation_certified(result):
+    assert result.is_refuted
+    assert result.counterexample is not None, result
+    assert result.verify() == [], result.verify()
+
+
+class TestTheorem31:
+    """Single-constraint implication is query equivalence (Theorem 3.1)."""
+
+    def test_equivalent_ranges_imply(self):
+        result = implies_single(no_remove("/a[/b][/c]"), no_remove("/a[/c][/b]"))
+        assert result.is_implied
+
+    @pytest.mark.parametrize("q1,q2", [
+        ("/a/b", "//b"),       # q1 strictly contained in q2
+        ("//b", "/a/b"),       # q2 strictly contained in q1
+        ("/a[/b]", "/a[/c]"),  # incomparable
+        ("/a/b/c", "/a//c"),
+    ])
+    def test_inequivalent_ranges_refuted_with_certificate(self, q1, q2):
+        for builder in (no_remove, no_insert):
+            result = implies_single(builder(q1), builder(q2))
+            assert_refutation_certified(result)
+
+    def test_opposite_types_never_imply(self):
+        result = implies_single(no_remove("/a"), no_insert("/a"))
+        assert_refutation_certified(result)
+        result = implies_single(no_insert("/a"), no_remove("/a"))
+        assert_refutation_certified(result)
+
+
+class TestOneTypeEngine:
+    def test_example21_implication(self):
+        """{c1, c2} ⊨ (/patient[/visit][/clinicalTrial], ↓) — Section 2.1."""
+        premises = constraint_set(("/patient[/visit]", "down"),
+                                  ("/patient[/clinicalTrial]", "down"))
+        result = implies_one_type(premises,
+                                  no_insert("/patient[/visit][/clinicalTrial]"))
+        assert result.is_implied
+
+    def test_subset_intersection_required(self):
+        premises = constraint_set(("/patient[/visit]", "down"))
+        result = implies_one_type(premises,
+                                  no_insert("/patient[/visit][/clinicalTrial]"))
+        assert_refutation_certified(result)
+
+    def test_descendant_interplay(self):
+        premises = constraint_set(("//a//c", "up"), ("//c", "up"))
+        assert implies_one_type(premises, no_remove("//a//c")).is_implied
+        result = implies_one_type(premises, no_remove("//c//a"))
+        assert_refutation_certified(result)
+
+    def test_conclusion_weaker_than_any_premise_not_implied(self):
+        # q(I) growing for /a/b does not make //b grow.
+        premises = constraint_set(("/a/b", "up"))
+        result = implies_one_type(premises, no_remove("//b"))
+        assert_refutation_certified(result)
+
+    def test_rejects_mixed_premises(self):
+        premises = constraint_set(("/a", "up"), ("/b", "down"))
+        with pytest.raises(FragmentError):
+            implies_one_type(premises, no_remove("/a"))
+
+    def test_empty_premises_never_imply(self):
+        result = implies_one_type(ConstraintSet([]), no_remove("/a"))
+        assert_refutation_certified(result)
+
+    @pytest.mark.parametrize("ctype", ["up", "down"])
+    def test_self_implication(self, ctype):
+        premises = constraint_set(("/a[/b]//c", ctype))
+        conclusion = next(iter(premises))
+        assert implies_one_type(premises, conclusion).is_implied
+
+
+class TestIntersectionEngine:
+    def test_agrees_with_canonical_engine(self, rng):
+        from repro.workloads import FragmentSpec, random_constraints, random_pattern
+
+        for frag in (FragmentSpec(descendant=False),
+                     FragmentSpec(wildcard=False)):
+            for _ in range(15):
+                premises = random_constraints(rng, ["a", "b"], frag,
+                                              count=2, types="up", spine=2)
+                conclusion = no_remove(random_pattern(rng, ["a", "b"], frag, spine=2))
+                one = implies_by_intersection(premises, conclusion)
+                two = implies_one_type(premises, conclusion)
+                assert one.answer == two.answer, (str(premises), str(conclusion))
+
+    def test_reports_subset(self):
+        premises = constraint_set(("/a[/b]", "down"), ("/a[/c]", "down"),
+                                  ("/a[/d]", "down"))
+        result = implies_by_intersection(premises, no_insert("/a[/b][/c]"))
+        assert result.is_implied
+        assert len(result.details["subset"]) == 2
+
+    def test_rejects_full_fragment(self):
+        premises = constraint_set(("/a[/b]//*", "up"))
+        with pytest.raises(FragmentError):
+            implies_by_intersection(premises, no_remove("/a[/b]//*"))
+
+
+class TestSameTypeTheorem41:
+    def test_opposite_type_premises_ignored_without_descendant(self):
+        premises = constraint_set(("/a[/b]", "up"), ("/a[/c]", "down"),
+                                  ("/a[/c]", "up"))
+        conclusion = no_remove("/a[/b][/c]")
+        full = implies_child_only(premises, conclusion)
+        filtered = implies_one_type(premises.of_type(conclusion.type), conclusion)
+        assert full.answer == filtered.answer == Answer.IMPLIED
+
+    def test_refutation_certificate_respects_all_premises(self):
+        premises = constraint_set(("/a[/b]", "up"), ("/a", "down"))
+        result = implies_child_only(premises, no_remove("/a[/b][/c]"))
+        assert result.is_refuted
+        if result.counterexample is not None:
+            assert result.verify() == []
+
+    def test_rejects_descendant(self):
+        premises = constraint_set(("//a", "up"), ("//b", "down"))
+        with pytest.raises(FragmentError):
+            implies_child_only(premises, no_remove("//a"))
+
+
+class TestLinearEngines:
+    def test_example_41_mixed_interaction(self):
+        """Example 4.1: the same-type property fails with '//'."""
+        premises = constraint_set(
+            ("//a//c", "up"), ("//b//c", "up"), ("//a//b//c", "down"),
+            ("//a//b//a//c", "up"), ("//b//a//b//c", "up"),
+        )
+        conclusion = no_remove("//b//a//c")
+        assert implies_linear(premises, conclusion).is_implied
+        up_only = implies_linear(premises.of_type(conclusion.type), conclusion)
+        assert_refutation_certified(up_only)
+
+    def test_claim_engine_matches_fixpoint_on_one_type(self, rng):
+        from repro.workloads import FragmentSpec, random_constraints, random_pattern
+
+        spec = FragmentSpec(predicates=False)
+        for _ in range(25):
+            premises = random_constraints(rng, ["a", "b"], spec, count=2,
+                                          types="up", spine=3)
+            conclusion = no_remove(random_pattern(rng, ["a", "b"], spec, spine=3))
+            claim = implies_linear_one_type(premises, conclusion)
+            fixpoint = implies_linear(premises, conclusion)
+            assert claim.answer == fixpoint.answer, (str(premises), str(conclusion))
+
+    def test_fixpoint_certificates_check_out(self, rng):
+        from repro.workloads import FragmentSpec, random_constraints, random_pattern
+
+        spec = FragmentSpec(predicates=False)
+        refuted = 0
+        for _ in range(30):
+            premises = random_constraints(rng, ["a", "b"], spec, count=3,
+                                          types="mixed", spine=2)
+            conclusion = no_remove(random_pattern(rng, ["a", "b"], spec, spine=2))
+            result = implies_linear(premises, conclusion)
+            if result.is_refuted:
+                refuted += 1
+                assert result.counterexample is not None
+                assert result.verify() == [], (str(premises), str(conclusion),
+                                               result.verify())
+        assert refuted > 0  # the workload must exercise the certificate path
+
+    def test_rejects_predicates(self):
+        premises = constraint_set(("/a[/b]", "up"))
+        with pytest.raises(FragmentError):
+            implies_linear(premises, no_remove("/a"))
+
+
+class TestDispatcher:
+    def test_routes_by_fragment(self):
+        linear = implies(constraint_set(("//a", "up"), ("//b", "down")),
+                         no_remove("//a"))
+        assert linear.engine == "linear-record-fixpoint"
+        child_only = implies(constraint_set(("/a[/b]", "up"), ("/a", "down")),
+                             no_remove("/a[/b]"))
+        assert child_only.engine == "same-type-thm41"
+        single = implies(constraint_set(("/a[/b]//c", "up")), no_remove("/a[/b]//c"))
+        assert single.engine == "canonical-one-type"
+
+    def test_cross_type_shortcut(self):
+        result = implies(constraint_set(("/a", "up")), no_insert("/a"))
+        assert_refutation_certified(result)
+
+    def test_hybrid_sound_implication(self):
+        premises = constraint_set(("/a[/b]//c", "down"), ("/a", "up"))
+        result = implies(premises, no_insert("/a[/b]//c"))
+        assert result.is_implied
+
+    def test_hybrid_refutation_or_unknown_never_lies(self):
+        premises = constraint_set(("/a[/b]//c", "down"), ("//c", "up"))
+        result = implies(premises, no_insert("//b//c"))
+        assert result.answer in (Answer.NOT_IMPLIED, Answer.UNKNOWN)
+        if result.counterexample is not None:
+            assert result.verify() == []
+
+    def test_require_decision_raises_on_unknown(self):
+        from repro.errors import UnsupportedProblemError
+
+        premises = constraint_set(("/a[/b]//c", "up"), ("/a[/b]", "down"),
+                                  ("//c", "up"))
+        conclusion = no_remove("/a[/b]//c[/d]")
+        outcome = implies(premises, conclusion)
+        if outcome.is_unknown:
+            with pytest.raises(UnsupportedProblemError):
+                implies(premises, conclusion, require_decision=True)
+
+
+class TestOracleCrossValidation:
+    """Engines vs exhaustive enumeration on tiny universes."""
+
+    @pytest.mark.parametrize("types", ["up", "down"])
+    def test_one_type_engine_against_oracle(self, rng, types):
+        from repro.workloads import FragmentSpec, random_constraints, random_pattern
+
+        spec = FragmentSpec(wildcard=False)
+        builder = no_remove if types == "up" else no_insert
+        for _ in range(10):
+            premises = random_constraints(rng, ["a", "b"], spec, count=2,
+                                          types=types, spine=2)
+            conclusion = builder(random_pattern(rng, ["a", "b"], spec, spine=2))
+            result = implies_one_type(premises, conclusion)
+            if result.is_implied:
+                oracle = oracle_implies(premises, conclusion, max_nodes=3,
+                                        budget=120000)
+                assert not oracle.refuted, (str(premises), str(conclusion),
+                                            oracle.counterexample)
+            else:
+                assert result.verify() == []
+
+    def test_mixed_linear_engine_against_oracle(self, rng):
+        from repro.workloads import FragmentSpec, random_constraints, random_pattern
+
+        spec = FragmentSpec(predicates=False, wildcard=False)
+        for _ in range(8):
+            premises = random_constraints(rng, ["a", "b"], spec, count=2,
+                                          types="mixed", spine=2)
+            conclusion = no_remove(random_pattern(rng, ["a", "b"], spec, spine=2))
+            result = implies_linear(premises, conclusion)
+            if result.is_implied:
+                oracle = oracle_implies(premises, conclusion, max_nodes=3,
+                                        budget=120000)
+                assert not oracle.refuted, (str(premises), str(conclusion),
+                                            oracle.counterexample)
+            else:
+                assert result.verify() == []

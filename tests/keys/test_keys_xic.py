@@ -1,0 +1,215 @@
+"""The Section 3 substrates: regexes, DTDs, regular keys, XICs, the chase."""
+
+import pytest
+
+from repro.constraints import constraint_set, no_insert, no_remove
+from repro.keys import (
+    AttributedTree,
+    DTD,
+    RegularInclusion,
+    RegularKey,
+    annotation_is_consistent,
+    any_of,
+    check_all,
+    consistent_annotations,
+    encode_pair,
+    encode_constraints,
+    flat_star_dtd,
+    pair_satisfies_encoding,
+    pattern_closure,
+    reg,
+    seq,
+    star,
+    sym,
+)
+from repro.trees import parse_tree
+from repro.workloads import FragmentSpec, random_constraints, random_tree, random_valid_pair
+from repro.xic import chase_implication, constraint_to_xic, id_discipline, satisfies
+from repro.xpath import parse
+from repro.xpath.ast import Axis, Pred
+
+
+ALPHABET = ("a", "b", "c", "z")
+
+
+class TestRegex:
+    @pytest.mark.parametrize("regex,word,accept", [
+        (sym("a"), ("a",), True),
+        (sym("a"), ("b",), False),
+        (seq(sym("a"), sym("b")), ("a", "b"), True),
+        (star(sym("a")), (), True),
+        (star(sym("a")), ("a", "a", "a"), True),
+        (star(any_of("a", "b")), ("a", "b", "a"), True),
+        (star(any_of("a", "b")), ("c",), False),
+        (seq(sym("a"), star(any_of()), sym("b")), ("a", "z", "z", "b"), True),
+        (seq(sym("a"), star(any_of()), sym("b")), ("a",), False),
+    ])
+    def test_matching(self, regex, word, accept):
+        assert regex.matches(word, ALPHABET) is accept
+
+    def test_reg_of_linear_pattern(self):
+        regex = reg(parse("/a//b/*"))
+        assert regex.matches(("a", "z", "b", "c"), ALPHABET)
+        assert not regex.matches(("a", "b"), ALPHABET)
+
+    def test_reg_rejects_predicates(self):
+        from repro.errors import FragmentError
+
+        with pytest.raises(FragmentError):
+            reg(parse("/a[/b]"))
+
+
+class TestDTD:
+    def test_flat_star_dtd_conformance(self):
+        dtd = flat_star_dtd("root", ["a", "b"])
+        assert dtd.conforms(parse_tree("a(b(a)), b"))
+
+    def test_unknown_type_rejected(self):
+        dtd = flat_star_dtd("root", ["a"])
+        problems = dtd.check(parse_tree("a(q)"))
+        assert problems
+
+    def test_content_model_violation(self):
+        dtd = DTD("root", alphabet=("root", "a", "b"))
+        dtd.define("root", seq(sym("a"), sym("b")))
+        dtd.define("a", star(any_of()))
+        dtd.define("b", star(any_of()))
+        assert dtd.conforms(parse_tree("a, b"))
+        assert not dtd.conforms(parse_tree("b, a"))
+
+
+class TestRegularConstraints:
+    def test_key_violation_detection(self):
+        tree = parse_tree("a, a")
+        ids = [n.nid for n in tree.nodes() if n.label == "a"]
+        doc = AttributedTree(tree, {ids[0]: 1, ids[1]: 1})
+        key = RegularKey("k", seq(sym("a")))
+        assert key.violations(doc, ("a",))
+
+    def test_inclusion_violation_detection(self):
+        tree = parse_tree("a, b")
+        a = next(n.nid for n in tree.nodes() if n.label == "a")
+        b = next(n.nid for n in tree.nodes() if n.label == "b")
+        doc = AttributedTree(tree, {a: 1, b: 2})
+        inclusion = RegularInclusion("fk", seq(sym("a")), seq(sym("b")))
+        assert inclusion.violations(doc, ("a", "b"))
+        doc.id_attr[b] = 1
+        assert not inclusion.violations(doc, ("a", "b"))
+
+
+class TestEncoding:
+    """Example 3.1: pair validity ⇔ encoded-document satisfaction."""
+
+    def test_equivalence_on_random_pairs(self, rng):
+        spec = FragmentSpec(predicates=False)
+        premises = random_constraints(rng, ["a", "b"], spec, count=2,
+                                      types="mixed", spine=2)
+        from repro.constraints.validity import is_valid
+
+        for _ in range(15):
+            tree = random_tree(rng, ["a", "b"], size=4)
+            before, after = random_valid_pair(rng, tree, premises)
+            assert is_valid(before, after, premises)
+            assert pair_satisfies_encoding(premises, before, after)
+
+    def test_detects_invalid_pair(self):
+        premises = constraint_set(("/a/b", "up"))
+        before = parse_tree("a(b)")
+        after = parse_tree("a")
+        assert not pair_satisfies_encoding(premises, before, after)
+
+    def test_witness_constraints(self):
+        premises = constraint_set(("/a/b", "up"))
+        conclusion = no_remove("/a/b")
+        constraints = encode_constraints(premises, conclusion)
+        names = {c.name for c in constraints}
+        assert {"key-I", "key-J", "witness-in-range", "witness-escapes"} <= names
+        before = parse_tree("a(b)")
+        b = next(n.nid for n in before.nodes() if n.label == "b")
+        after = before.copy()
+        after.relabel_fresh(b)
+        doc = encode_pair(before, after, witness=b)
+        alphabet = ("I", "J", "witness", "Id", "a", "b", "z")
+        problems = check_all(doc, alphabet, constraints)
+        # The witness IS removed from q, so only the premise inclusion fails.
+        assert any(p.startswith("up-0") for p in problems)
+        assert not any("witness" in p for p in problems)
+
+
+class TestAnnotations:
+    def test_pattern_closure_contains_derived(self):
+        preds = pattern_closure([parse("//a")], ["b"])
+        rendered = {str(p) for p in preds}
+        assert "//a" in rendered
+        assert "/a" in rendered
+        assert "/b[//a]" in rendered
+
+    def test_annotation_consistency(self):
+        child_b = Pred(Axis.CHILD, "b")
+        desc_b = Pred(Axis.DESC, "b")
+        universe = [child_b, desc_b]
+        # {child b} implies {desc b}: including only the child is inconsistent.
+        assert not annotation_is_consistent([child_b], universe)
+        assert annotation_is_consistent([desc_b], universe)
+        assert annotation_is_consistent([child_b, desc_b], universe)
+
+    def test_consistent_annotation_enumeration(self):
+        child_b = Pred(Axis.CHILD, "b")
+        desc_b = Pred(Axis.DESC, "b")
+        results = consistent_annotations([child_b, desc_b])
+        as_sets = {frozenset(r) for r in results}
+        assert frozenset() in as_sets
+        assert frozenset([desc_b]) in as_sets
+        assert frozenset([child_b]) not in as_sets
+        assert frozenset([child_b, desc_b]) in as_sets
+
+
+class TestXIC:
+    def test_id_discipline_holds_on_encoding(self):
+        before = parse_tree("a(b)")
+        doc = encode_pair(before, before.copy())
+        for constraint in id_discipline("I", "b"):
+            assert satisfies(doc, constraint)
+
+    def test_update_constraint_xic_semantics(self):
+        constraint = no_remove("/a/b")
+        xic = constraint_to_xic(constraint)
+        assert not xic.is_bounded  # the paper's point: unbounded XICs
+        before = parse_tree("a(b)")
+        valid_doc = encode_pair(before, before.copy())
+        assert satisfies(valid_doc, xic)
+        after = before.copy()
+        b = next(n.nid for n in after.nodes() if n.label == "b")
+        after.relabel_fresh(b)
+        broken_doc = encode_pair(before, after)
+        assert not satisfies(broken_doc, xic)
+
+    def test_no_insert_direction(self):
+        constraint = no_insert("/a/b")
+        xic = constraint_to_xic(constraint)
+        before = parse_tree("a")
+        after = parse_tree("a(b)")
+        assert not satisfies(encode_pair(before, after), xic)
+        assert satisfies(encode_pair(after, before), xic)
+
+
+class TestChase:
+    def test_example_33_divergence(self):
+        premises = constraint_set(("/a/b/c", "up"), ("/a/b[c]", "down"))
+        result = chase_implication(premises, no_remove("/a/b/c/d"), max_steps=30)
+        assert result.diverged
+        # strictly growing fact counts — the paper's infinite regress
+        assert all(x < y for x, y in zip(result.history, result.history[1:]))
+
+    def test_saturation_on_easy_instances(self):
+        premises = constraint_set(("/a/b", "up"))
+        result = chase_implication(premises, no_remove("/a/b"), max_steps=30)
+        assert result.status == "saturated"
+
+    def test_record_engine_decides_where_chase_diverges(self):
+        """The contrast the paper draws: our procedures terminate."""
+        from repro.implication import implies
+
+        premises = constraint_set(("/a/b/c", "up"), ("/a/b[c]", "down"))
+        result = implies(premises, no_remove("/a/b/c/d"))
+        assert not result.is_unknown or result.answer is not None

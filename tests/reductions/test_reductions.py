@@ -1,0 +1,143 @@
+"""Hardness reductions (Theorems 4.6, 5.2, 5.6): semantic validation.
+
+The satisfiable direction of each reduction is constructive; the tests
+materialise the counterexample the proofs describe and verify it with the
+independent validity checker.  For the unsatisfiable direction the tests
+confirm no engine ever *refutes* implication (a refutation would contradict
+the theorem) on the canonical unsat formula.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.validity import is_valid, violation_of
+from repro.reductions import (
+    EXAMPLE_SAT,
+    EXAMPLE_UNSAT,
+    build_problem,
+    clause,
+    cnf,
+    pair_from_assignment,
+    past_from_assignment,
+    random_3cnf,
+    theorem_52_problem,
+    theorem_56_problem,
+)
+
+
+class TestCNF:
+    def test_example_formulas(self):
+        assert EXAMPLE_SAT.satisfiable
+        assert not EXAMPLE_UNSAT.satisfiable
+
+    def test_evaluate(self):
+        formula = cnf(2, clause(1, 2, 2))
+        assert formula.evaluate({1: True, 2: False})
+        assert not formula.evaluate({1: False, 2: False})
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValueError):
+            cnf(1, clause(1, 2, 1))
+
+    def test_random_formula_shape(self):
+        rng = random.Random(7)
+        formula = random_3cnf(rng, 4, 6)
+        assert formula.n_vars == 4 and len(formula.clauses) == 6
+
+    def test_assignment_count(self):
+        assert sum(1 for _ in cnf(3, clause(1, 2, 3)).assignments()) == 8
+
+
+class TestTheorem52:
+    def test_sat_yields_valid_counterexample(self):
+        problem = theorem_52_problem(EXAMPLE_SAT)
+        assignment = EXAMPLE_SAT.satisfying_assignment()
+        past = past_from_assignment(problem, assignment)
+        assert is_valid(past, problem.current, problem.premises)
+        assert violation_of(past, problem.current, problem.conclusion) is not None
+
+    def test_every_satisfying_assignment_works(self):
+        problem = theorem_52_problem(EXAMPLE_SAT)
+        count = 0
+        for assignment in EXAMPLE_SAT.assignments():
+            if not EXAMPLE_SAT.evaluate(assignment):
+                continue
+            count += 1
+            past = past_from_assignment(problem, assignment)
+            assert is_valid(past, problem.current, problem.premises)
+        assert count >= 1
+
+    def test_falsifying_assignment_breaks_premises(self):
+        problem = theorem_52_problem(EXAMPLE_SAT)
+        falsifying = next(a for a in EXAMPLE_SAT.assignments()
+                          if not EXAMPLE_SAT.evaluate(a))
+        past = past_from_assignment(problem, falsifying)
+        assert not is_valid(past, problem.current, problem.premises)
+
+    def test_unsat_splits_all_fail(self):
+        problem = theorem_52_problem(EXAMPLE_UNSAT)
+        for assignment in EXAMPLE_UNSAT.assignments():
+            past = past_from_assignment(problem, assignment)
+            assert not is_valid(past, problem.current, problem.premises)
+
+    def test_engines_never_contradict_the_theorem(self):
+        """On the unsat instance no engine may refute implication."""
+        from repro.instance import implies_on
+
+        problem = theorem_52_problem(EXAMPLE_UNSAT)
+        result = implies_on(problem.premises, problem.current,
+                            problem.conclusion, max_moves=1, search_budget=300)
+        assert not result.is_refuted
+
+    def test_conclusion_nonempty_in_current(self):
+        from repro.xpath import evaluate_ids
+
+        problem = theorem_52_problem(EXAMPLE_SAT)
+        assert evaluate_ids(problem.conclusion.range, problem.current)
+
+
+class TestTheorem56:
+    def test_sat_yields_valid_counterexample(self):
+        problem = theorem_56_problem(EXAMPLE_SAT)
+        assignment = EXAMPLE_SAT.satisfying_assignment()
+        past = past_from_assignment(problem, assignment)
+        assert is_valid(past, problem.current, problem.premises)
+        assert violation_of(past, problem.current, problem.conclusion) is not None
+
+    def test_w_marker_present(self):
+        problem = theorem_56_problem(EXAMPLE_SAT)
+        assert problem.w_id is not None
+        assert problem.current.label(problem.w_id) == "w"
+
+
+class TestTheorem46:
+    def test_constraint_count_polynomial(self):
+        small = build_problem(EXAMPLE_SAT)
+        rng = random.Random(3)
+        big = build_problem(random_3cnf(rng, 5, 4))
+        assert len(big.premises) > len(small.premises)
+
+    def test_sat_yields_valid_counterexample(self):
+        problem = build_problem(EXAMPLE_SAT)
+        assignment = EXAMPLE_SAT.satisfying_assignment()
+        before, after, witness = pair_from_assignment(problem, assignment)
+        assert is_valid(before, after, problem.premises)
+        violation = violation_of(before, after, problem.conclusion)
+        assert violation is not None
+        assert witness in {n.nid for n in violation.removed}
+
+    def test_all_satisfying_assignments_work(self):
+        formula = cnf(2, clause(1, 2, 2))
+        problem = build_problem(formula)
+        for assignment in formula.assignments():
+            if not formula.evaluate(assignment):
+                continue
+            before, after, _ = pair_from_assignment(problem, assignment)
+            assert is_valid(before, after, problem.premises), assignment
+
+    def test_unsat_assignment_pairs_always_break_premises(self):
+        problem = build_problem(EXAMPLE_UNSAT)
+        for assignment in EXAMPLE_UNSAT.assignments():
+            before, after, _ = pair_from_assignment(problem, assignment)
+            assert not is_valid(before, after, problem.premises), assignment

@@ -1,0 +1,215 @@
+"""Every worked example and figure of the paper, as executable assertions.
+
+Index: Figure 2 + Example 2.1, the Section 2.1 implication claims, the
+instance-based claim, Figure 3 (Theorem 3.1), Example 3.1 (keys encoding),
+Example 3.3 (chase divergence), Example 4.1 (type interaction), Table 1 / 2
+engine coverage, Examples 6.1/6.2 (relative constraints).
+"""
+
+from repro.constraints import (
+    constraint_set,
+    immutable,
+    no_insert,
+    no_remove,
+    satisfies_relative,
+)
+from repro.constraints.validity import is_valid, violation_of
+from repro.implication import implies, implies_single
+from repro.instance import implies_on
+from repro.keys import pair_satisfies_encoding
+from repro.trees import branch, build
+from repro.xic import chase_implication
+from repro.xpath import evaluate, parse
+
+
+class TestFigure2Example21:
+    """Figure 2's pair is valid for c1, c2 and violates c3 at visit n7."""
+
+    def test_validity_claims(self, figure2_instances):
+        before, after = figure2_instances
+        c1 = no_insert("/patient[/visit]")
+        c2 = immutable("/patient[/clinicalTrial]")
+        c3 = no_remove("/patient/visit")
+        assert violation_of(before, after, c1) is None
+        assert all(violation_of(before, after, c) is None for c in c2)
+        violation = violation_of(before, after, c3)
+        assert violation is not None
+        assert {n.nid for n in violation.removed} == {700107}
+
+    def test_implication_claim(self):
+        """{c1, c2} ⊨ (/patient[/visit][/clinicalTrial], ↓) — Section 2.1."""
+        premises = constraint_set(
+            ("/patient[/visit]", "down"),
+            ("/patient[/clinicalTrial]", "up"),
+            ("/patient[/clinicalTrial]", "down"),
+        )
+        result = implies(premises, no_insert("/patient[/visit][/clinicalTrial]"))
+        assert result.is_implied
+
+    def test_conclusion_not_implied_by_c1_alone(self):
+        premises = constraint_set(("/patient[/visit]", "down"))
+        result = implies(premises, no_insert("/patient[/visit][/clinicalTrial]"))
+        assert result.is_refuted
+        assert result.verify() == []
+
+
+class TestSection21InstanceClaim:
+    """{c3} ⊨_J (/patient[/clinicalTrial]/visit, ↑) but {c3} ⊭ the same."""
+
+    def _premises(self):
+        return constraint_set(("/patient/visit", "up"))
+
+    def _conclusion(self):
+        return no_remove("/patient[/clinicalTrial]/visit")
+
+    def test_instance_based_implied(self):
+        current = build(
+            branch("patient", branch("clinicalTrial"), branch("visit")),
+            branch("patient", branch("clinicalTrial"), branch("visit")),
+        )
+        result = implies_on(self._premises(), current, self._conclusion())
+        assert result.is_implied
+
+    def test_patient_without_trial_breaks_it(self):
+        current = build(
+            branch("patient", branch("clinicalTrial"), branch("visit")),
+            branch("patient", branch("visit")),
+        )
+        result = implies_on(self._premises(), current, self._conclusion())
+        assert result.is_refuted and result.verify() == []
+
+    def test_general_implication_fails(self):
+        result = implies(self._premises(), self._conclusion())
+        assert result.is_refuted and result.verify() == []
+
+
+class TestFigure3:
+    """Theorem 3.1: implication between single constraints ⇔ equivalence."""
+
+    def test_interchange_construction(self):
+        from repro.implication import build_interchange_counterexample
+
+        certificate = build_interchange_counterexample(parse("//b"), parse("/a/b"))
+        assert certificate is not None
+        assert certificate.check(constraint_set(("//b", "up")),
+                                 no_remove("/a/b")) == []
+
+    def test_both_directions_match_equivalence(self):
+        from repro.xpath import equivalent
+
+        pairs = [("/a/b", "//b"), ("/a[/b]", "/a[/b]"), ("/a/b/c", "/a//c")]
+        for q1, q2 in pairs:
+            result = implies_single(no_remove(q1), no_remove(q2))
+            assert result.is_implied == equivalent(parse(q1), parse(q2))
+
+
+class TestExample31:
+    """The DTD + regular keys encoding captures pair validity."""
+
+    def test_encoding_equivalence_on_figure2(self, figure2_instances):
+        before, after = figure2_instances
+        premises = constraint_set(("//visit", "down"), ("//patient", "up"))
+        direct = is_valid(before, after, premises)
+        encoded = pair_satisfies_encoding(premises, before, after)
+        assert direct == encoded
+
+    def test_encoding_detects_violation(self, figure2_instances):
+        before, after = figure2_instances
+        premises = constraint_set(("//visit", "up"))  # n7 was removed
+        assert not is_valid(before, after, premises)
+        assert not pair_satisfies_encoding(premises, before, after)
+
+
+class TestExample33:
+    """The chase diverges on (c1, c2) ⊢ (/a/b/c/d, ↑); our engines decide."""
+
+    def test_divergence(self):
+        premises = constraint_set(("/a/b/c", "up"), ("/a/b[c]", "down"))
+        outcome = chase_implication(premises, no_remove("/a/b/c/d"), max_steps=25)
+        assert outcome.diverged
+        assert outcome.history[-1] > outcome.history[0]
+
+    def test_engine_terminates_on_the_same_instance(self):
+        premises = constraint_set(("/a/b/c", "up"), ("/a/b[c]", "down"))
+        result = implies(premises, no_remove("/a/b/c/d"))
+        # the hybrid engine must return a sound verdict (here: refutation
+        # or unknown, never an unsound 'implied')
+        if result.is_refuted:
+            assert result.verify() == []
+
+
+class TestExample41:
+    """Cross-type interaction for linear paths."""
+
+    PREMISES = constraint_set(
+        ("//a//c", "up"), ("//b//c", "up"), ("//a//b//c", "down"),
+        ("//a//b//a//c", "up"), ("//b//a//b//c", "up"),
+    )
+    CONCLUSION = no_remove("//b//a//c")
+
+    def test_full_set_implies(self):
+        assert implies(self.PREMISES, self.CONCLUSION).is_implied
+
+    def test_no_remove_constraints_alone_do_not(self):
+        up_only = self.PREMISES.of_type(self.CONCLUSION.type)
+        result = implies(up_only, self.CONCLUSION)
+        assert result.is_refuted and result.verify() == []
+
+    def test_dropping_the_no_insert_constraint_breaks_it(self):
+        from repro.constraints import ConstraintSet
+
+        without = ConstraintSet(
+            c for c in self.PREMISES if str(c.range) != "//a//b//c")
+        result = implies(without, self.CONCLUSION)
+        assert result.is_refuted and result.verify() == []
+
+
+class TestExamples6x:
+    def test_example_61(self):
+        from repro.constraints import example_61
+
+        constraints, c, c3, _ = example_61()
+        assert implies_single(c3, c).is_refuted
+
+    def test_example_62(self):
+        from repro.constraints import example_62
+
+        constraint, sequence = example_62()
+        for one, two in zip(sequence, sequence[1:]):
+            assert satisfies_relative(one, two, constraint)
+        assert not satisfies_relative(sequence[0], sequence[-1], constraint)
+
+
+class TestTableCoverage:
+    """Each Table 1 / Table 2 cell dispatches to a documented engine."""
+
+    def test_table1_cells(self):
+        cells = [
+            (constraint_set(("/a[/b]", "up")), no_remove("/a[/b]"),
+             "canonical-one-type"),
+            (constraint_set(("/a[/b]", "up"), ("/a", "down")),
+             no_remove("/a[/b]"), "same-type-thm41"),
+            (constraint_set(("//a", "up"), ("//b", "down")), no_remove("//a"),
+             "linear-record-fixpoint"),
+            (constraint_set(("/a[/b]//c", "up"), ("//c", "down")),
+             no_remove("/a[/b]//c"), "hybrid-nexptime-cell"),
+        ]
+        for premises, conclusion, engine in cells:
+            assert implies(premises, conclusion).engine == engine
+
+    def test_table2_cells(self):
+        from repro.trees import parse_tree
+
+        current = parse_tree("a(b)")
+        cells = [
+            (constraint_set(("/a/b", "down")), no_insert("/a/b"),
+             "instance-no-insert"),
+            (constraint_set(("/a/b", "up")), no_remove("/a/b"),
+             "instance-no-remove-embeddings"),
+            (constraint_set(("/a/b", "up")), no_insert("/a/b"),
+             "instance-cross-type"),
+            (constraint_set(("/a/b", "up"), ("/a", "down")), no_remove("/a/b"),
+             "instance-hybrid"),
+        ]
+        for premises, conclusion, engine in cells:
+            assert implies_on(premises, current, conclusion).engine == engine

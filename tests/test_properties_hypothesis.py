@@ -1,0 +1,176 @@
+"""Hypothesis property tests on the core invariants.
+
+Strategy: generate random patterns / trees / constraint sets and assert the
+semantic laws the paper's machinery rests on — monotonicity of positive
+queries, soundness of containment, reflexivity of validity, mirror symmetry
+of the two constraint types, certificate soundness of every engine verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintSet, UpdateConstraint, ConstraintType
+from repro.constraints.validity import is_valid, satisfies, violation_of
+from repro.implication import implies
+from repro.instance import implies_on
+from repro.trees import DataTree
+from repro.workloads import (
+    FragmentSpec,
+    random_constraints,
+    random_pattern,
+    random_tree,
+)
+from repro.xpath import contained, evaluate_ids, parse
+from repro.xpath.canonical import smallest_model
+
+LABELS = ["a", "b"]
+SPECS = [
+    FragmentSpec(False, False, False),
+    FragmentSpec(True, False, False),
+    FragmentSpec(False, True, False),
+    FragmentSpec(True, True, True),
+]
+
+seeds = st.integers(min_value=0, max_value=10_000)
+spec_idx = st.integers(min_value=0, max_value=len(SPECS) - 1)
+
+RELAXED = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(seed=seeds, idx=spec_idx)
+@RELAXED
+def test_pattern_parse_roundtrip(seed, idx):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, LABELS, SPECS[idx], spine=rng.randint(1, 4))
+    assert parse(str(pattern)) == pattern
+
+
+@given(seed=seeds, idx=spec_idx)
+@RELAXED
+def test_smallest_model_membership(seed, idx):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, LABELS, SPECS[idx], spine=rng.randint(1, 3))
+    model = smallest_model(pattern)
+    assert model.output in evaluate_ids(pattern, model.tree)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_query_monotone_under_grafting(seed):
+    """Adding a sibling branch at the root never removes an answer."""
+    from repro.trees.ops import graft_at_root
+
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, LABELS, SPECS[3], spine=rng.randint(1, 3))
+    tree = random_tree(rng, LABELS, size=5)
+    baseline = evaluate_ids(pattern, tree)
+    grown = tree.copy()
+    graft_at_root(grown, random_tree(rng, LABELS, size=3), fresh=True)
+    assert baseline <= evaluate_ids(pattern, grown)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_containment_transfers_to_data(seed):
+    rng = random.Random(seed)
+    p = random_pattern(rng, LABELS, SPECS[3], spine=rng.randint(1, 3))
+    q = random_pattern(rng, LABELS, SPECS[3], spine=rng.randint(1, 3))
+    if contained(p, q):
+        tree = random_tree(rng, LABELS + ["z"], size=6)
+        assert evaluate_ids(p, tree) <= evaluate_ids(q, tree)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_identity_pair_valid_for_anything(seed):
+    rng = random.Random(seed)
+    constraints = random_constraints(rng, LABELS, SPECS[3], count=3,
+                                     types="mixed")
+    tree = random_tree(rng, LABELS, size=5)
+    assert is_valid(tree, tree, constraints)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_mirror_symmetry_of_types(seed):
+    """(I,J) ⊨ (q,↑) iff (J,I) ⊨ (q,↓) — the time-reversal duality."""
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, LABELS, SPECS[3], spine=rng.randint(1, 3))
+    before = random_tree(rng, LABELS, size=4)
+    after = random_tree(rng, LABELS, size=4)
+    up = UpdateConstraint(pattern, ConstraintType.NO_REMOVE)
+    down = UpdateConstraint(pattern, ConstraintType.NO_INSERT)
+    assert satisfies(before, after, up) == satisfies(after, before, down)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_deletion_only_updates_satisfy_no_insert(seed):
+    rng = random.Random(seed)
+    before = random_tree(rng, LABELS, size=6)
+    after = before.copy()
+    victims = [n for n in after.node_ids() if n != after.root]
+    if victims:
+        after.remove_subtree(rng.choice(victims))
+    pattern = random_pattern(rng, LABELS, SPECS[3], spine=rng.randint(1, 3))
+    down = UpdateConstraint(pattern, ConstraintType.NO_INSERT)
+    assert violation_of(before, after, down) is None
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_implication_verdicts_carry_sound_certificates(seed):
+    rng = random.Random(seed)
+    spec = SPECS[rng.randint(0, 2)]
+    premises = random_constraints(rng, LABELS, spec, count=2,
+                                  types=rng.choice(["up", "down", "mixed"]),
+                                  spine=2)
+    kind = ConstraintType.NO_REMOVE if rng.random() < 0.5 else ConstraintType.NO_INSERT
+    conclusion = UpdateConstraint(
+        random_pattern(rng, LABELS, spec, spine=2), kind)
+    result = implies(premises, conclusion)
+    if result.counterexample is not None:
+        assert result.verify() == [], (str(premises), str(conclusion))
+    # premises always imply their own members
+    for member in premises:
+        again = implies(premises, member)
+        assert not again.is_refuted, str(member)
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_instance_verdicts_carry_sound_certificates(seed):
+    rng = random.Random(seed)
+    spec = SPECS[rng.randint(0, 1)]
+    current = random_tree(rng, LABELS, size=4)
+    types = rng.choice(["up", "down"])
+    premises = random_constraints(rng, LABELS, spec, count=2, types=types,
+                                  spine=2)
+    kind = ConstraintType.NO_REMOVE if types == "up" else ConstraintType.NO_INSERT
+    conclusion = UpdateConstraint(random_pattern(rng, LABELS, spec, spine=2), kind)
+    result = implies_on(premises, current, conclusion)
+    if result.counterexample is not None:
+        assert result.verify() == [], (str(premises), str(conclusion))
+
+
+@given(seed=seeds)
+@RELAXED
+def test_general_implication_implies_instance_based(seed):
+    """The paper: general implication entails instance-based implication."""
+    rng = random.Random(seed)
+    spec = SPECS[1]
+    types = rng.choice(["up", "down"])
+    premises = random_constraints(rng, LABELS, spec, count=2, types=types,
+                                  spine=2)
+    kind = ConstraintType.NO_REMOVE if types == "up" else ConstraintType.NO_INSERT
+    conclusion = UpdateConstraint(random_pattern(rng, LABELS, spec, spine=2), kind)
+    if implies(premises, conclusion).is_implied:
+        current = random_tree(rng, LABELS, size=4)
+        assert implies_on(premises, current, conclusion).is_implied

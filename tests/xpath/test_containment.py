@@ -1,0 +1,187 @@
+"""Containment / equivalence / canonical models / intersections.
+
+Includes random cross-validation of the containment verdicts against raw
+evaluation on canonical models — the semantic ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.trees import parse_tree
+from repro.workloads import FragmentSpec, random_pattern
+from repro.xpath import (
+    canonical_models,
+    contained,
+    equivalent,
+    escape_witness,
+    evaluate_ids,
+    find_separating_model,
+    hom_contained,
+    intersect_child_only,
+    intersection_contained,
+    intersection_equivalent,
+    model_count,
+    parse,
+    product_patterns,
+    smallest_model,
+)
+
+
+class TestCanonicalModels:
+    def test_smallest_model_satisfies_pattern(self):
+        for text in ("/a", "/a//b", "/a[/b][//c]/d", "//*[/a]"):
+            pattern = parse(text)
+            model = smallest_model(pattern)
+            assert model.output in evaluate_ids(pattern, model.tree), text
+
+    def test_every_canonical_model_satisfies_pattern(self):
+        pattern = parse("/a//b[//c]")
+        for model in canonical_models(pattern, cap=2):
+            assert model.output in evaluate_ids(pattern, model.tree)
+
+    def test_model_count_formula(self):
+        pattern = parse("/a//b[//c]/*")
+        assert model_count(pattern, cap=2) == 3 ** 2 * 1
+
+    def test_deduplication(self):
+        pattern = parse("/a")
+        assert len(list(canonical_models(pattern, cap=3))) == 1
+
+
+class TestContainment:
+    @pytest.mark.parametrize("small,big", [
+        ("/a/b", "//b"),
+        ("/a/b", "/a/*"),
+        ("/a[/b][/c]", "/a[/b]"),
+        ("/a/b/c", "/a//c"),
+        ("/a//b//c", "//c"),
+        ("/a[/b[/c]]", "/a[/b]"),
+        ("/a/*//b", "/a//b"),
+        ("//a//b", "//b"),
+    ])
+    def test_positive(self, small, big):
+        assert contained(parse(small), parse(big))
+
+    @pytest.mark.parametrize("p,q", [
+        ("//b", "/a/b"),
+        ("/a/*", "/a/b"),
+        ("/a[/b]", "/a[/b][/c]"),
+        ("/a//c", "/a/b/c"),
+        ("/a/b", "/b"),
+        ("/a[/b]", "/b"),
+    ])
+    def test_negative(self, p, q):
+        assert not contained(parse(p), parse(q))
+
+    def test_equivalence(self):
+        assert equivalent(parse("/a[/b][/c]"), parse("/a[/c][/b]"))
+        assert not equivalent(parse("/a/b"), parse("/a//b"))
+
+    def test_hom_is_sound(self):
+        # every hom-containment must also be a canonical containment
+        pairs = [("/a/b", "//b"), ("/a[/b]/c", "/a/c"), ("/a//b", "//b")]
+        for p, q in pairs:
+            if hom_contained(parse(p), parse(q)):
+                assert contained(parse(p), parse(q))
+
+    def test_wildcard_descendant_interaction(self):
+        # The classic case where hom is incomplete: p ⊆ q holds without a hom.
+        p = parse("/a/*//b")
+        q = parse("/a//b")
+        assert contained(p, q)
+        p2 = parse("/a//b")
+        q2 = parse("/a/*//b")
+        assert not contained(p2, q2)
+
+    def test_separating_model_is_genuine(self):
+        model = find_separating_model(parse("//b"), parse("/a/b"))
+        assert model is not None
+        assert model.output in evaluate_ids(parse("//b"), model.tree)
+        assert model.output not in evaluate_ids(parse("/a/b"), model.tree)
+
+    def test_no_separating_model_when_contained(self):
+        assert find_separating_model(parse("/a/b"), parse("//b")) is None
+
+    def test_containment_respects_evaluation(self, rng):
+        """Random semantic cross-check: verdicts never contradict evaluation."""
+        spec = FragmentSpec()
+        labels = ["a", "b"]
+        for _ in range(40):
+            p = random_pattern(rng, labels, spec, spine=rng.randint(1, 3))
+            q = random_pattern(rng, labels, spec, spine=rng.randint(1, 3))
+            verdict = contained(p, q)
+            for model in canonical_models(p, cap=2):
+                if model.output in evaluate_ids(p, model.tree):
+                    if verdict:
+                        assert model.output in evaluate_ids(q, model.tree), (p, q)
+
+
+class TestIntersection:
+    def test_child_only_merge(self):
+        merged = intersect_child_only([parse("/a[/b]/c"), parse("/a[/d]/c")])
+        assert merged == parse("/a[/b][/d]/c")
+
+    def test_child_only_label_conflict_empty(self):
+        assert intersect_child_only([parse("/a/c"), parse("/b/c")]) is None
+
+    def test_child_only_length_mismatch_empty(self):
+        assert intersect_child_only([parse("/a"), parse("/a/b")]) is None
+
+    def test_child_only_wildcard_resolution(self):
+        merged = intersect_child_only([parse("/*/c"), parse("/a/c")])
+        assert merged == parse("/a/c")
+
+    def test_product_patterns_example(self):
+        products = product_patterns([parse("//a//c"), parse("//b//c")])
+        rendered = sorted(str(p) for p in products)
+        assert rendered == ["//a//b//c", "//b//a//c"]
+
+    def test_product_patterns_forced_child(self):
+        products = product_patterns([parse("/a/b"), parse("//b")])
+        assert [str(p) for p in products] == ["/a/b"]
+
+    def test_product_patterns_conflict_empty(self):
+        assert product_patterns([parse("/a"), parse("/b")]) == []
+
+    def test_products_contained_in_all_factors(self, rng):
+        spec = FragmentSpec(predicates=False)
+        labels = ["a", "b"]
+        for _ in range(25):
+            ps = [random_pattern(rng, labels, spec, spine=rng.randint(1, 3))
+                  for _ in range(2)]
+            for product in product_patterns(ps):
+                for factor in ps:
+                    assert contained(product, factor), (product, ps)
+
+    def test_intersection_contained(self):
+        assert intersection_contained([parse("//a//c"), parse("//b//c")],
+                                      parse("//c"))
+        assert not intersection_contained([parse("//a//c"), parse("//b//c")],
+                                          parse("//a//b//c"))
+
+    def test_intersection_equivalent_paper_example(self):
+        # Example 2.1: /patient[/visit] ∩ /patient[/clinicalTrial]
+        parts = [parse("/patient[/visit]"), parse("/patient[/clinicalTrial]")]
+        target = parse("/patient[/visit][/clinicalTrial]")
+        assert intersection_equivalent(parts, target)
+
+    def test_escape_witness_found(self):
+        witness = escape_witness([parse("//a//c"), parse("//b//c")],
+                                 [parse("//a//b//c")])
+        assert witness is not None
+        out = witness.output
+        assert out in evaluate_ids(parse("//a//c"), witness.tree)
+        assert out in evaluate_ids(parse("//b//c"), witness.tree)
+        assert out not in evaluate_ids(parse("//a//b//c"), witness.tree)
+
+    def test_escape_witness_absent_when_contained(self):
+        assert escape_witness([parse("/a/b")], [parse("//b")]) is None
+
+
+class TestContainmentOnData:
+    def test_containment_transfers_to_real_trees(self):
+        tree = parse_tree("a(b(c), b), a(c)")
+        p, q = parse("/a/b[/c]"), parse("/a/b")
+        assert contained(p, q)
+        assert evaluate_ids(p, tree) <= evaluate_ids(q, tree)

@@ -1,0 +1,159 @@
+"""Parser, evaluator and syntactic-property tests for ``XP{/,[],//,*}``."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees import parse_tree
+from repro.xpath import (
+    Axis,
+    evaluate,
+    evaluate_ids,
+    fragment_of,
+    is_child_only,
+    is_linear,
+    labels_of,
+    matches_at,
+    parse,
+    star_length,
+    wildcard_gap_bound,
+)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text", [
+        "/a", "//a", "/a/b", "/a//b", "/*", "//*/a",
+        "/a[/b]", "/a[//b]", "/a[/b][/c]", "/a[/b[/c]]/d",
+        "/a//b[/c][//d]/e", "/patient[/visit][/clinicalTrial]",
+    ])
+    def test_roundtrip(self, text):
+        pattern = parse(text)
+        assert parse(str(pattern)) == pattern
+
+    def test_lenient_predicate_slash(self):
+        assert parse("/a/b[c]") == parse("/a/b[/c]")
+
+    def test_predicate_normalisation_sorts_and_dedups(self):
+        assert parse("/a[/c][/b][/b]") == parse("/a[/b][/c]")
+
+    def test_nested_predicate_path(self):
+        pattern = parse("/a[/b/c]")
+        pred = pattern.steps[0].preds[0]
+        assert pred.label == "b" and pred.children[0].label == "c"
+
+    def test_axes(self):
+        pattern = parse("/a//b")
+        assert pattern.steps[0].axis is Axis.CHILD
+        assert pattern.steps[1].axis is Axis.DESC
+
+    @pytest.mark.parametrize("bad", ["", "a", "/", "/a[", "/a]", "/a[/]", "/a[]"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_output_concreteness(self):
+        assert parse("/a/b").is_concrete
+        assert not parse("/a/*").is_concrete
+
+    def test_whitespace_tolerated(self):
+        assert parse(" /a [ /b ] / c ") == parse("/a[/b]/c")
+
+
+class TestEvaluator:
+    def test_child_axis(self):
+        tree = parse_tree("a(b), b")
+        assert sorted(n.label for n in evaluate(parse("/a/b"), tree)) == ["b"]
+        assert len(evaluate(parse("/b"), tree)) == 1
+
+    def test_descendant_axis(self):
+        tree = parse_tree("a(b(c(b)))")
+        assert len(evaluate(parse("//b"), tree)) == 2
+        assert len(evaluate(parse("/a//b"), tree)) == 2
+
+    def test_descendant_is_strict(self):
+        tree = parse_tree("a")
+        # the root is not its own descendant; /a's node has no 'a' below
+        assert evaluate(parse("//a//a"), tree) == set()
+
+    def test_wildcard(self):
+        tree = parse_tree("a(b), c(d)")
+        assert len(evaluate(parse("/*"), tree)) == 2
+        assert len(evaluate(parse("/*/d"), tree)) == 1
+
+    def test_predicates_conjunction(self):
+        tree = parse_tree("p(v, t), p(v), p(t)")
+        result = evaluate(parse("/p[/v][/t]"), tree)
+        assert len(result) == 1
+
+    def test_nested_predicates(self):
+        tree = parse_tree("a(b(c)), a(b)")
+        assert len(evaluate(parse("/a[/b[/c]]"), tree)) == 1
+
+    def test_descendant_predicate(self):
+        tree = parse_tree("a(x(y(d))), a(x)")
+        assert len(evaluate(parse("/a[//d]"), tree)) == 1
+
+    def test_result_is_id_label_pairs(self):
+        tree = parse_tree("a(b)")
+        (node,) = evaluate(parse("/a/b"), tree)
+        assert node.label == "b"
+        assert node.nid in tree
+
+    def test_evaluate_at_subtree(self):
+        tree = parse_tree("a(b(c))")
+        b = next(n.nid for n in tree.nodes() if n.label == "b")
+        assert evaluate_ids(parse("/c"), tree, start=b)
+        assert not evaluate_ids(parse("/b"), tree, start=b)
+
+    def test_matches_at_boolean(self):
+        tree = parse_tree("a(b(c))")
+        a = next(n.nid for n in tree.nodes() if n.label == "a")
+        assert matches_at(parse("/b[/c]").as_boolean(), tree, a)
+        assert not matches_at(parse("/c").as_boolean(), tree, a)
+
+    def test_root_never_selected(self):
+        tree = parse_tree("a")
+        for q in ("/a", "//a", "/*", "//*"):
+            assert tree.root not in evaluate_ids(parse(q), tree)
+
+    def test_example21_evaluation(self, figure2_instances):
+        before, after = figure2_instances
+        assert len(evaluate(parse("/patient[/visit]"), before)) == 2
+        assert len(evaluate(parse("/patient[/visit]"), after)) == 1
+        assert len(evaluate(parse("/patient[/clinicalTrial]"), after)) == 1
+
+
+class TestProperties:
+    def test_fragment_detection(self):
+        assert fragment_of(parse("/a/b")).name == "XP{/}"
+        assert fragment_of(parse("/a[/b]")).name == "XP{/,[]}"
+        assert fragment_of(parse("/a//b")).name == "XP{/,//}"
+        assert fragment_of(parse("/a/*")).name == "XP{/,*}"
+        assert fragment_of(parse("/a[//*]//b")).name == "XP{/,[],//,*}"
+
+    def test_is_linear_child_only(self):
+        assert is_linear(parse("/a//b/*"))
+        assert not is_linear(parse("/a[/b]"))
+        assert is_child_only(parse("/a[/b]/*"))
+        assert not is_child_only(parse("/a//b"))
+
+    def test_labels_of(self):
+        assert labels_of(parse("/a[/b]//c/*")) == {"a", "b", "c"}
+
+    @pytest.mark.parametrize("text,expected", [
+        ("/a/b", 0),
+        ("/*", 1),
+        ("/*/*", 2),
+        ("/a/*/*/b", 2),
+        ("/a//*/*//b", 2),
+        ("/a[/*/*/*]", 3),
+        ("//*", 1),
+    ])
+    def test_star_length(self, text, expected):
+        assert star_length(parse(text)) == expected
+
+    def test_wildcard_gap_bound(self):
+        assert wildcard_gap_bound(parse("//a/*/*/b//c")) == 2
+        assert wildcard_gap_bound(parse("/a/b")) == 0
+
+    def test_pattern_size(self):
+        assert parse("/a[/b][/c/d]/e").size == 5
