@@ -1,0 +1,52 @@
+"""Session API tour: compile once, query many times.
+
+A hospital publishes the Example 2.1 access-control policy and then has to
+answer a steady stream of audit questions against it — the workload the
+compiled `Reasoner` exists for.
+
+Run:  PYTHONPATH=src python examples/session_api.py
+"""
+
+from repro import Reasoner, branch, build, constraint_set, no_insert, no_remove
+
+# ----------------------------------------------------------------------
+# 1. Compile the policy once.
+# ----------------------------------------------------------------------
+policy = constraint_set(
+    ("/patient[/visit]", "down"),           # visited patients may only vanish
+    ("/patient[/clinicalTrial]", "up"),     # trial patients are immutable...
+    ("/patient[/clinicalTrial]", "down"),   # ...in both directions
+    ("/patient/visit", "up"),               # visits are never deleted
+)
+reasoner = Reasoner(policy)
+print(f"compiled: {reasoner!r}")
+print(f"fragment {reasoner.fragment.name}, labels {sorted(reasoner.labels)}")
+
+# ----------------------------------------------------------------------
+# 2. A batch of audit questions (Table 1: general implication).
+# ----------------------------------------------------------------------
+questions = [
+    no_insert("/patient[/visit][/clinicalTrial]"),   # Example 2.1's query
+    no_remove("/patient[/clinicalTrial]/visit"),
+    no_insert("/patient"),
+]
+report = reasoner.implies_all(questions)
+print(f"\nbatch: {report.summary()}")
+for conclusion, result in report:
+    print(f"  {conclusion}: {result.answer.value} [{result.engine}]")
+
+# Asking again is served from the canonical-form memo:
+reasoner.implies(no_insert("/patient[/clinicalTrial][/visit]"))  # permuted!
+print(f"after re-ask: {reasoner.stats}")
+
+# ----------------------------------------------------------------------
+# 3. Bind the current document for Table 2 questions.
+# ----------------------------------------------------------------------
+current = build(
+    branch("patient", branch("visit"), branch("clinicalTrial")),
+    branch("patient", branch("visit")),
+)
+bound = reasoner.bind(current)
+verdict = bound.implies_on(no_insert("/patient[/visit]"))
+print(f"\non the current document: {verdict}")
+print(f"bound session: {bound!r}")

@@ -3,21 +3,35 @@
 
 Public API quick tour
 ---------------------
->>> from repro import constraint_set, no_insert, implies
+The session API compiles a constraint set once and serves any number of
+queries against it — the intended entry point for repeated traffic:
+
+>>> from repro import Reasoner, constraint_set, no_insert
 >>> C = constraint_set(("/patient[/visit]", "down"),
 ...                    ("/patient[/clinicalTrial]", "up"),
 ...                    ("/patient[/clinicalTrial]", "down"))
+>>> r = Reasoner(C)
+>>> r.implies(no_insert("/patient[/visit][/clinicalTrial]")).is_implied
+True
+
+``r.implies_all([...])`` answers batches, and ``r.bind(J)`` fixes a
+current instance for Table 2 queries with per-tree caching.  The legacy
+free functions remain as one-shot conveniences over the same dispatch:
+
+>>> from repro import implies
 >>> implies(C, no_insert("/patient[/visit][/clinicalTrial]")).is_implied
 True
 
-Sub-packages: ``trees`` (data model), ``xpath`` (the fragment, containment,
-intersections), ``automata`` (linear-path machinery), ``constraints``
-(update constraints + validity), ``implication`` (Table 1 engines),
-``instance`` (Table 2 engines), ``reductions`` (hardness constructions),
-``keys`` / ``xic`` (the related formalisms of Section 3), ``bruteforce``
-(ground-truth oracles) and ``workloads`` (benchmark generators).
+Sub-packages: ``api`` (compiled reasoning sessions), ``trees`` (data
+model), ``xpath`` (the fragment, containment, intersections), ``automata``
+(linear-path machinery), ``constraints`` (update constraints + validity),
+``implication`` (Table 1 engines), ``instance`` (Table 2 engines),
+``reductions`` (hardness constructions), ``keys`` / ``xic`` (the related
+formalisms of Section 3), ``bruteforce`` (ground-truth oracles) and
+``workloads`` (benchmark generators).
 """
 
+from repro.api import BatchReport, BoundReasoner, CacheStats, Reasoner
 from repro.constraints import (
     ConstraintSet,
     ConstraintType,
@@ -49,6 +63,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # session API
+    "Reasoner", "BoundReasoner", "BatchReport", "CacheStats",
     # trees
     "DataTree", "Node", "branch", "build", "leaf", "parse_tree",
     # xpath

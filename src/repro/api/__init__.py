@@ -1,0 +1,27 @@
+"""Session API — compile a constraint set once, query it many times.
+
+>>> from repro import Reasoner, no_insert, no_remove
+>>> r = Reasoner([no_insert("/patient[/visit]"),
+...               no_remove("/patient[/clinicalTrial]"),
+...               no_insert("/patient[/clinicalTrial]")])
+>>> r.implies(no_insert("/patient[/visit][/clinicalTrial]")).is_implied
+True
+>>> r.implies_all([no_insert("/patient[/visit]"),
+...                no_insert("/patient")]).summary()
+'2 conclusions, 1 implied, 1 refuted'
+
+See :mod:`repro.api.session` for the compilation model, behaviour
+guarantees and the relationship to the legacy free functions.
+"""
+
+from repro.api.batch import BatchReport
+from repro.api.cache import CacheStats, LRUMemo
+from repro.api.session import BoundReasoner, Reasoner
+
+__all__ = [
+    "Reasoner",
+    "BoundReasoner",
+    "BatchReport",
+    "CacheStats",
+    "LRUMemo",
+]

@@ -1,0 +1,124 @@
+"""Batch query containers for the session API.
+
+``Reasoner.implies_all`` answers a sequence of conclusions against one
+compiled premise set.  The batch path shares all per-``C`` compilation,
+answers canonically-duplicate conclusions from the memo, and optionally
+stops at the first non-implied conclusion (``fail_fast`` — the mode a
+schema-evolution gate wants: "are *all* of these invariants preserved?").
+
+The outcome is a :class:`BatchReport`, aligned index-by-index with the
+submitted conclusions.  Entries skipped by an early exit hold ``None``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.constraints.model import UpdateConstraint
+from repro.implication.result import Answer, ImplicationResult
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Results of one batch implication query, aligned with its inputs."""
+
+    conclusions: tuple[UpdateConstraint, ...]
+    results: tuple[ImplicationResult | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.conclusions) != len(self.results):
+            raise ValueError("conclusions and results must align")
+
+    def __len__(self) -> int:
+        return len(self.conclusions)
+
+    def __iter__(self) -> Iterator[tuple[UpdateConstraint, ImplicationResult | None]]:
+        return iter(zip(self.conclusions, self.results))
+
+    def __getitem__(self, index: int) -> ImplicationResult | None:
+        return self.results[index]
+
+    def _count(self, answer: Answer) -> int:
+        return sum(1 for r in self.results
+                   if r is not None and r.answer is answer)
+
+    @property
+    def implied_count(self) -> int:
+        return self._count(Answer.IMPLIED)
+
+    @property
+    def refuted_count(self) -> int:
+        return self._count(Answer.NOT_IMPLIED)
+
+    @property
+    def unknown_count(self) -> int:
+        return self._count(Answer.UNKNOWN)
+
+    @property
+    def skipped_count(self) -> int:
+        """Conclusions left unanswered by a ``fail_fast`` early exit."""
+        return sum(1 for r in self.results if r is None)
+
+    @property
+    def all_implied(self) -> bool:
+        """True when every conclusion was answered IMPLIED."""
+        return self.implied_count == len(self.results)
+
+    @property
+    def first_refuted(self) -> tuple[UpdateConstraint, ImplicationResult] | None:
+        """The first NOT_IMPLIED conclusion with its certificate-bearing verdict.
+
+        UNKNOWN entries are skipped (they are inconclusive, not refuted);
+        see :attr:`first_not_implied` for the gate that treats both as
+        failures.
+        """
+        for conclusion, result in self:
+            if result is not None and result.is_refuted:
+                return conclusion, result
+        return None
+
+    @property
+    def first_not_implied(self) -> tuple[UpdateConstraint, ImplicationResult] | None:
+        """The first conclusion not answered IMPLIED (refuted *or* unknown).
+
+        This is the entry a ``fail_fast`` batch stopped on.
+        """
+        for conclusion, result in self:
+            if result is not None and not result.is_implied:
+                return conclusion, result
+        return None
+
+    def summary(self) -> str:
+        parts = [f"{len(self)} conclusions",
+                 f"{self.implied_count} implied",
+                 f"{self.refuted_count} refuted"]
+        if self.unknown_count:
+            parts.append(f"{self.unknown_count} unknown")
+        if self.skipped_count:
+            parts.append(f"{self.skipped_count} skipped")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        return f"BatchReport({self.summary()})"
+
+
+def run_batch(decide, conclusions: Sequence[UpdateConstraint],
+              fail_fast: bool = False) -> BatchReport:
+    """Drive ``decide`` over ``conclusions``; shared by Reasoner and BoundReasoner.
+
+    ``decide`` is the single-conclusion entry point (already memoised), so
+    canonical duplicates inside one batch are answered once.
+    """
+    ordered = tuple(conclusions)
+    results: list[ImplicationResult | None] = []
+    stopped = False
+    for conclusion in ordered:
+        if stopped:
+            results.append(None)
+            continue
+        result = decide(conclusion)
+        results.append(result)
+        if fail_fast and not result.is_implied:
+            stopped = True
+    return BatchReport(ordered, tuple(results))

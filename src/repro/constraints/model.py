@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import NotConcreteError
 from repro.xpath.ast import Pattern
+from repro.xpath.canonical import canonical_pattern
 from repro.xpath.parser import parse
 from repro.xpath.properties import Fragment, fragment_of, labels_of, max_star_length
 
@@ -48,15 +50,55 @@ NO_REMOVE = ConstraintType.NO_REMOVE
 NO_INSERT = ConstraintType.NO_INSERT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class UpdateConstraint:
-    """One update constraint ``(range, type)``."""
+    """One update constraint ``(range, type)``.
+
+    Equality and hashing go through the *canonical form* of the range
+    (predicates sorted and deduplicated), so equal constraints always
+    denote the same query with the same type — the soundness invariant the
+    session-API memo caches (:mod:`repro.api`) rely on.  The converse does
+    not hold: canonicalisation is not minimisation, so semantically
+    equivalent ranges with different shapes (e.g. ``/a[/b][/b/c]`` vs
+    ``/a[/b/c]``) still compare unequal.
+    """
 
     range: Pattern
     type: ConstraintType
 
     def __str__(self) -> str:
         return f"({self.range}, {self.type.arrow})"
+
+    def __repr__(self) -> str:
+        return f"UpdateConstraint({str(self.range)!r}, {self.type.name})"
+
+    @cached_property
+    def canonical_key(self) -> tuple[Pattern, ConstraintType]:
+        """The (canonical range, type) pair equality and hashing key on."""
+        return (canonical_pattern(self.range), self.type)
+
+    @cached_property
+    def _canonical_hash(self) -> int:
+        # Hashing walks the whole canonical pattern; constraints are dict
+        # keys in the engines' inner loops, so the value is computed once.
+        return hash(self.canonical_key)
+
+    def canonical(self) -> "UpdateConstraint":
+        """The same constraint with its range in canonical form."""
+        pattern = canonical_pattern(self.range)
+        # Structural (dataclass) equality of patterns: an already-normal
+        # range keeps its constraint object instead of allocating a copy.
+        return self if pattern == self.range else UpdateConstraint(pattern, self.type)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, UpdateConstraint):
+            return NotImplemented
+        return self.canonical_key == other.canonical_key
+
+    def __hash__(self) -> int:
+        return self._canonical_hash
 
     @property
     def is_concrete(self) -> bool:
@@ -101,12 +143,13 @@ def _as_pattern(query: str | Pattern) -> Pattern:
 class ConstraintSet:
     """An immutable collection of update constraints with cached analysis."""
 
-    __slots__ = ("_constraints", "_fragment", "_star")
+    __slots__ = ("_constraints", "_fragment", "_star", "_key")
 
     def __init__(self, constraints: Iterable[UpdateConstraint]):
         self._constraints: tuple[UpdateConstraint, ...] = tuple(constraints)
         self._fragment: Fragment | None = None
         self._star: int | None = None
+        self._key: frozenset[tuple[Pattern, ConstraintType]] | None = None
 
     def __iter__(self) -> Iterator[UpdateConstraint]:
         return iter(self._constraints)
@@ -116,6 +159,31 @@ class ConstraintSet:
 
     def __str__(self) -> str:
         return "{" + ", ".join(str(c) for c in self._constraints) + "}"
+
+    def __repr__(self) -> str:
+        members = ", ".join(repr(c) for c in self._constraints)
+        return f"ConstraintSet([{members}])"
+
+    def canonical_key(self) -> frozenset[tuple[Pattern, ConstraintType]]:
+        """Order- and duplicate-insensitive identity of the set.
+
+        Constraint sets with equal keys entail exactly the same conclusions
+        (a constraint set is semantically a set); unequal keys may still be
+        semantically equivalent, since canonical forms are not minimised.
+        This makes whole sets sound dictionary keys — e.g. for a registry
+        pooling one compiled session per distinct premise set.
+        """
+        if self._key is None:
+            self._key = frozenset(c.canonical_key for c in self._constraints)
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
 
     @property
     def constraints(self) -> tuple[UpdateConstraint, ...]:
@@ -142,17 +210,27 @@ class ConstraintSet:
         return len({c.type for c in self._constraints}) <= 1
 
     def fragment(self, *extra: Pattern) -> Fragment:
-        """Joint fragment of all ranges (and optional extra patterns)."""
-        patterns = self.ranges + tuple(extra)
-        if not patterns:
-            return Fragment(False, False, False)
-        return fragment_of(*patterns)
+        """Joint fragment of all ranges (and optional extra patterns).
+
+        The no-extra case is memoised — it is what every dispatch decision
+        consults, and the set is immutable.
+        """
+        if self._fragment is None:
+            self._fragment = fragment_of(*self.ranges)
+        if not extra:
+            return self._fragment
+        return self._fragment | fragment_of(*extra)
 
     def labels(self, *extra: Pattern) -> set[str]:
         return labels_of(*(self.ranges + tuple(extra)))
 
     def star_length(self, *extra: Pattern) -> int:
-        return max_star_length(self.ranges + tuple(extra))
+        """Star length over the ranges (memoised) and optional extras."""
+        if self._star is None:
+            self._star = max_star_length(self.ranges)
+        if not extra:
+            return self._star
+        return max(self._star, max_star_length(extra))
 
     def require_concrete(self) -> None:
         for constraint in self._constraints:
@@ -166,7 +244,9 @@ def constraint_set(*specs: UpdateConstraint | tuple[str, str] | str) -> Constrai
     """Ergonomic constructor.
 
     Accepts :class:`UpdateConstraint` objects, ``(xpath, "up"/"down")``
-    tuples, or strings of the form ``"/a/b ^"`` / ``"/a/b v"``.
+    tuples, or strings of the form ``"/a/b ^"`` / ``"/a/b v"``.  String
+    specs tolerate surrounding and repeated whitespace (``"/a/b   ↑  "``);
+    a spec without both parts raises a :class:`ValueError` naming it.
 
     >>> C = constraint_set(("/a/b", "up"), ("/a", "down"))
     >>> len(C)
@@ -180,8 +260,14 @@ def constraint_set(*specs: UpdateConstraint | tuple[str, str] | str) -> Constrai
             query, kind = spec
             built.append(_from_kind(query, kind))
         else:
-            text, _, kind = spec.rpartition(" ")
-            built.append(_from_kind(text, kind))
+            parts = spec.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"constraint spec {spec!r} must be '<xpath> <type>', e.g. "
+                    "'/a/b ^' or '/a/b v' (the fragment's paths contain no "
+                    "whitespace)"
+                )
+            built.append(_from_kind(parts[0], parts[1]))
     return ConstraintSet(built)
 
 

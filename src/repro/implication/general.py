@@ -21,6 +21,12 @@ mixed types, ``//`` and ``[]``         hybrid: sound one-type implication
 With ``require_decision=True`` an UNKNOWN outcome raises
 :class:`UnsupportedProblemError` instead — callers who must have an answer
 fail loudly rather than silently trusting a heuristic.
+
+The dispatch itself lives in :class:`repro.api.session.Reasoner`; this
+free function is a thin wrapper over a transient, cache-free session so
+that the system has exactly one dispatch code path.  Callers with a stable
+``C`` and many conclusions should hold a :class:`~repro.api.Reasoner`
+instead and amortise the per-``C`` analysis.
 """
 
 from __future__ import annotations
@@ -28,18 +34,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.constraints.model import ConstraintSet, UpdateConstraint
-from repro.errors import UnsupportedProblemError
-from repro.implication.cross_type import cross_type_counterexample
-from repro.implication.linear_engine import implies_linear
-from repro.implication.one_type import implies_one_type
-from repro.implication.profile_search import profile_swap_refutation
-from repro.implication.result import (
-    ImplicationResult,
-    implied,
-    not_implied,
-    unknown,
-)
-from repro.implication.same_type import implies_child_only
+from repro.implication.result import ImplicationResult
 
 HYBRID_ENGINE = "hybrid-nexptime-cell"
 
@@ -48,42 +43,7 @@ def implies(premises: ConstraintSet | Iterable[UpdateConstraint],
             conclusion: UpdateConstraint,
             require_decision: bool = False) -> ImplicationResult:
     """Decide ``C ⊨ c`` (Definition 2.4), dispatching by fragment and types."""
-    if not isinstance(premises, ConstraintSet):
-        premises = ConstraintSet(premises)
-    conclusion.require_concrete()
-    premises.require_concrete()
+    from repro.api.session import Reasoner
 
-    same = premises.of_type(conclusion.type)
-    if len(same) == 0:
-        certificate = cross_type_counterexample(premises, conclusion)
-        return not_implied("cross-type", premises, conclusion, certificate,
-                           reason="no premise shares the conclusion's type")
-
-    if premises.is_single_type:
-        return implies_one_type(premises, conclusion)
-
-    fragment = premises.fragment(conclusion.range)
-    if not fragment.descendant:
-        return implies_child_only(premises, conclusion)
-    if not fragment.predicates:
-        return implies_linear(premises, conclusion)
-
-    # --- the NEXPTIME cell: hybrid, sound-only -------------------------
-    one_type = implies_one_type(same, conclusion)
-    if one_type.is_implied:
-        return implied(HYBRID_ENGINE, premises, conclusion,
-                       reason="already implied by the same-type premises alone")
-    certificate = profile_swap_refutation(premises, conclusion, subset_limit=2)
-    if certificate is not None:
-        return not_implied(HYBRID_ENGINE, premises, conclusion, certificate,
-                           reason="profile-preserving swap counterexample found")
-    if require_decision:
-        raise UnsupportedProblemError(
-            "mixed types with predicates and descendant axis (the paper's "
-            "NEXPTIME cell): sound tests were inconclusive"
-        )
-    return unknown(HYBRID_ENGINE, premises, conclusion,
-                   reason="sound implication test failed and no swap "
-                          "counterexample exists; the NEXPTIME cell needs the "
-                          "full DTD+regular-keys consistency reduction "
-                          "(see repro.keys.encoding)")
+    session = Reasoner(premises, memo_size=0, precompile=False)
+    return session.implies(conclusion, require_decision=require_decision)

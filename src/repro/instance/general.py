@@ -24,13 +24,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
-from repro.errors import UnsupportedProblemError
-from repro.implication.result import ImplicationResult, implied, not_implied, unknown
-from repro.instance.cross_type import implies_cross_type
-from repro.instance.no_insert_engine import implies_no_insert
-from repro.instance.no_remove_engine import implies_no_remove
-from repro.instance.search import bounded_refutation
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.implication.result import ImplicationResult
 from repro.trees.tree import DataTree
 
 HYBRID_ENGINE = "instance-hybrid"
@@ -42,49 +37,16 @@ def implies_on(premises: ConstraintSet | Iterable[UpdateConstraint],
                require_decision: bool = False,
                max_moves: int = 2,
                search_budget: int = 5000) -> ImplicationResult:
-    """Decide ``C ⊨_J c`` (Definition 2.5)."""
-    if not isinstance(premises, ConstraintSet):
-        premises = ConstraintSet(premises)
-    conclusion.require_concrete()
-    premises.require_concrete()
+    """Decide ``C ⊨_J c`` (Definition 2.5).
 
-    same = premises.of_type(conclusion.type)
-    other = premises.of_type(conclusion.type.opposite)
+    The dispatch lives in :class:`repro.api.session.BoundReasoner`; this
+    free function wraps a transient, cache-free session.  Callers asking
+    many conclusions against one ``(C, J)`` should hold
+    ``Reasoner(C).bind(J)`` instead and reuse its per-tree answer sets.
+    """
+    from repro.api.session import Reasoner
 
-    if len(same) == 0 and len(other) == 0:
-        # Empty premise set: same closed forms as the cross-type engine.
-        return implies_cross_type(premises, current, conclusion)
-    if len(same) == 0:
-        return implies_cross_type(premises, current, conclusion)
-
-    if len(other) == 0:
-        if conclusion.type is ConstraintType.NO_INSERT:
-            return implies_no_insert(premises, current, conclusion)
-        return implies_no_remove(premises, current, conclusion)
-
-    # ------------------------------------------------------------------
-    # Mixed types: sound subset test, then validated refutation search.
-    # ------------------------------------------------------------------
-    if conclusion.type is ConstraintType.NO_INSERT:
-        subset_result = implies_no_insert(same, current, conclusion)
-    else:
-        subset_result = implies_no_remove(same, current, conclusion)
-    if subset_result.is_implied:
-        return implied(HYBRID_ENGINE, premises, conclusion,
-                       reason=f"already implied by the {len(same)} same-type "
-                              f"premise(s): {subset_result.reason}")
-    certificate = bounded_refutation(premises, current, conclusion,
-                                     max_moves=max_moves, budget=search_budget)
-    if certificate is not None:
-        return not_implied(HYBRID_ENGINE, premises, conclusion, certificate,
-                           reason="validated counterexample past found by search")
-    if require_decision:
-        raise UnsupportedProblemError(
-            "mixed-type instance-based implication (coNP-complete, "
-            "Theorems 5.1/5.2): sound tests were inconclusive"
-        )
-    return unknown(HYBRID_ENGINE, premises, conclusion,
-                   reason="same-type subset does not imply c and the bounded "
-                          "search found no valid past; exhaustive search over "
-                          "the Theorem 5.1 small-model space is required for "
-                          "a definite answer")
+    session = Reasoner(premises, memo_size=0, precompile=False)
+    return session.bind(current).implies_on(
+        conclusion, require_decision=require_decision,
+        max_moves=max_moves, search_budget=search_budget)

@@ -63,8 +63,15 @@ def _past_instance(current: DataTree, n: int, witness_tree: DataTree | None,
 
 def implies_no_insert(premises: ConstraintSet, current: DataTree,
                       conclusion: UpdateConstraint,
-                      engine: str = ENGINE) -> ImplicationResult:
-    """Exact ``C ⊨_J c`` for an all-``↓`` problem (any fragment)."""
+                      engine: str = ENGINE,
+                      range_hits: dict[UpdateConstraint, set[int]] | None = None,
+                      ) -> ImplicationResult:
+    """Exact ``C ⊨_J c`` for an all-``↓`` problem (any fragment).
+
+    ``range_hits`` optionally supplies ``{c: c.range(current)}`` computed
+    elsewhere — a :class:`repro.api.BoundReasoner` evaluates every premise
+    range once per tree and shares the answer sets across conclusions.
+    """
     if any(c.type is not ConstraintType.NO_INSERT for c in premises):
         raise FragmentError("no-insert engine requires an all-no-insert premise set")
     if conclusion.type is not ConstraintType.NO_INSERT:
@@ -72,8 +79,10 @@ def implies_no_insert(premises: ConstraintSet, current: DataTree,
     conclusion.require_concrete()
     premises.require_concrete()
     q = conclusion.range
-    range_hits = {c: evaluate_ids(c.range, current) for c in premises}
-    for node in sorted(evaluate_ids(q, current)):
+    if range_hits is None:
+        range_hits = {c: evaluate_ids(c.range, current) for c in premises}
+    q_ids = evaluate_ids(q, current)
+    for node in sorted(q_ids):
         hit = [c.range for c in premises if node in range_hits[c]]
         if not hit:
             past = _past_instance(current, node, None, None)
@@ -89,4 +98,4 @@ def implies_no_insert(premises: ConstraintSet, current: DataTree,
                                       f"⋂ of {len(hit)} ranges")
     return implied(engine, premises, conclusion,
                    reason="every node of q(J) is pinned by its premise ranges",
-                   q_nodes=len(evaluate_ids(q, current)))
+                   q_nodes=len(q_ids))

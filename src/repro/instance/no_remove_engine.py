@@ -96,12 +96,15 @@ def _shape_key(tree: DataTree, out: int) -> tuple:
 # Identification against J (bipartite matching)
 # ----------------------------------------------------------------------
 def _identify(candidate: DataTree, output: int, current: DataTree,
-              premises: ConstraintSet, q_answers: set[int]) -> dict[int, int] | None:
+              premises: ConstraintSet, q_answers: set[int],
+              range_hits_j: dict[UpdateConstraint, set[int]],
+              ) -> dict[int, int] | None:
     """Match obligation-carrying candidate nodes to distinct J-nodes.
 
     Returns the id substitution (candidate id -> J id) or ``None``.
+    ``range_hits_j`` holds ``{c: c.range(current)}`` — loop-invariant across
+    candidates, so the caller evaluates it once.
     """
-    range_hits_j = {c: evaluate_ids(c.range, current) for c in premises}
     range_hits_i = {c: evaluate_ids(c.range, candidate) for c in premises}
     j_nodes = [nid for nid in current.node_ids() if nid != current.root]
 
@@ -142,8 +145,16 @@ def _identify(candidate: DataTree, output: int, current: DataTree,
 
 def implies_no_remove(premises: ConstraintSet, current: DataTree,
                       conclusion: UpdateConstraint,
-                      merge_budget: int = 512) -> ImplicationResult:
-    """Instance-based implication for an all-``↑`` problem (Theorem 5.5)."""
+                      merge_budget: int = 512,
+                      range_hits: dict[UpdateConstraint, set[int]] | None = None,
+                      ) -> ImplicationResult:
+    """Instance-based implication for an all-``↑`` problem (Theorem 5.5).
+
+    ``range_hits`` optionally supplies ``{c: c.range(current)}`` computed
+    elsewhere (a :class:`repro.api.BoundReasoner` shares them across
+    conclusions); otherwise they are evaluated once here and reused for
+    every candidate embedding.
+    """
     if any(c.type is not ConstraintType.NO_REMOVE for c in premises):
         raise FragmentError("no-remove engine requires an all-no-remove premise set")
     if conclusion.type is not ConstraintType.NO_REMOVE:
@@ -156,13 +167,16 @@ def implies_no_remove(premises: ConstraintSet, current: DataTree,
     fresh = fresh_label_for(labels_of(q, *premises.ranges) | data_labels)
     wildcard_labels = sorted(data_labels) + [fresh]
     q_answers = evaluate_ids(q, current)
+    if range_hits is None:
+        range_hits = {c: evaluate_ids(c.range, current) for c in premises}
 
     checked = 0
     for model in canonical_models(q, cap, wildcard_labels=wildcard_labels, fresh=fresh):
         for candidate, output in merge_variants(model.tree, model.output,
                                                 budget=merge_budget):
             checked += 1
-            mapping = _identify(candidate, output, current, premises, q_answers)
+            mapping = _identify(candidate, output, current, premises, q_answers,
+                                range_hits)
             if mapping is None:
                 continue
             past = remap_ids(candidate, mapping)

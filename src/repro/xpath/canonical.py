@@ -18,11 +18,27 @@ implication engine and the instance-based engines.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from functools import lru_cache
 from itertools import product
 
 from repro.trees.ops import FRESH_LABEL
 from repro.trees.tree import DataTree
-from repro.xpath.ast import Axis, Pattern, Pred
+from repro.xpath.ast import Axis, Pattern, Pred, normalize
+
+
+@lru_cache(maxsize=65536)
+def canonical_pattern(pattern: Pattern) -> Pattern:
+    """The memoised canonical (normal) form of a pattern.
+
+    Canonical forms make structural equality coincide with syntactic
+    equality of the normal form (sibling predicates sorted and
+    deduplicated), which is what the session-API caches key on: two
+    patterns denote the same query whenever their canonical forms are
+    equal.  The parser already emits normal forms, so for parsed patterns
+    the result is structurally equal to the input; programmatically
+    assembled patterns pay one normalisation, amortised by the cache.
+    """
+    return normalize(pattern)
 
 
 class CanonicalModel:

@@ -1,0 +1,85 @@
+"""Unit tests for the memo cache and the batch report container."""
+
+import pytest
+
+from repro.api.batch import BatchReport, run_batch
+from repro.api.cache import LRUMemo
+from repro.constraints import no_insert
+from repro.implication.result import implied, not_implied
+from repro.constraints import ConstraintSet
+
+
+class TestLRUMemo:
+    def test_hit_miss_accounting(self):
+        memo = LRUMemo(maxsize=4)
+        calls = []
+        value = memo.get_or_compute("k", lambda: calls.append(1) or 41)
+        again = memo.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert value == again == 41
+        assert len(calls) == 1
+        assert memo.stats.hits == 1 and memo.stats.misses == 1
+        assert memo.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        memo = LRUMemo(maxsize=2)
+        memo.get_or_compute("a", lambda: 1)
+        memo.get_or_compute("b", lambda: 2)
+        memo.get_or_compute("a", lambda: None)   # refresh a
+        memo.get_or_compute("c", lambda: 3)      # evicts b, not a
+        assert "a" in memo and "c" in memo and "b" not in memo
+
+    def test_disabled_cache_always_recomputes(self):
+        memo = LRUMemo(maxsize=0)
+        assert not memo.enabled
+        values = [memo.get_or_compute("k", lambda: object()) for _ in range(3)]
+        assert len({id(v) for v in values}) == 3
+        assert memo.stats.hits == 0 and memo.stats.misses == 3
+
+    def test_unbounded_cache(self):
+        memo = LRUMemo(maxsize=None)
+        for i in range(100):
+            memo.get_or_compute(i, lambda i=i: i)
+        assert len(memo) == 100
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUMemo(maxsize=-1)
+
+    def test_clear(self):
+        memo = LRUMemo(maxsize=4)
+        memo.get_or_compute("k", lambda: 1)
+        memo.clear()
+        assert "k" not in memo and len(memo) == 0
+
+
+class TestBatchReport:
+    def _result(self, ok: bool):
+        premises = ConstraintSet([])
+        conclusion = no_insert("/a")
+        return (implied("t", premises, conclusion) if ok
+                else not_implied("t", premises, conclusion))
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            BatchReport((no_insert("/a"),), ())
+
+    def test_counts_and_iteration(self):
+        conclusions = (no_insert("/a"), no_insert("/b"), no_insert("/c"))
+        results = (self._result(True), self._result(False), None)
+        report = BatchReport(conclusions, results)
+        assert report.implied_count == 1
+        assert report.refuted_count == 1
+        assert report.skipped_count == 1
+        assert report.unknown_count == 0
+        assert list(report)[0] == (conclusions[0], results[0])
+        assert "skipped" in str(report)
+
+    def test_run_batch_fail_fast(self):
+        answers = {"/a": True, "/b": False, "/c": True}
+
+        def decide(conclusion):
+            return self._result(answers[str(conclusion.range)])
+
+        report = run_batch(decide, [no_insert("/a"), no_insert("/b"),
+                                    no_insert("/c")], fail_fast=True)
+        assert report[1].is_refuted and report[2] is None

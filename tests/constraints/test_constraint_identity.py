@@ -1,0 +1,85 @@
+"""Canonical-form identity of constraints and the spec-string parser."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    ConstraintType,
+    UpdateConstraint,
+    constraint_set,
+    no_insert,
+    no_remove,
+)
+from repro.xpath import parse
+from repro.xpath.ast import Pattern, Pred, Axis, Step
+
+
+def unnormalized(text_a: str, text_b: str) -> Pattern:
+    """A pattern /a[text_b][text_a] built with predicates out of order."""
+    pred_a = parse(text_a).as_boolean()
+    pred_b = parse(text_b).as_boolean()
+    return Pattern((Step(Axis.CHILD, "a", (pred_b, pred_a)),))
+
+
+class TestUpdateConstraintIdentity:
+    def test_equality_is_canonical(self):
+        assert no_remove("/a[/b][/c]") == no_remove("/a[/c][/b]")
+        assert no_remove("/a[/b]") != no_remove("/a[/c]")
+        assert no_remove("/a") != no_insert("/a")
+        assert no_remove("/a") != "not a constraint"
+
+    def test_hash_follows_equality(self):
+        variants = {no_remove("/a[/b][/c]"), no_remove("/a[/c][/b]")}
+        assert len(variants) == 1
+        raw = UpdateConstraint(unnormalized("/b", "/c"), ConstraintType.NO_REMOVE)
+        assert raw == no_remove("/a[/b][/c]")
+        assert hash(raw) == hash(no_remove("/a[/b][/c]"))
+
+    def test_canonical_returns_normal_form(self):
+        raw = UpdateConstraint(unnormalized("/c", "/b"), ConstraintType.NO_INSERT)
+        assert str(raw.canonical().range) == "/a[/b][/c]"
+        already = no_insert("/a[/b]")
+        assert already.canonical() == already  # parse output is already canonical
+        assert str(already.canonical().range) == "/a[/b]"
+
+    def test_repr_is_compact(self):
+        assert repr(no_remove("/a/b")) == "UpdateConstraint('/a/b', NO_REMOVE)"
+
+
+class TestConstraintSetIdentity:
+    def test_order_and_duplicates_are_irrelevant(self):
+        a = constraint_set(("/a", "up"), ("/b", "down"))
+        b = constraint_set(("/b", "down"), ("/a", "up"), ("/a", "up"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_different_members_differ(self):
+        assert constraint_set(("/a", "up")) != constraint_set(("/a", "down"))
+        assert constraint_set(("/a", "up")) != "something else"
+
+    def test_repr_round_trips_members(self):
+        cs = constraint_set(("/a", "up"))
+        assert repr(cs) == "ConstraintSet([UpdateConstraint('/a', NO_REMOVE)])"
+
+
+class TestSpecStringParsing:
+    @pytest.mark.parametrize("spec,ctype", [
+        ("/a/b ^", ConstraintType.NO_REMOVE),
+        ("/a/b   ↑", ConstraintType.NO_REMOVE),
+        ("  /a/b v  ", ConstraintType.NO_INSERT),
+        ("/a/b\t↓", ConstraintType.NO_INSERT),
+    ])
+    def test_whitespace_tolerant_specs(self, spec, ctype):
+        (constraint,) = constraint_set(spec)
+        assert constraint.type is ctype
+        assert str(constraint.range) == "/a/b"
+
+    @pytest.mark.parametrize("spec", ["/a/b", "/a/b ^ extra", "   "])
+    def test_malformed_specs_raise_clearly(self, spec):
+        with pytest.raises(ValueError, match="must be '<xpath> <type>'"):
+            constraint_set(spec)
+
+    def test_unknown_type_still_reported(self):
+        with pytest.raises(ValueError, match="unknown constraint type"):
+            constraint_set("/a/b sideways")

@@ -161,6 +161,56 @@ def test_instance_verdicts_carry_sound_certificates(seed):
 
 
 @given(seed=seeds)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_reasoner_agrees_with_legacy_implies(seed):
+    """A compiled, memoising session answers exactly like the free function."""
+    from repro import Reasoner
+
+    rng = random.Random(seed)
+    spec = SPECS[rng.randint(0, 3)]
+    premises = random_constraints(rng, LABELS, spec, count=rng.randint(1, 3),
+                                  types=rng.choice(["up", "down", "mixed"]),
+                                  spine=2)
+    reasoner = Reasoner(premises)
+    for _ in range(3):  # repeated queries exercise the memo path too
+        kind = rng.choice(list(ConstraintType))
+        conclusion = UpdateConstraint(
+            random_pattern(rng, LABELS, spec, spine=2), kind)
+        legacy = implies(premises, conclusion)
+        session = reasoner.implies(conclusion)
+        cached = reasoner.implies(conclusion)
+        assert session.answer is legacy.answer, (str(premises), str(conclusion))
+        assert session.engine == legacy.engine
+        assert cached.answer is session.answer
+        assert cached.conclusion is conclusion  # re-anchored on the query
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_bound_reasoner_agrees_with_legacy_implies_on(seed):
+    """Per-tree caching never changes an instance-based verdict."""
+    from repro import Reasoner
+
+    rng = random.Random(seed)
+    spec = SPECS[rng.randint(0, 1)]
+    types = rng.choice(["up", "down", "mixed"])
+    premises = random_constraints(rng, LABELS, spec, count=2, types=types,
+                                  spine=2)
+    current = random_tree(rng, LABELS, size=4)
+    bound = Reasoner(premises).bind(current)
+    for _ in range(2):
+        kind = rng.choice(list(ConstraintType))
+        conclusion = UpdateConstraint(
+            random_pattern(rng, LABELS, spec, spine=2), kind)
+        legacy = implies_on(premises, current, conclusion)
+        session = bound.implies_on(conclusion)
+        assert session.answer is legacy.answer, (str(premises), str(conclusion))
+        assert session.engine == legacy.engine
+
+
+@given(seed=seeds)
 @RELAXED
 def test_general_implication_implies_instance_based(seed):
     """The paper: general implication entails instance-based implication."""
