@@ -1,0 +1,214 @@
+"""Indexed-kernel throughput: naive evaluation vs the TreeIndex fast path.
+
+Two workloads, both checksummed so the two paths are provably answering
+identically:
+
+* **pattern evaluation** — a pool of concrete ``XP{/,[],//}`` patterns (the
+  paper presents its results for concrete paths) evaluated as a repeated
+  stream over one ~1k-node tree, the session workload bench_api models
+  ("real traffic repeats itself"): the naive two-phase evaluator (re-walks
+  subtrees per step) vs one :class:`IndexedEvaluator` snapshot (label-index
+  seeding, interval containment, predicate + query memos shared across the
+  whole stream).  The snapshot build is charged to the indexed path, and a
+  ``distinct_only`` column isolates pure first-evaluation speedup from the
+  memo's contribution.
+* **instance implication** — a stream of distinct conclusions against one
+  ``(C, J)``: the legacy one-shot ``implies_on`` (naive evaluation, no
+  sharing) vs ``Reasoner(C).bind(J)`` (indexed snapshot + shared premise
+  answer sets).
+
+Run:  PYTHONPATH=src python benchmarks/bench_eval.py [output.json] [--smoke]
+
+Emits ``BENCH_eval.json`` at the repo root by default.  Exits non-zero when
+verdict/answer checksums diverge or a speedup floor is missed — ``--smoke``
+(the CI mode) shrinks the workload and only enforces the  floors at 1.0x,
+so a slow runner cannot flake the build while a real regression (indexed
+slower than naive) still fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro import Reasoner, implies_on
+from repro.constraints.model import ConstraintType, UpdateConstraint
+from repro.workloads import FragmentSpec, random_constraints, random_pattern, random_tree
+from repro.xpath import IndexedEvaluator
+from repro.xpath.evaluator import evaluate_ids
+
+SEED = 20070611  # PODS 2007
+LABELS = [f"l{i}" for i in range(8)]
+
+
+def timed(fn, queries: int, rounds: int) -> float:
+    """Best-of-``rounds`` queries/sec for ``fn`` (runs the whole stream)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return queries / best
+
+
+def answer_checksum(answer_sets) -> int:
+    total = 0
+    for ids in answer_sets:
+        total = (total * 1_000_003 + hash(tuple(sorted(ids)))) % (2 ** 61)
+    return total
+
+
+def verdict_checksum(results) -> int:
+    code = {"implied": 1, "not-implied": 2, "unknown": 0}
+    total = 0
+    for result in results:
+        total = (total * 3 + code[result.answer.value]) % (2 ** 31)
+    return total
+
+
+def bench_eval(tree_size: int, pool_size: int, repeats: int, rounds: int) -> dict:
+    rng = random.Random(SEED)
+    tree = random_tree(rng, LABELS, size=tree_size)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    pool = [random_pattern(rng, LABELS, spec, spine=rng.randint(2, 4))
+            for _ in range(pool_size)]
+    stream = pool * repeats
+    rng.shuffle(stream)
+
+    naive_out, indexed_out = [], []
+
+    def naive():
+        naive_out.clear()
+        naive_out.extend(evaluate_ids(p, tree) for p in stream)
+
+    def indexed():
+        indexed_out.clear()
+        ctx = IndexedEvaluator.for_tree(tree)  # snapshot build charged here
+        indexed_out.extend(ctx.evaluate_ids(p) for p in stream)
+
+    def naive_distinct():
+        for p in pool:
+            evaluate_ids(p, tree)
+
+    def indexed_distinct():
+        ctx = IndexedEvaluator.for_tree(tree)
+        for p in pool:
+            ctx.evaluate_ids(p)
+
+    naive_qps = timed(naive, len(stream), rounds)
+    indexed_qps = timed(indexed, len(stream), rounds)
+    naive_distinct_qps = timed(naive_distinct, len(pool), rounds)
+    indexed_distinct_qps = timed(indexed_distinct, len(pool), rounds)
+    naive_sum = answer_checksum(naive_out)
+    indexed_sum = answer_checksum(indexed_out)
+    return {
+        "tree_size": tree.size,
+        "distinct_patterns": len(pool),
+        "queries": len(stream),
+        "naive_qps": round(naive_qps, 1),
+        "indexed_qps": round(indexed_qps, 1),
+        "speedup": round(indexed_qps / naive_qps, 2),
+        "distinct_only": {
+            "naive_qps": round(naive_distinct_qps, 1),
+            "indexed_qps": round(indexed_distinct_qps, 1),
+            "speedup": round(indexed_distinct_qps / naive_distinct_qps, 2),
+        },
+        "answers_match": naive_sum == indexed_sum,
+        "answer_checksum": naive_sum,
+    }
+
+
+def bench_instance(tree_size: int, pool_size: int, rounds: int) -> dict:
+    rng = random.Random(SEED)
+    tree = random_tree(rng, LABELS[:3], size=tree_size)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=True)
+    premises = random_constraints(rng, LABELS[:3], spec, count=6,
+                                  types="down", spine=2)
+    conclusions = [
+        UpdateConstraint(random_pattern(rng, LABELS[:3], spec, spine=2),
+                         ConstraintType.NO_INSERT)
+        for _ in range(pool_size)
+    ]
+
+    legacy_out, bound_out = [], []
+
+    def legacy():
+        legacy_out.clear()
+        legacy_out.extend(implies_on(premises, tree, c) for c in conclusions)
+
+    def bound():
+        bound_out.clear()
+        session = Reasoner(premises).bind(tree)  # snapshot charged here
+        bound_out.extend(session.implies_on(c) for c in conclusions)
+
+    legacy_qps = timed(legacy, len(conclusions), rounds)
+    bound_qps = timed(bound, len(conclusions), rounds)
+    legacy_sum = verdict_checksum(legacy_out)
+    bound_sum = verdict_checksum(bound_out)
+    return {
+        "tree_size": tree.size,
+        "conclusions": len(conclusions),
+        "premises": len(premises),
+        "legacy_qps": round(legacy_qps, 2),
+        "bound_qps": round(bound_qps, 2),
+        "speedup": round(bound_qps / legacy_qps, 2),
+        "verdicts_match": legacy_sum == bound_sum,
+        "verdict_checksum": legacy_sum,
+    }
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    smoke = "--smoke" in args
+    if smoke:
+        args.remove("--smoke")
+    out_path = (Path(args[0]) if args
+                else Path(__file__).resolve().parent.parent / "BENCH_eval.json")
+
+    if smoke:
+        eval_row = bench_eval(tree_size=300, pool_size=10, repeats=3, rounds=2)
+        instance_row = bench_instance(tree_size=60, pool_size=8, rounds=2)
+        eval_floor, instance_floor = 1.0, 1.0
+    else:
+        eval_row = bench_eval(tree_size=1000, pool_size=20, repeats=5, rounds=3)
+        instance_row = bench_instance(tree_size=150, pool_size=15, rounds=3)
+        eval_floor, instance_floor = 10.0, 3.0
+
+    report = {
+        "benchmark": "indexed tree kernel: naive vs TreeIndex evaluation",
+        "seed": SEED,
+        "mode": "smoke" if smoke else "full",
+        "pattern_evaluation": eval_row,
+        "instance_implication": instance_row,
+        "floors": {"pattern_evaluation": eval_floor,
+                   "instance_implication": instance_floor},
+    }
+    out_path.write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
+    print(f"eval    : naive {eval_row['naive_qps']:>9} q/s | "
+          f"indexed {eval_row['indexed_qps']:>9} q/s | x{eval_row['speedup']}")
+    print(f"instance: legacy {instance_row['legacy_qps']:>8} q/s | "
+          f"bound   {instance_row['bound_qps']:>9} q/s | x{instance_row['speedup']}")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if not eval_row["answers_match"]:
+        failures.append("pattern-evaluation answer sets diverged")
+    if not instance_row["verdicts_match"]:
+        failures.append("instance-implication verdicts diverged")
+    if eval_row["speedup"] < eval_floor:
+        failures.append(f"pattern-evaluation speedup {eval_row['speedup']} "
+                        f"< floor {eval_floor}")
+    if instance_row["speedup"] < instance_floor:
+        failures.append(f"instance-implication speedup {instance_row['speedup']} "
+                        f"< floor {instance_floor}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -56,8 +56,8 @@ from repro.implication import (
     implies_single,
 )
 from repro.instance import implies_on
-from repro.trees import DataTree, Node, branch, build, leaf, parse_tree
-from repro.xpath import Pattern, contained, equivalent, evaluate, parse
+from repro.trees import DataTree, Node, TreeIndex, branch, build, leaf, parse_tree
+from repro.xpath import IndexedEvaluator, Pattern, contained, equivalent, evaluate, parse
 
 __version__ = "1.0.0"
 
@@ -66,9 +66,10 @@ __all__ = [
     # session API
     "Reasoner", "BoundReasoner", "BatchReport", "CacheStats",
     # trees
-    "DataTree", "Node", "branch", "build", "leaf", "parse_tree",
+    "DataTree", "TreeIndex", "Node", "branch", "build", "leaf", "parse_tree",
     # xpath
     "Pattern", "parse", "evaluate", "contained", "equivalent",
+    "IndexedEvaluator",
     # constraints
     "ConstraintType", "UpdateConstraint", "ConstraintSet", "constraint_set",
     "no_remove", "no_insert", "immutable", "relative", "RelativeConstraint",

@@ -66,6 +66,7 @@ from repro.trees.tree import DataTree
 from repro.xpath.ast import Pattern
 from repro.xpath.containment import contained
 from repro.xpath.evaluator import evaluate_ids
+from repro.xpath.indexed import IndexedEvaluator
 from repro.xpath.intersection import intersect_child_only
 from repro.xpath.properties import Fragment, is_linear
 
@@ -244,9 +245,18 @@ class Reasoner:
         decide = partial(self.implies, require_decision=require_decision)
         return run_batch(decide, conclusions, fail_fast=fail_fast)
 
-    def bind(self, current: DataTree) -> "BoundReasoner":
-        """Fix the current instance ``J`` for instance-based queries."""
-        return BoundReasoner(self, current)
+    def bind(self, current: DataTree, indexed: bool = True) -> "BoundReasoner":
+        """Fix the current instance ``J`` for instance-based queries.
+
+        With ``indexed=True`` (the default) the binding compiles a
+        :class:`repro.trees.index.TreeIndex` snapshot of ``J`` and serves
+        every range evaluation through the label-indexed evaluator, sharing
+        one predicate memo across all queries on the binding.  Verdicts are
+        bit-identical either way; ``indexed=False`` keeps the naive
+        evaluation path (used by the legacy wrapper and the benchmarks'
+        baseline).
+        """
+        return BoundReasoner(self, current, indexed=indexed)
 
     def implies_on(self, current: DataTree, conclusion: UpdateConstraint,
                    require_decision: bool = False,
@@ -310,20 +320,24 @@ class BoundReasoner:
     """A :class:`Reasoner` bound to one current instance ``J``.
 
     Caches everything that depends on ``J`` but not on the conclusion —
-    most importantly the answer set of every premise range on ``J``, which
-    the per-witness no-insert engine consumes for each conclusion — plus a
-    result memo keyed on canonical conclusions.
+    the :class:`~repro.trees.index.TreeIndex` snapshot powering label-
+    indexed evaluation, the answer set of every premise range on ``J``
+    (which the per-witness no-insert engine consumes for each conclusion),
+    and a result memo keyed on canonical conclusions.
 
     The bound tree must not be mutated while the binding is in use;
-    mutate-and-requery through a fresh :meth:`Reasoner.bind`.  A cheap
-    size-based staleness guard catches insertions and deletions (label
-    rewrites and moves that preserve the node count escape it).
+    mutate-and-requery through a fresh :meth:`Reasoner.bind`.  The
+    snapshot's mutation-version guard catches every structural change
+    (indexed bindings); unindexed bindings fall back to the cheaper
+    size-based guard, which moves and relabels can escape.
     """
 
-    def __init__(self, reasoner: Reasoner, current: DataTree):
+    def __init__(self, reasoner: Reasoner, current: DataTree,
+                 indexed: bool = True):
         self._reasoner = reasoner
         self._current = current
         self._size_at_bind = current.size
+        self._context = IndexedEvaluator.for_tree(current) if indexed else None
         self._range_hits: dict[UpdateConstraint, set[int]] = {}
         self._memo = LRUMemo(reasoner.memo_size)
 
@@ -334,6 +348,11 @@ class BoundReasoner:
     @property
     def current(self) -> DataTree:
         return self._current
+
+    @property
+    def context(self) -> IndexedEvaluator | None:
+        """The binding's indexed snapshot (``None`` for ``indexed=False``)."""
+        return self._context
 
     def premise_answers(self) -> dict[UpdateConstraint, set[int]]:
         """``{c: c.range(J)}`` for every premise, evaluated once per binding.
@@ -356,10 +375,16 @@ class BoundReasoner:
         for constraint in constraints:
             if constraint not in self._range_hits:
                 self._range_hits[constraint] = evaluate_ids(
-                    constraint.range, self._current)
+                    constraint.range, self._current, context=self._context)
         return self._range_hits
 
     def _check_fresh(self) -> None:
+        if self._context is not None and not self._context.covers(self._current):
+            raise ValueError(
+                "the bound tree mutated since bind(); a BoundReasoner "
+                "caches an indexed snapshot and per-tree answer sets — "
+                "rebind after mutating J"
+            )
         if self._current.size != self._size_at_bind:
             raise ValueError(
                 "the bound tree changed size since bind(); a BoundReasoner "
@@ -419,30 +444,36 @@ class BoundReasoner:
 
         if len(same) == 0:
             # Covers the empty premise set too: same closed forms.
-            return implies_cross_type(premises, current, conclusion)
+            return implies_cross_type(premises, current, conclusion,
+                                      context=self._context)
 
         if len(other) == 0:
             if conclusion.type is ConstraintType.NO_INSERT:
                 return implies_no_insert(premises, current, conclusion,
-                                         range_hits=self._hits_for(premises))
+                                         range_hits=self._hits_for(premises),
+                                         context=self._context)
             return implies_no_remove(premises, current, conclusion,
-                                     range_hits=self._hits_for(premises))
+                                     range_hits=self._hits_for(premises),
+                                     context=self._context)
 
         # --------------------------------------------------------------
         # Mixed types: sound subset test, then validated refutation search.
         # --------------------------------------------------------------
         if conclusion.type is ConstraintType.NO_INSERT:
             subset_result = implies_no_insert(same, current, conclusion,
-                                              range_hits=self._hits_for(same))
+                                              range_hits=self._hits_for(same),
+                                              context=self._context)
         else:
             subset_result = implies_no_remove(same, current, conclusion,
-                                              range_hits=self._hits_for(same))
+                                              range_hits=self._hits_for(same),
+                                              context=self._context)
         if subset_result.is_implied:
             return implied(INSTANCE_HYBRID_ENGINE, premises, conclusion,
                            reason=f"already implied by the {len(same)} same-type "
                                   f"premise(s): {subset_result.reason}")
         certificate = bounded_refutation(premises, current, conclusion,
-                                         max_moves=max_moves, budget=search_budget)
+                                         max_moves=max_moves, budget=search_budget,
+                                         context=self._context)
         if certificate is not None:
             return not_implied(INSTANCE_HYBRID_ENGINE, premises, conclusion,
                                certificate,

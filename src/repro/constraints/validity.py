@@ -47,10 +47,17 @@ class Violation:
 
 
 def violation_of(before: DataTree, after: DataTree,
-                 constraint: UpdateConstraint) -> Violation | None:
-    """The violation witness of one constraint on ``(before, after)``."""
-    answers_before = evaluate(constraint.range, before)
-    answers_after = evaluate(constraint.range, after)
+                 constraint: UpdateConstraint,
+                 before_ctx=None, after_ctx=None) -> Violation | None:
+    """The violation witness of one constraint on ``(before, after)``.
+
+    ``before_ctx`` / ``after_ctx`` optionally carry
+    :class:`repro.xpath.indexed.IndexedEvaluator` snapshots of the two
+    trees; the refutation searches re-check thousands of candidate pasts
+    against one fixed ``after``, so its snapshot amortises across them all.
+    """
+    answers_before = evaluate(constraint.range, before, context=before_ctx)
+    answers_after = evaluate(constraint.range, after, context=after_ctx)
     if constraint.type is ConstraintType.NO_REMOVE:
         missing = answers_before - answers_after
         if missing:
@@ -63,24 +70,30 @@ def violation_of(before: DataTree, after: DataTree,
 
 
 def satisfies(before: DataTree, after: DataTree,
-              constraint: UpdateConstraint) -> bool:
+              constraint: UpdateConstraint,
+              before_ctx=None, after_ctx=None) -> bool:
     """Definition 2.3 for a single constraint."""
-    return violation_of(before, after, constraint) is None
+    return violation_of(before, after, constraint,
+                        before_ctx=before_ctx, after_ctx=after_ctx) is None
 
 
 def is_valid(before: DataTree, after: DataTree,
-             constraints: ConstraintSet | Iterable[UpdateConstraint]) -> bool:
+             constraints: ConstraintSet | Iterable[UpdateConstraint],
+             before_ctx=None, after_ctx=None) -> bool:
     """Is the pair valid for every constraint?"""
-    return all(satisfies(before, after, c) for c in constraints)
+    return all(satisfies(before, after, c,
+                         before_ctx=before_ctx, after_ctx=after_ctx)
+               for c in constraints)
 
 
 def explain_violations(before: DataTree, after: DataTree,
-                       constraints: ConstraintSet | Iterable[UpdateConstraint]
-                       ) -> list[Violation]:
+                       constraints: ConstraintSet | Iterable[UpdateConstraint],
+                       before_ctx=None, after_ctx=None) -> list[Violation]:
     """All violation witnesses of the pair (empty list = valid)."""
     found = []
     for constraint in constraints:
-        violation = violation_of(before, after, constraint)
+        violation = violation_of(before, after, constraint,
+                                 before_ctx=before_ctx, after_ctx=after_ctx)
         if violation is not None:
             found.append(violation)
     return found
@@ -96,6 +109,8 @@ def check_sequence(instances: Sequence[DataTree],
     data-oriented *valid for I_k* notion.  Returns all violations found,
     tagged with the pair indices.
     """
+    from repro.xpath.indexed import IndexedEvaluator
+
     constraint_list = list(constraints)
     problems: list[tuple[int, int, Violation]] = []
     if pairwise:
@@ -106,7 +121,16 @@ def check_sequence(instances: Sequence[DataTree],
         ]
     else:
         pairs = [(0, len(instances) - 1)] if len(instances) > 1 else []
+    # Each checked instance participates in up to n-1 pairs; one snapshot
+    # per instance shares every range's evaluation across them.  Instances
+    # outside `pairs` (non-pairwise mode) never pay for a snapshot.
+    needed = {index for pair in pairs for index in pair}
+    contexts = {index: IndexedEvaluator.for_tree(instances[index])
+                for index in needed}
     for i, j in pairs:
-        for violation in explain_violations(instances[i], instances[j], constraint_list):
+        for violation in explain_violations(instances[i], instances[j],
+                                            constraint_list,
+                                            before_ctx=contexts[i],
+                                            after_ctx=contexts[j]):
             problems.append((i, j, violation))
     return problems

@@ -29,11 +29,15 @@ ENGINE = "instance-cross-type"
 
 
 def implies_cross_type(premises: ConstraintSet, current: DataTree,
-                       conclusion: UpdateConstraint) -> ImplicationResult:
-    """Exact answer when no premise has the conclusion's type."""
+                       conclusion: UpdateConstraint,
+                       context=None) -> ImplicationResult:
+    """Exact answer when no premise has the conclusion's type.
+
+    ``context`` optionally carries an indexed snapshot of ``current``.
+    """
     assert len(premises.of_type(conclusion.type)) == 0
     if conclusion.type is ConstraintType.NO_INSERT:
-        answers = evaluate_ids(conclusion.range, current)
+        answers = evaluate_ids(conclusion.range, current, context=context)
         if not answers:
             return implied(ENGINE, premises, conclusion,
                            reason="q(J) is empty: no insertion to explain")

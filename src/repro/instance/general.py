@@ -36,17 +36,21 @@ def implies_on(premises: ConstraintSet | Iterable[UpdateConstraint],
                conclusion: UpdateConstraint,
                require_decision: bool = False,
                max_moves: int = 2,
-               search_budget: int = 5000) -> ImplicationResult:
+               search_budget: int = 5000,
+               indexed: bool = False) -> ImplicationResult:
     """Decide ``C ⊨_J c`` (Definition 2.5).
 
     The dispatch lives in :class:`repro.api.session.BoundReasoner`; this
     free function wraps a transient, cache-free session.  Callers asking
     many conclusions against one ``(C, J)`` should hold
-    ``Reasoner(C).bind(J)`` instead and reuse its per-tree answer sets.
+    ``Reasoner(C).bind(J)`` instead and reuse its indexed snapshot and
+    per-tree answer sets.  ``indexed=True`` builds the snapshot even for
+    this one-shot call (worth it on large ``J``); the default keeps the
+    naive path, which the benchmarks use as their baseline.
     """
     from repro.api.session import Reasoner
 
     session = Reasoner(premises, memo_size=0, precompile=False)
-    return session.bind(current).implies_on(
+    return session.bind(current, indexed=indexed).implies_on(
         conclusion, require_decision=require_decision,
         max_moves=max_moves, search_budget=search_budget)

@@ -65,12 +65,17 @@ def implies_no_insert(premises: ConstraintSet, current: DataTree,
                       conclusion: UpdateConstraint,
                       engine: str = ENGINE,
                       range_hits: dict[UpdateConstraint, set[int]] | None = None,
+                      context=None,
                       ) -> ImplicationResult:
     """Exact ``C ⊨_J c`` for an all-``↓`` problem (any fragment).
 
     ``range_hits`` optionally supplies ``{c: c.range(current)}`` computed
     elsewhere — a :class:`repro.api.BoundReasoner` evaluates every premise
     range once per tree and shares the answer sets across conclusions.
+    ``context`` optionally carries the bound reasoner's
+    :class:`repro.xpath.indexed.IndexedEvaluator` snapshot of ``current``,
+    so both the default ``range_hits`` and ``q(J)`` come from label-indexed
+    evaluation with a shared predicate memo.
     """
     if any(c.type is not ConstraintType.NO_INSERT for c in premises):
         raise FragmentError("no-insert engine requires an all-no-insert premise set")
@@ -80,8 +85,9 @@ def implies_no_insert(premises: ConstraintSet, current: DataTree,
     premises.require_concrete()
     q = conclusion.range
     if range_hits is None:
-        range_hits = {c: evaluate_ids(c.range, current) for c in premises}
-    q_ids = evaluate_ids(q, current)
+        range_hits = {c: evaluate_ids(c.range, current, context=context)
+                      for c in premises}
+    q_ids = evaluate_ids(q, current, context=context)
     for node in sorted(q_ids):
         hit = [c.range for c in premises if node in range_hits[c]]
         if not hit:

@@ -57,39 +57,94 @@ def merge_variants(tree: DataTree, output: int, budget: int = 512):
     Yields ``(tree, output)`` pairs, the original included, deduplicated by
     shape.  Merging two same-labelled siblings redirects the children of one
     under the other; the output node always survives a merge involving it.
+
+    The walk is copy-free: every quotient is realised on ONE scratch tree by
+    a merge journal (move children, drop the emptied sibling) that is undone
+    after the recursive exploration returns.  The yielded tree is therefore
+    only valid until the generator is advanced — consumers that keep a
+    candidate must :meth:`~repro.trees.tree.DataTree.copy` it (the engine
+    below materialises through ``remap_ids``, which already copies).
     """
+    scratch = tree.copy()
     seen: set[tuple] = set()
-    stack: list[tuple[DataTree, int]] = [(tree, output)]
     produced = 0
-    while stack and produced < budget:
-        current, out = stack.pop()
-        key = _shape_key(current, out)
-        if key in seen:
-            continue
-        seen.add(key)
-        produced += 1
-        yield current, out
-        for parent in list(current.node_ids()):
-            kids = current.children(parent)
+
+    def merge_ops():
+        """Applicable (parent, keep, drop) merges of the current scratch."""
+        ops = []
+        for parent in list(scratch.node_ids()):
+            kids = scratch.children(parent)
             for i in range(len(kids)):
                 for j in range(i + 1, len(kids)):
                     a, b = kids[i], kids[j]
-                    if current.label(a) != current.label(b):
+                    if scratch.label(a) != scratch.label(b):
                         continue
-                    keep, drop = (a, b) if b != out else (b, a)
-                    merged = current.copy()
-                    for child in merged.children(drop):
-                        merged.move(child, keep)
-                    merged.remove_subtree(drop)
-                    stack.append((merged, out))
+                    keep, drop = (a, b) if b != output else (b, a)
+                    ops.append((parent, keep, drop))
+        return ops
+
+    def apply(parent, keep, drop):
+        moved = list(scratch.children(drop))
+        drop_label = scratch.label(drop)
+        for child in moved:
+            scratch.move(child, keep)
+        scratch.remove_subtree(drop)
+        return (parent, drop, drop_label, moved)
+
+    def revert(record):
+        # Revive the dropped sibling (same id, same label) and hand its
+        # children back.
+        parent, drop, drop_label, moved = record
+        scratch.add_child(parent, drop_label, nid=drop)
+        for child in moved:
+            scratch.move(child, drop)
+
+    seen.add(_shape_key(scratch, output))
+    produced += 1
+    yield scratch, output
+    # Explicit DFS (no recursion limit on long merge chains): one iterator
+    # of untried ops per depth, one applied-merge record per depth below
+    # the original tree.
+    pending = [iter(merge_ops())]
+    applied: list[tuple] = []
+    while pending:
+        op = next(pending[-1], None)
+        if op is None:
+            pending.pop()
+            if applied:
+                revert(applied.pop())
+            continue
+        record = apply(*op)
+        key = _shape_key(scratch, output)
+        if key in seen:
+            revert(record)
+            continue
+        seen.add(key)
+        produced += 1
+        yield scratch, output
+        if produced >= budget:
+            return
+        applied.append(record)
+        pending.append(iter(merge_ops()))
 
 
-def _shape_key(tree: DataTree, out: int) -> tuple:
-    def shape(nid: int) -> tuple:
-        kids = sorted(shape(c) for c in tree.children(nid))
-        return ((tree.label(nid), nid == out), tuple(kids))
-
-    return shape(tree.root)
+def _shape_key(tree: DataTree, out: int) -> str:
+    # Iterative fold (reversed preorder visits children before parents) into
+    # FLAT strings: nested-tuple keys recurse during hashing/equality inside
+    # the dedup set, so deep quotient chains would hit the recursion limit.
+    # repr() quotes labels, keeping the serialisation unambiguous.
+    order: list[int] = []
+    stack = [tree.root]
+    while stack:
+        nid = stack.pop()
+        order.append(nid)
+        stack.extend(tree.children(nid))
+    keys: dict[int, str] = {}
+    for nid in reversed(order):
+        kids = sorted(keys.pop(c) for c in tree.children(nid))
+        mark = "*" if nid == out else ""
+        keys[nid] = f"{tree.label(nid)!r}{mark}({','.join(kids)})"
+    return keys[tree.root]
 
 
 # ----------------------------------------------------------------------
@@ -147,13 +202,17 @@ def implies_no_remove(premises: ConstraintSet, current: DataTree,
                       conclusion: UpdateConstraint,
                       merge_budget: int = 512,
                       range_hits: dict[UpdateConstraint, set[int]] | None = None,
+                      context=None,
                       ) -> ImplicationResult:
     """Instance-based implication for an all-``↑`` problem (Theorem 5.5).
 
     ``range_hits`` optionally supplies ``{c: c.range(current)}`` computed
     elsewhere (a :class:`repro.api.BoundReasoner` shares them across
     conclusions); otherwise they are evaluated once here and reused for
-    every candidate embedding.
+    every candidate embedding.  ``context`` optionally carries an
+    :class:`repro.xpath.indexed.IndexedEvaluator` snapshot of ``current``
+    for the ``J``-side evaluations (candidate embeddings are tiny and stay
+    on the naive path).
     """
     if any(c.type is not ConstraintType.NO_REMOVE for c in premises):
         raise FragmentError("no-remove engine requires an all-no-remove premise set")
@@ -166,9 +225,10 @@ def implies_no_remove(premises: ConstraintSet, current: DataTree,
     data_labels = {node.label for node in current.nodes() if node.nid != current.root}
     fresh = fresh_label_for(labels_of(q, *premises.ranges) | data_labels)
     wildcard_labels = sorted(data_labels) + [fresh]
-    q_answers = evaluate_ids(q, current)
+    q_answers = evaluate_ids(q, current, context=context)
     if range_hits is None:
-        range_hits = {c: evaluate_ids(c.range, current) for c in premises}
+        range_hits = {c: evaluate_ids(c.range, current, context=context)
+                      for c in premises}
 
     checked = 0
     for model in canonical_models(q, cap, wildcard_labels=wildcard_labels, fresh=fresh):

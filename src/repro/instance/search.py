@@ -18,6 +18,12 @@ via the embedding engine):
    replaced simultaneously, the discrete analogue of Theorem 5.2's
    "shuffle the truth assignments" counterexamples.
 
+The cascade walk is **copy-free**: all candidates are realised on one
+scratch tree through a move/undo journal, and a real
+:meth:`~repro.trees.tree.DataTree.copy` is materialised only for the
+candidate actually returned as a counterexample.  The fixed ``current``
+side of every validity re-check shares one indexed snapshot.
+
 The search never lies: an exhausted budget yields ``UNKNOWN``.
 """
 
@@ -27,21 +33,23 @@ from itertools import combinations
 
 from repro.constraints.model import ConstraintSet, UpdateConstraint
 from repro.constraints.validity import is_valid, violation_of
+from repro.errors import TreeError
 from repro.implication.result import Counterexample
 from repro.trees.tree import DataTree
 
 
 def _candidate_is_refutation(past: DataTree, current: DataTree,
                              premises: ConstraintSet,
-                             conclusion: UpdateConstraint) -> bool:
+                             conclusion: UpdateConstraint,
+                             context=None) -> bool:
     return (
-        violation_of(past, current, conclusion) is not None
-        and is_valid(past, current, premises)
+        violation_of(past, current, conclusion, after_ctx=context) is not None
+        and is_valid(past, current, premises, after_ctx=context)
     )
 
 
 def single_relocation_candidates(current: DataTree, conclusion: UpdateConstraint,
-                                 premises: ConstraintSet):
+                                 premises: ConstraintSet, context=None):
     """Pasts produced by the pure engines' constructions, to be re-checked."""
     from repro.constraints.model import ConstraintType
     from repro.instance.no_insert_engine import implies_no_insert
@@ -49,9 +57,9 @@ def single_relocation_candidates(current: DataTree, conclusion: UpdateConstraint
 
     same = premises.of_type(conclusion.type)
     if conclusion.type is ConstraintType.NO_INSERT:
-        outcome = implies_no_insert(same, current, conclusion)
+        outcome = implies_no_insert(same, current, conclusion, context=context)
     else:
-        outcome = implies_no_remove(same, current, conclusion)
+        outcome = implies_no_remove(same, current, conclusion, context=context)
     if outcome.counterexample is not None:
         yield outcome.counterexample.before, outcome.counterexample.witness
 
@@ -62,22 +70,37 @@ def cascade_candidates(current: DataTree, max_moves: int, budget: int):
     Relocation targets are other nodes of the tree (including the root);
     self- and descendant-targets are skipped.  ``budget`` caps the number of
     candidates generated.
+
+    Every candidate is the SAME scratch tree with a journal of moves
+    applied, undone before the next candidate — inspect the yielded tree
+    before advancing the generator, and ``copy()`` it to keep it.
     """
     movable = [nid for nid in current.node_ids() if nid != current.root]
+    targets = list(current.node_ids())
+    scratch = current.copy()
     produced = 0
     for count in range(1, max_moves + 1):
         for nodes in combinations(movable, count):
-            targets = [nid for nid in current.node_ids()]
             for assignment in _assignments(nodes, targets):
-                candidate = current.copy()
-                try:
-                    for nid, target in assignment:
-                        candidate.move(nid, target)
-                except Exception:
-                    continue
-                produced += 1
-                yield candidate, None
-                if produced >= budget:
+                journal: list[tuple[int, int]] = []
+                legal = True
+                for nid, target in assignment:
+                    old_parent = scratch.parent(nid)
+                    assert old_parent is not None
+                    try:
+                        scratch.move(nid, target)
+                    except TreeError:
+                        legal = False
+                        break
+                    journal.append((nid, old_parent))
+                if legal:
+                    produced += 1
+                    yield scratch, None
+                # Undo in reverse: each node returns to the parent it had
+                # when its move was applied, restoring the original tree.
+                for nid, old_parent in reversed(journal):
+                    scratch.move(nid, old_parent)
+                if legal and produced >= budget:
                     return
 
 
@@ -95,13 +118,23 @@ def _assignments(nodes, targets):
 
 def bounded_refutation(premises: ConstraintSet, current: DataTree,
                        conclusion: UpdateConstraint,
-                       max_moves: int = 2, budget: int = 5000
-                       ) -> Counterexample | None:
-    """Search the candidate families; return a *validated* certificate."""
-    for past, witness in single_relocation_candidates(current, conclusion, premises):
-        if _candidate_is_refutation(past, current, premises, conclusion):
+                       max_moves: int = 2, budget: int = 5000,
+                       context=None) -> Counterexample | None:
+    """Search the candidate families; return a *validated* certificate.
+
+    ``context`` optionally carries an indexed snapshot of ``current``; the
+    fixed side of every candidate's validity re-check then comes from
+    label-indexed evaluation with a memo shared across the whole search.
+    """
+    for past, witness in single_relocation_candidates(current, conclusion,
+                                                      premises, context=context):
+        if _candidate_is_refutation(past, current, premises, conclusion,
+                                    context=context):
             return Counterexample(past, current, witness=witness)
     for past, witness in cascade_candidates(current, max_moves, budget):
-        if _candidate_is_refutation(past, current, premises, conclusion):
-            return Counterexample(past, current, witness=witness)
+        if _candidate_is_refutation(past, current, premises, conclusion,
+                                    context=context):
+            # The scratch tree is reused by the generator: materialise the
+            # one candidate that escapes the search.
+            return Counterexample(past.copy(), current, witness=witness)
     return None

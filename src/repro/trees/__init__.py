@@ -1,6 +1,7 @@
 """Unordered XML data trees with node identity (paper Definition 2.1)."""
 
 from repro.trees.builders import Spec, branch, build, leaf, parse_tree
+from repro.trees.index import TreeIndex
 from repro.trees.node import Node, fresh_id, reset_ids
 from repro.trees.ops import (
     FRESH_LABEL,
@@ -20,6 +21,7 @@ from repro.trees.tree import ROOT_LABEL, DataTree
 
 __all__ = [
     "DataTree",
+    "TreeIndex",
     "Node",
     "ROOT_LABEL",
     "FRESH_LABEL",

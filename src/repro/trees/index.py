@@ -1,0 +1,268 @@
+"""Interval-encoded snapshots of data trees: the :class:`TreeIndex` kernel.
+
+The paper's instance-level algorithms (Theorems 5.4/5.5) are polynomial in
+``|J|``, but the naive :class:`~repro.trees.tree.DataTree` substrate answers
+``descendants()`` by re-walking the tree, ``is_ancestor`` in O(depth) and
+label lookups by full scans — so repeated pattern evaluation over one
+instance (the workload of every Table 2 engine and of a bound
+:class:`repro.api.session.BoundReasoner`) pays a quadratic-ish tax.
+
+A :class:`TreeIndex` freezes one tree into flat lookup structures:
+
+* an Euler-tour **pre/post interval numbering** — ``is_ancestor`` and
+  descendant-interval membership become two integer comparisons, and the
+  strict-descendant set of any node is a contiguous slice of the preorder
+  array;
+* a **label index**: label → preorder numbers of the nodes carrying it,
+  sorted by construction, so "descendants of ``n`` labelled ``a``" is one
+  ``bisect`` pair instead of a subtree scan;
+* per-node **depth** and **path-label** arrays (the node *words* consumed by
+  the linear-fragment engines);
+* the canonical shape/hash of the snapshot, computed by the shared
+  iterative (non-recursive) hasher.
+
+The snapshot records the tree's mutation :attr:`~repro.trees.tree.DataTree.
+version` at build time; :attr:`fresh` is the staleness test every consumer
+checks before trusting the index.  Mutate-and-requery means rebuilding — an
+index never observes mutations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import TreeError
+from repro.trees.node import Node
+from repro.trees.tree import DataTree, iter_canonical_shape
+
+
+class TreeIndex:
+    """A frozen, interval-encoded view of one :class:`DataTree`."""
+
+    __slots__ = ("_tree", "_built_version", "_root", "_pre", "_post",
+                 "_order", "_depth", "_labels", "_children", "_parent",
+                 "_by_label", "_paths", "_shape", "_shape_hash")
+
+    def __init__(self, tree: DataTree):
+        self._tree = tree
+        self._built_version = tree.version
+        self._root = tree.root
+        # One iterative Euler tour builds every structure at once.
+        pre: dict[int, int] = {}
+        post: dict[int, int] = {}
+        depth: dict[int, int] = {tree.root: 0}
+        order: list[int] = []
+        by_label: dict[str, list[int]] = {}
+        labels: dict[int, str] = {}
+        children: dict[int, tuple[int, ...]] = {}
+        parent: dict[int, int | None] = {tree.root: None}
+        tree_children = tree.children
+        tree_label = tree.label
+        stack: list[int] = [tree.root]
+        while stack:
+            nid = stack.pop()
+            pre[nid] = len(order)
+            order.append(nid)
+            label = tree_label(nid)
+            labels[nid] = label
+            bucket = by_label.get(label)
+            if bucket is None:
+                by_label[label] = [pre[nid]]
+            else:
+                bucket.append(pre[nid])
+            kids = tree_children(nid)
+            children[nid] = kids
+            if kids:
+                child_depth = depth[nid] + 1
+                for child in reversed(kids):
+                    depth[child] = child_depth
+                    parent[child] = nid
+                    stack.append(child)
+        # Preorder places a node's last child's subtree at the end of its
+        # interval, so one reversed pass closes every interval.
+        for nid in reversed(order):
+            kids = children[nid]
+            post[nid] = post[kids[-1]] if kids else pre[nid]
+        self._pre = pre
+        self._post = post
+        self._order = order
+        self._depth = depth
+        self._labels = labels
+        self._children = children
+        self._parent = parent
+        self._by_label = by_label
+        self._paths: dict[int, tuple[str, ...]] = {tree.root: ()}
+        self._shape: tuple | None = None
+        self._shape_hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Snapshot identity
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> DataTree:
+        return self._tree
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @property
+    def size(self) -> int:
+        return len(self._order)
+
+    @property
+    def fresh(self) -> bool:
+        """Does the snapshot still describe its tree exactly?"""
+        return self._tree.version == self._built_version
+
+    def covers(self, tree: DataTree) -> bool:
+        """Is this a fresh snapshot of ``tree`` (identity, not equality)?"""
+        return tree is self._tree and self.fresh
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._pre
+
+    # ------------------------------------------------------------------
+    # O(1) structure lookups
+    # ------------------------------------------------------------------
+    def label(self, nid: int) -> str:
+        try:
+            return self._labels[nid]
+        except KeyError:
+            raise TreeError(f"node {nid} not in snapshot") from None
+
+    def node(self, nid: int) -> Node:
+        return Node(nid, self.label(nid))
+
+    def children(self, nid: int) -> tuple[int, ...]:
+        try:
+            return self._children[nid]
+        except KeyError:
+            raise TreeError(f"node {nid} not in snapshot") from None
+
+    def parent(self, nid: int) -> int | None:
+        try:
+            return self._parent[nid]
+        except KeyError:
+            raise TreeError(f"node {nid} not in snapshot") from None
+
+    def depth(self, nid: int) -> int:
+        try:
+            return self._depth[nid]
+        except KeyError:
+            raise TreeError(f"node {nid} not in snapshot") from None
+
+    def pre(self, nid: int) -> int:
+        """Preorder (Euler-tour) number of ``nid``."""
+        return self._pre[nid]
+
+    def interval(self, nid: int) -> tuple[int, int]:
+        """``[pre, post]`` — preorder numbers of the subtree at ``nid``."""
+        return self._pre[nid], self._post[nid]
+
+    def is_ancestor(self, anc: int, nid: int) -> bool:
+        """Strict ancestry in O(1): interval containment."""
+        return self._pre[anc] < self._pre[nid] <= self._post[anc]
+
+    def in_subtree(self, nid: int, anchor: int) -> bool:
+        """Is ``nid`` in the subtree rooted at ``anchor`` (self included)?"""
+        return self._pre[anchor] <= self._pre[nid] <= self._post[anchor]
+
+    def path_labels(self, nid: int) -> tuple[str, ...]:
+        """Labels on the root-to-``nid`` path (root excluded) — the *word*
+        of the node; memoised via the parent chain, O(n) total."""
+        cached = self._paths.get(nid)
+        if cached is not None:
+            return cached
+        chain: list[int] = []
+        cur: int | None = nid
+        while cur is not None and cur not in self._paths:
+            chain.append(cur)
+            cur = self._parent.get(cur)
+        if cur is None and chain:
+            raise TreeError(f"node {nid} not in snapshot")
+        for node in reversed(chain):
+            par = self._parent[node]
+            assert par is not None
+            self._paths[node] = self._paths[par] + (self._labels[node],)
+        return self._paths[nid]
+
+    # ------------------------------------------------------------------
+    # Indexed candidate enumeration
+    # ------------------------------------------------------------------
+    def node_ids(self) -> tuple[int, ...]:
+        """All nodes in document (preorder) order."""
+        return tuple(self._order)
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """All nodes carrying ``label``, document order."""
+        order = self._order
+        return [order[p] for p in self._by_label.get(label, ())]
+
+    def descendants(self, nid: int, include_self: bool = False) -> list[int]:
+        """Strict descendants as a contiguous slice of the preorder array."""
+        lo = self._pre[nid] + (0 if include_self else 1)
+        return self._order[lo:self._post[nid] + 1]
+
+    def descendants_with_label(self, label: str, anchor: int) -> list[int]:
+        """Strict descendants of ``anchor`` labelled ``label``.
+
+        Two bisections on the label's sorted preorder numbers — O(log n +
+        answer) instead of scanning the whole subtree.
+        """
+        pres = self._by_label.get(label)
+        if not pres:
+            return []
+        lo = bisect_right(pres, self._pre[anchor])
+        hi = bisect_right(pres, self._post[anchor], lo=lo)
+        order = self._order
+        return [order[p] for p in pres[lo:hi]]
+
+    def count_descendants_with_label(self, label: str, anchor: int) -> int:
+        """Cardinality of :meth:`descendants_with_label`, O(log n)."""
+        pres = self._by_label.get(label)
+        if not pres:
+            return 0
+        lo = bisect_right(pres, self._pre[anchor])
+        return bisect_right(pres, self._post[anchor], lo=lo) - lo
+
+    def minimal_cover(self, nids) -> list[int]:
+        """Drop every node lying in another given node's subtree.
+
+        The survivors' descendant intervals are disjoint and cover exactly
+        the union of the inputs' intervals — the right anchor set for a
+        ``//`` step over a whole frontier.
+        """
+        survivors: list[int] = []
+        covered = -1
+        for nid in sorted(nids, key=self._pre.__getitem__):
+            if self._pre[nid] > covered:
+                survivors.append(nid)
+                covered = self._post[nid]
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Canonical shape (iterative hasher)
+    # ------------------------------------------------------------------
+    def canonical_shape(self) -> tuple:
+        """Canonical shape of the snapshot, iteratively folded and cached."""
+        if self._shape is None:
+            self._shape = iter_canonical_shape(self._root, self._labels,
+                                               self._children)
+            self._shape_hash = hash(self._shape)
+        return self._shape
+
+    def canonical_hash(self) -> int:
+        """Hash of :meth:`canonical_shape` (computed once per snapshot)."""
+        if self._shape_hash is None:
+            self.canonical_shape()
+        assert self._shape_hash is not None
+        return self._shape_hash
+
+    def __repr__(self) -> str:
+        state = "fresh" if self.fresh else "STALE"
+        return (f"TreeIndex(size={self.size}, root={self._root}, "
+                f"labels={len(self._by_label)}, {state})")
+
+
+__all__ = ["TreeIndex"]

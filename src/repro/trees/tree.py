@@ -28,10 +28,34 @@ from repro.trees.node import GLOBAL_IDS, Node, fresh_id
 ROOT_LABEL = "root"
 
 
+def iter_canonical_shape(root: int, labels: dict[int, str],
+                         children: dict[int, list[int]] | dict[int, tuple[int, ...]]
+                         ) -> tuple:
+    """Canonical shape of the subtree at ``root``, computed without recursion.
+
+    One preorder pass collects the subtree, then a reversed sweep (children
+    always precede their parent in reversed preorder) folds shapes bottom-up.
+    Shared by :meth:`DataTree.canonical_shape` and the
+    :class:`repro.trees.index.TreeIndex` snapshot hasher.
+    """
+    order: list[int] = []
+    stack = [root]
+    while stack:
+        nid = stack.pop()
+        order.append(nid)
+        stack.extend(children[nid])
+    shapes: dict[int, tuple] = {}
+    for nid in reversed(order):
+        kids = sorted(shapes.pop(c) for c in children[nid])
+        shapes[nid] = (labels[nid], tuple(kids))
+    return shapes[root]
+
+
 class DataTree:
     """A finite unordered tree over ``(id, label)`` nodes."""
 
-    __slots__ = ("_labels", "_parent", "_children", "_root")
+    __slots__ = ("_labels", "_parent", "_children", "_root", "_version",
+                 "_child_tuples", "_shape", "_shape_hash", "_shape_version")
 
     def __init__(self, root_label: str = ROOT_LABEL, root_id: int | None = None):
         rid = fresh_id() if root_id is None else root_id
@@ -40,6 +64,11 @@ class DataTree:
         self._parent: dict[int, int | None] = {rid: None}
         self._children: dict[int, list[int]] = {rid: []}
         self._root = rid
+        self._version = 0
+        self._child_tuples: dict[int, tuple[int, ...]] = {}
+        self._shape: tuple | None = None
+        self._shape_hash: int | None = None
+        self._shape_version = -1
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -53,6 +82,16 @@ class DataTree:
     def size(self) -> int:
         """Number of nodes, including the root."""
         return len(self._labels)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every structural change.
+
+        Snapshots (:class:`repro.trees.index.TreeIndex`) record the version
+        at build time and use it as a cheap staleness test — strictly finer
+        than comparing sizes, since moves and relabels preserve the count.
+        """
+        return self._version
 
     def label(self, nid: int) -> str:
         """Label of node ``nid``."""
@@ -73,11 +112,26 @@ class DataTree:
             raise TreeError(f"node {nid} not in tree") from None
 
     def children(self, nid: int) -> tuple[int, ...]:
-        """Identifiers of the children of ``nid``."""
+        """Identifiers of the children of ``nid``.
+
+        The tuple is cached per node (hot loops call this constantly) and
+        invalidated by the mutations that touch the node's child list.
+        """
+        cached = self._child_tuples.get(nid)
+        if cached is not None:
+            return cached
         try:
-            return tuple(self._children[nid])
+            result = tuple(self._children[nid])
         except KeyError:
             raise TreeError(f"node {nid} not in tree") from None
+        self._child_tuples[nid] = result
+        return result
+
+    def _touch(self, *nids: int) -> None:
+        """Invalidate caches after a mutation of the given child lists."""
+        self._version += 1
+        for nid in nids:
+            self._child_tuples.pop(nid, None)
 
     def __contains__(self, nid: int) -> bool:
         return nid in self._labels
@@ -159,6 +213,7 @@ class DataTree:
         self._parent[nid] = parent
         self._children[nid] = []
         self._children[parent].append(nid)
+        self._touch(parent)
         return nid
 
     def add_path(self, parent: int, labels: Iterable[str]) -> int:
@@ -180,6 +235,7 @@ class DataTree:
             del self._labels[d]
             del self._parent[d]
             del self._children[d]
+        self._touch(parent, *doomed)
 
     def move(self, nid: int, new_parent: int) -> None:
         """Re-attach the subtree rooted at ``nid`` under ``new_parent``.
@@ -199,6 +255,7 @@ class DataTree:
         self._children[old_parent].remove(nid)
         self._parent[nid] = new_parent
         self._children[new_parent].append(nid)
+        self._touch(old_parent, new_parent)
 
     def relabel_fresh(self, nid: int, label: str | None = None) -> int:
         """Replace node ``nid`` by a *fresh* node (new id, possibly new label).
@@ -222,6 +279,7 @@ class DataTree:
             self._parent[child] = new_id
         del self._labels[nid]
         del self._parent[nid]
+        self._touch(parent, nid)
         return new_id
 
     # ------------------------------------------------------------------
@@ -234,6 +292,13 @@ class DataTree:
         clone._parent = dict(self._parent)
         clone._children = {k: list(v) for k, v in self._children.items()}
         clone._root = self._root
+        clone._version = 0
+        clone._child_tuples = {}
+        # The copy is structurally identical, so a fresh shape cache carries over.
+        fresh_shape = self._shape_version == self._version
+        clone._shape = self._shape if fresh_shape else None
+        clone._shape_hash = self._shape_hash if fresh_shape else None
+        clone._shape_version = 0 if fresh_shape else -1
         return clone
 
     def same_instance(self, other: "DataTree") -> bool:
@@ -253,11 +318,20 @@ class DataTree:
 
         Two subtrees have equal canonical shapes iff they are isomorphic as
         labelled unordered trees.  Used for deduplication in enumeration
-        engines and for hashing canonical models.
+        engines and for hashing canonical models.  Computed iteratively (no
+        recursion limit on deep chains); the whole-tree shape is cached and
+        invalidated by mutation.
         """
         nid = self._root if nid is None else nid
-        kids = sorted(self.canonical_shape(c) for c in self._children[nid])
-        return (self._labels[nid], tuple(kids))
+        if nid == self._root and self._shape_version == self._version:
+            assert self._shape is not None
+            return self._shape
+        shape = iter_canonical_shape(nid, self._labels, self._children)
+        if nid == self._root:
+            self._shape = shape
+            self._shape_hash = hash(shape)
+            self._shape_version = self._version
+        return shape
 
     # ------------------------------------------------------------------
     # Validation & printing
@@ -303,4 +377,13 @@ class DataTree:
         return self.same_instance(other)
 
     def __hash__(self) -> int:
-        return hash((self._root, frozenset(self._labels.items())))
+        """Hash through the cached canonical shape.
+
+        Consistent with :meth:`__eq__` (equal instances share root id and
+        shape) and O(1) on repeated calls on an unmutated tree, instead of
+        rebuilding a frozenset of all labels every call.
+        """
+        if self._shape_version != self._version:
+            self.canonical_shape()
+        assert self._shape_hash is not None
+        return hash((self._root, self._shape_hash))

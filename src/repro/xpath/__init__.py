@@ -17,6 +17,7 @@ from repro.xpath.containment import (
     hom_contained,
 )
 from repro.xpath.evaluator import evaluate, evaluate_ids, matches_at, selects
+from repro.xpath.indexed import IndexedEvaluator
 from repro.xpath.intersection import (
     escape_witness,
     intersect_child_only,
@@ -48,6 +49,7 @@ __all__ = [
     "evaluate_ids",
     "selects",
     "matches_at",
+    "IndexedEvaluator",
     "contained",
     "hom_contained",
     "canonical_contained",

@@ -58,6 +58,15 @@ class Pred:
     label: str | None
     children: tuple["Pred", ...] = field(default=())
 
+    def __hash__(self) -> int:
+        # Structural hashing is O(subtree) — memo tables key on predicate
+        # nodes constantly, so compute it once per object.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.axis, self.label, self.children))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def sort_key(self) -> tuple:
         """Deterministic structural key used to canonicalise sibling order."""
         return (
@@ -85,6 +94,13 @@ class Step:
     label: str | None
     preds: tuple[Pred, ...] = field(default=())
 
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.axis, self.label, self.preds))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @cached_property
     def size(self) -> int:
         return 1 + sum(p.size for p in self.preds)
@@ -104,6 +120,13 @@ class Pattern:
     def __post_init__(self) -> None:
         if not self.steps:
             raise ValueError("a pattern needs at least one step")
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self.steps)
+            object.__setattr__(self, "_hash", h)
+        return h
 
     @property
     def output(self) -> Step:

@@ -69,25 +69,39 @@ class _Evaluation:
         return {self.tree.node(nid) for nid in frontier}
 
 
-def evaluate(pattern: Pattern, tree: DataTree, start: int | None = None) -> set[Node]:
+def evaluate(pattern: Pattern, tree: DataTree, start: int | None = None,
+             context=None) -> set[Node]:
     """Compute ``q(n, I)`` — by default ``q(I)`` with ``n`` the root.
 
     Returns the set of selected nodes as ``(id, label)`` pairs.
+
+    ``context`` optionally supplies an
+    :class:`repro.xpath.indexed.IndexedEvaluator` snapshot of ``tree``; when
+    it is fresh for this very tree the label-indexed fast path answers
+    (bit-identically), sharing its predicate memo with every other query on
+    the snapshot.  A stale or foreign context falls back to the naive sweep.
     """
+    if context is not None and context.covers(tree):
+        return context.evaluate(pattern, start)
     run = _Evaluation(tree)
     return run.evaluate(pattern, tree.root if start is None else start)
 
 
-def evaluate_ids(pattern: Pattern, tree: DataTree, start: int | None = None) -> set[int]:
+def evaluate_ids(pattern: Pattern, tree: DataTree, start: int | None = None,
+                 context=None) -> set[int]:
     """Like :func:`evaluate` but returning bare identifiers."""
+    if context is not None and context.covers(tree):
+        return context.evaluate_ids(pattern, start)
     return {node.nid for node in evaluate(pattern, tree, start)}
 
 
-def selects(pattern: Pattern, tree: DataTree, nid: int) -> bool:
+def selects(pattern: Pattern, tree: DataTree, nid: int, context=None) -> bool:
     """Is node ``nid`` in ``q(I)``?  (Membership test, same complexity.)"""
-    return nid in evaluate_ids(pattern, tree)
+    return nid in evaluate_ids(pattern, tree, context=context)
 
 
-def matches_at(pred: Pred, tree: DataTree, anchor: int) -> bool:
+def matches_at(pred: Pred, tree: DataTree, anchor: int, context=None) -> bool:
     """Boolean-pattern satisfaction: does ``pred`` hold at ``anchor``?"""
+    if context is not None and context.covers(tree):
+        return context.matches_at(pred, anchor)
     return _Evaluation(tree).pred_holds(pred, anchor)

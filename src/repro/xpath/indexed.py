@@ -1,0 +1,233 @@
+"""Label-indexed tree-pattern evaluation over a :class:`TreeIndex` snapshot.
+
+Same semantics as :mod:`repro.xpath.evaluator` (the two are cross-checked by
+a Hypothesis equivalence suite), different substrate:
+
+* each step's frontier is seeded from the snapshot's **label index** — a
+  ``//a`` step bisects the sorted preorder numbers of the ``a``-nodes
+  instead of walking every subtree under every anchor;
+* a ``//`` step first reduces the frontier to its **minimal interval
+  cover**, so overlapping subtrees are scanned once;
+* predicate satisfaction is memoised per ``(canonical predicate, node)``
+  and the memo lives on the :class:`IndexedEvaluator`, i.e. it is shared
+  across *all* queries asked against the same snapshot — a bound reasoner
+  evaluating many ranges over one instance hits it constantly.
+
+Predicates are canonicalised (:func:`repro.xpath.ast.normalize_preds`)
+before keying, so syntactically different but structurally equal predicates
+from different queries share memo rows.
+"""
+
+from __future__ import annotations
+
+from repro.trees.index import TreeIndex
+from repro.trees.node import Node
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Axis, Pattern, Pred, normalize, normalize_preds
+
+
+class IndexedEvaluator:
+    """A pattern-evaluation session pinned to one tree snapshot.
+
+    Build one per instance (or let :meth:`for_tree` / the ``context=``
+    fast paths do it) and ask any number of queries; every answer is
+    bit-identical to the naive evaluator on the same tree.
+    """
+
+    __slots__ = ("_index", "_pred_memo", "_canon", "_query_memo",
+                 "_canon_patterns")
+
+    def __init__(self, snapshot: TreeIndex | DataTree):
+        if isinstance(snapshot, DataTree):
+            snapshot = TreeIndex(snapshot)
+        self._index = snapshot
+        self._pred_memo: dict[tuple[Pred, int], bool] = {}
+        self._canon: dict[Pred, Pred] = {}
+        self._query_memo: dict[tuple[Pattern, int], frozenset[int]] = {}
+        self._canon_patterns: dict[Pattern, Pattern] = {}
+
+    @classmethod
+    def for_tree(cls, tree: DataTree) -> "IndexedEvaluator":
+        return cls(TreeIndex(tree))
+
+    @property
+    def index(self) -> TreeIndex:
+        return self._index
+
+    @property
+    def tree(self) -> DataTree:
+        return self._index.tree
+
+    def covers(self, tree: DataTree) -> bool:
+        """Usable as a fast path for ``tree``?  (Same object, unmutated.)"""
+        return self._index.covers(tree)
+
+    @property
+    def memo_entries(self) -> int:
+        """Size of the shared predicate memo (observability hook)."""
+        return len(self._pred_memo)
+
+    # ------------------------------------------------------------------
+    # Canonicalisation
+    # ------------------------------------------------------------------
+    def _canonical(self, pred: Pred) -> Pred:
+        canon = self._canon.get(pred)
+        if canon is None:
+            canon = normalize_preds((pred,))[0]
+            self._canon[pred] = canon
+        return canon
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (the label-index seeding)
+    # ------------------------------------------------------------------
+    def _step_candidates(self, axis: Axis, label: str | None, anchor: int):
+        idx = self._index
+        if axis is Axis.CHILD:
+            kids = idx.children(anchor)
+            if label is None:
+                return kids
+            return [k for k in kids if idx.label(k) == label]
+        if label is None:
+            return idx.descendants(anchor)
+        return idx.descendants_with_label(label, anchor)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _holds(self, pred: Pred, anchor: int) -> bool:
+        """Memoised satisfaction of an already-canonical predicate."""
+        key = (pred, anchor)
+        cached = self._pred_memo.get(key)
+        if cached is not None:
+            return cached
+        idx = self._index
+        label = pred.label
+        subs = pred.children
+        result = False
+        if not subs and label is not None:
+            # Leaf predicate: pure existence, answered by counting.
+            if pred.axis is Axis.DESC:
+                result = idx.count_descendants_with_label(label, anchor) > 0
+            else:
+                for kid in idx.children(anchor):
+                    if idx.label(kid) == label:
+                        result = True
+                        break
+        else:
+            for cand in self._step_candidates(pred.axis, label, anchor):
+                ok = True
+                for sub in subs:
+                    if not self._holds(sub, cand):
+                        ok = False
+                        break
+                if ok:
+                    result = True
+                    break
+        self._pred_memo[key] = result
+        return result
+
+    def matches_at(self, pred: Pred, anchor: int) -> bool:
+        """Boolean-pattern satisfaction: does ``pred`` hold at ``anchor``?"""
+        return self._holds(self._canonical(pred), anchor)
+
+    # ------------------------------------------------------------------
+    # Spine sweep
+    # ------------------------------------------------------------------
+    def evaluate_ids(self, pattern: Pattern, start: int | None = None) -> set[int]:
+        """``q(n, I)`` as bare identifiers (``n`` defaults to the root).
+
+        Answers are memoised per ``(canonical pattern, anchor)`` — the
+        snapshot never changes, so a repeated query (the session workload:
+        premise ranges re-evaluated for every conclusion) is a dict hit.
+        """
+        anchor = self._index.root if start is None else start
+        canon = self._canon_patterns.get(pattern)
+        if canon is None:
+            canon = normalize(pattern)
+            self._canon_patterns[pattern] = canon
+        key = (canon, anchor)
+        hit = self._query_memo.get(key)
+        if hit is None:
+            hit = frozenset(self._sweep(canon, anchor))
+            self._query_memo[key] = hit
+        return set(hit)
+
+    def _sweep(self, pattern: Pattern, start: int) -> set[int]:
+        idx = self._index
+        holds = self._holds
+        frontier: set[int] = {start}
+        for step in pattern.steps:
+            preds = tuple(self._canonical(p) for p in step.preds)
+            label = step.label
+            child_axis = step.axis is Axis.CHILD
+            next_frontier: set[int] = set()
+            if child_axis:
+                anchors = frontier
+            elif len(frontier) > 1:
+                # Overlapping subtrees collapse to their minimal cover: each
+                # candidate is produced exactly once.
+                anchors = idx.minimal_cover(frontier)
+            else:
+                anchors = frontier
+            for anchor in anchors:
+                if child_axis:
+                    candidates = idx.children(anchor)
+                elif label is None:
+                    candidates = idx.descendants(anchor)
+                else:
+                    candidates = idx.descendants_with_label(label, anchor)
+                for cand in candidates:
+                    if cand in next_frontier:
+                        continue
+                    if child_axis and label is not None and idx.label(cand) != label:
+                        continue
+                    ok = True
+                    for p in preds:
+                        if not holds(p, cand):
+                            ok = False
+                            break
+                    if ok:
+                        next_frontier.add(cand)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def evaluate(self, pattern: Pattern, start: int | None = None) -> set[Node]:
+        """``q(n, I)`` as ``(id, label)`` pairs, exactly like the naive path."""
+        idx = self._index
+        return {idx.node(nid) for nid in self.evaluate_ids(pattern, start)}
+
+    def selects(self, pattern: Pattern, nid: int) -> bool:
+        """Is node ``nid`` in ``q(I)``?"""
+        return nid in self.evaluate_ids(pattern)
+
+
+# ----------------------------------------------------------------------
+# Module-level mirrors of the naive evaluator's API
+# ----------------------------------------------------------------------
+def context_for(source: IndexedEvaluator | TreeIndex | DataTree) -> IndexedEvaluator:
+    """Coerce any snapshot-ish object into an :class:`IndexedEvaluator`."""
+    if isinstance(source, IndexedEvaluator):
+        return source
+    return IndexedEvaluator(source)
+
+
+def evaluate(pattern: Pattern, context: IndexedEvaluator | TreeIndex | DataTree,
+             start: int | None = None) -> set[Node]:
+    return context_for(context).evaluate(pattern, start)
+
+
+def evaluate_ids(pattern: Pattern, context: IndexedEvaluator | TreeIndex | DataTree,
+                 start: int | None = None) -> set[int]:
+    return context_for(context).evaluate_ids(pattern, start)
+
+
+def selects(pattern: Pattern, context: IndexedEvaluator | TreeIndex | DataTree,
+            nid: int) -> bool:
+    return context_for(context).selects(pattern, nid)
+
+
+def matches_at(pred: Pred, context: IndexedEvaluator | TreeIndex | DataTree,
+               anchor: int) -> bool:
+    return context_for(context).matches_at(pred, anchor)

@@ -154,6 +154,20 @@ class TestNoRemoveEngine:
         assert parse_tree("a(b(c, d))").canonical_shape() in shapes
         assert tree.canonical_shape() in shapes
 
+    def test_merge_variants_deep_chain_no_recursion_limit(self):
+        # The quotient walk and its dedup keys must stay iterative: a long
+        # chain of mergeable sibling pairs used to blow the recursion limit.
+        from repro.trees import DataTree
+
+        tree = DataTree()
+        cur = tree.root
+        for _ in range(400):
+            cur = tree.add_child(cur, "p")
+            tree.add_child(cur, "a")
+            tree.add_child(cur, "a")
+        produced = sum(1 for _ in merge_variants(tree, tree.root, budget=600))
+        assert produced == 600
+
     def test_merging_needed_for_scarce_resources(self):
         # q needs two b-descendants in I; J has a single b in range. Without
         # sibling merging the identification would wrongly fail.

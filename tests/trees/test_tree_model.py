@@ -238,3 +238,68 @@ class TestSerialization:
         tree._parent[b] = b  # simulate corruption
         with pytest.raises(TreeError):
             tree.validate()
+
+
+class TestCachesAndVersioning:
+    def test_version_bumps_on_every_mutation(self):
+        tree = parse_tree("a(b), c")
+        a = next(n.nid for n in tree.nodes() if n.label == "a")
+        b = next(n.nid for n in tree.nodes() if n.label == "b")
+        c = next(n.nid for n in tree.nodes() if n.label == "c")
+        v = tree.version
+        tree.add_child(a, "x")
+        assert tree.version > v
+        v = tree.version
+        tree.move(b, c)
+        assert tree.version > v
+        v = tree.version
+        tree.relabel_fresh(c, "y")
+        assert tree.version > v
+
+    def test_children_tuple_cached_and_invalidated(self):
+        tree = parse_tree("a(b)")
+        a = next(n.nid for n in tree.nodes() if n.label == "a")
+        first = tree.children(a)
+        assert tree.children(a) is first  # cached tuple, no re-allocation
+        x = tree.add_child(a, "x")
+        after = tree.children(a)
+        assert after is not first and x in after
+
+    def test_children_cache_invalidated_by_move_and_remove(self):
+        tree = parse_tree("a(b), c")
+        a = next(n.nid for n in tree.nodes() if n.label == "a")
+        b = next(n.nid for n in tree.nodes() if n.label == "b")
+        c = next(n.nid for n in tree.nodes() if n.label == "c")
+        tree.children(a), tree.children(c)
+        tree.move(b, c)
+        assert tree.children(a) == ()
+        assert tree.children(c) == (b,)
+        tree.remove_subtree(b)
+        assert tree.children(c) == ()
+
+    def test_hash_stable_and_invalidated(self):
+        tree = parse_tree("a(b)")
+        h1 = hash(tree)
+        assert hash(tree) == h1  # cached path
+        tree.add_child(tree.root, "c")
+        h2 = hash(tree)
+        assert hash(tree) == h2
+        # equal instances must hash equal (copy preserves ids and shape)
+        assert hash(tree.copy()) == h2 and tree.copy() == tree
+
+    def test_canonical_shape_cache_survives_copy(self):
+        tree = parse_tree("a(b, c)")
+        shape = tree.canonical_shape()
+        clone = tree.copy()
+        assert clone.canonical_shape() == shape
+        clone.add_child(clone.root, "d")
+        assert clone.canonical_shape() != shape
+        assert tree.canonical_shape() == shape  # original untouched
+
+    def test_deep_chain_shape_has_no_recursion_limit(self):
+        import sys
+
+        tree = DataTree()
+        tree.add_path(tree.root, ["a"] * (sys.getrecursionlimit() + 100))
+        shape = tree.canonical_shape()
+        assert shape[0] == "root"

@@ -1,0 +1,160 @@
+"""Hypothesis equivalence suite: the indexed kernel vs the naive path.
+
+The contract of the snapshot kernel is *bit-identical answers*: for every
+tree and every pattern, label-indexed evaluation over a ``TreeIndex`` must
+agree with the naive two-phase evaluator, and every engine verdict must be
+unchanged by the snapshot fast path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Reasoner
+from repro.constraints import ConstraintType, UpdateConstraint
+from repro.instance import implies_on
+from repro.trees import TreeIndex
+from repro.workloads import (
+    FragmentSpec,
+    random_constraints,
+    random_pattern,
+    random_tree,
+)
+from repro.xpath import IndexedEvaluator
+from repro.xpath.evaluator import evaluate, evaluate_ids, matches_at, selects
+from repro.xpath import indexed
+
+LABELS = ["a", "b", "c"]
+SPECS = [
+    FragmentSpec(False, False, False),
+    FragmentSpec(True, False, False),
+    FragmentSpec(False, True, False),
+    FragmentSpec(False, True, True),
+    FragmentSpec(True, True, True),
+]
+
+seeds = st.integers(min_value=0, max_value=10_000)
+spec_idx = st.integers(min_value=0, max_value=len(SPECS) - 1)
+
+RELAXED = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(seed=seeds, idx=spec_idx)
+@RELAXED
+def test_indexed_evaluate_matches_naive(seed, idx):
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(1, 20))
+    ctx = IndexedEvaluator.for_tree(tree)
+    for _ in range(4):
+        pattern = random_pattern(rng, LABELS, SPECS[idx],
+                                 spine=rng.randint(1, 4))
+        assert indexed.evaluate(pattern, ctx) == evaluate(pattern, tree)
+        assert indexed.evaluate_ids(pattern, ctx) == evaluate_ids(pattern, tree)
+        # evaluation anchored below the root must agree too
+        start = rng.choice(list(tree.node_ids()))
+        assert ctx.evaluate(pattern, start) == evaluate(pattern, tree, start)
+
+
+@given(seed=seeds, idx=spec_idx)
+@RELAXED
+def test_indexed_selects_and_matches_at(seed, idx):
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(1, 15))
+    ctx = IndexedEvaluator.for_tree(tree)
+    pattern = random_pattern(rng, LABELS, SPECS[idx], spine=rng.randint(1, 3))
+    pred = pattern.as_boolean()
+    for nid in tree.node_ids():
+        assert indexed.selects(pattern, ctx, nid) == selects(pattern, tree, nid)
+        assert indexed.matches_at(pred, ctx, nid) == matches_at(pred, tree, nid)
+
+
+@given(seed=seeds)
+@RELAXED
+def test_context_fast_path_is_transparent(seed):
+    """evaluate(context=...) answers identically and survives staleness."""
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(1, 12))
+    ctx = IndexedEvaluator.for_tree(tree)
+    pattern = random_pattern(rng, LABELS, SPECS[4], spine=rng.randint(1, 3))
+    assert (evaluate(pattern, tree, context=ctx)
+            == evaluate(pattern, tree, context=None))
+    # A mutation makes the context stale: the fast path must step aside.
+    tree.add_child(tree.root, "b")
+    assert not ctx.covers(tree)
+    assert (evaluate(pattern, tree, context=ctx)
+            == evaluate(pattern, tree, context=None))
+
+
+@given(seed=seeds)
+@RELAXED
+def test_tree_index_structure_agrees_with_tree(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(1, 15))
+    index = TreeIndex(tree)
+    nodes = list(tree.node_ids())
+    assert list(index.node_ids()) == nodes  # same preorder
+    for nid in nodes:
+        assert index.depth(nid) == tree.depth(nid)
+        assert index.parent(nid) == tree.parent(nid)
+        assert index.children(nid) == tree.children(nid)
+        assert index.path_labels(nid) == tree.path_labels(nid)
+        assert sorted(index.descendants(nid)) == sorted(tree.descendants(nid))
+        for label in LABELS:
+            expected = [d for d in tree.descendants(nid)
+                        if tree.label(d) == label]
+            assert sorted(index.descendants_with_label(label, nid)) == sorted(expected)
+            assert index.count_descendants_with_label(label, nid) == len(expected)
+    for anc in nodes:
+        for nid in nodes:
+            assert index.is_ancestor(anc, nid) == tree.is_ancestor(anc, nid)
+    assert index.canonical_shape() == tree.canonical_shape()
+
+
+@given(seed=seeds)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_engine_verdicts_identical_with_and_without_snapshot(seed):
+    """Table 2 dispatch: indexed and naive bindings, plus the legacy free
+    function, give the same answer through the same engine."""
+    rng = random.Random(seed)
+    spec = SPECS[rng.randint(0, len(SPECS) - 1)]
+    types = rng.choice(["up", "down", "mixed"])
+    premises = random_constraints(rng, LABELS[:2], spec,
+                                  count=rng.randint(1, 3), types=types, spine=2)
+    current = random_tree(rng, LABELS[:2], size=rng.randint(1, 6))
+    reasoner = Reasoner(premises)
+    fast = reasoner.bind(current, indexed=True)
+    slow = reasoner.bind(current, indexed=False)
+    for _ in range(2):
+        kind = rng.choice(list(ConstraintType))
+        conclusion = UpdateConstraint(
+            random_pattern(rng, LABELS[:2], spec, spine=2), kind)
+        with_index = fast.implies_on(conclusion)
+        without = slow.implies_on(conclusion)
+        legacy = implies_on(premises, current, conclusion)
+        assert with_index.answer is without.answer, (str(premises),
+                                                     str(conclusion))
+        assert with_index.answer is legacy.answer
+        assert with_index.engine == without.engine == legacy.engine
+        if with_index.counterexample is not None:
+            assert with_index.verify() == []
+
+
+@given(seed=seeds)
+@RELAXED
+def test_pred_memo_shared_across_queries(seed):
+    """Asking more queries grows (never poisons) the shared predicate memo."""
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(2, 12))
+    ctx = IndexedEvaluator.for_tree(tree)
+    patterns = [random_pattern(rng, LABELS, SPECS[4], spine=rng.randint(1, 3))
+                for _ in range(4)]
+    first = [ctx.evaluate_ids(p) for p in patterns]
+    entries_after_first = ctx.memo_entries
+    second = [ctx.evaluate_ids(p) for p in patterns]
+    assert first == second
+    assert ctx.memo_entries == entries_after_first  # warm memo, no growth
