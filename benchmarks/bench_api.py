@@ -7,11 +7,15 @@ per-call analysis every time; ``Reasoner(C)`` compiles once and serves
 repeats from its canonical-form memo.
 
 Run:  PYTHONPATH=src python benchmarks/bench_api.py [output.json]
+          [--compare BASELINE.json] [--tolerance 0.2]
 
 Emits ``BENCH_api.json`` (at the repo root by default) with queries/sec
 for both paths and the resulting speedup, for the general (Table 1) and
 the instance-based (Table 2) problem, plus a distinct-only column so the
 memo's contribution is visible separately from the compile-once savings.
+``--compare`` gates every tracked ratio of the fresh run against a
+committed baseline (>20% regression fails) and every checksum against
+drift — the CI benchmark-regression gate.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import sys
 import time
 from pathlib import Path
 
+from bench_helpers import compare_reports
 from repro import Reasoner, implies, implies_on
 from repro.constraints.model import ConstraintType, UpdateConstraint
 from repro.workloads import FragmentSpec, random_constraints, random_pattern, random_tree
@@ -126,7 +131,18 @@ def bench_instance(premises, pool, stream, tree):
 
 
 def main() -> None:
-    out_path = (Path(sys.argv[1]) if len(sys.argv) > 1
+    args = list(sys.argv[1:])
+    baseline_path = None
+    if "--compare" in args:
+        at = args.index("--compare")
+        baseline_path = Path(args[at + 1])
+        del args[at:at + 2]
+    tolerance = 0.20
+    if "--tolerance" in args:
+        at = args.index("--tolerance")
+        tolerance = float(args[at + 1])
+        del args[at:at + 2]
+    out_path = (Path(args[0]) if args
                 else Path(__file__).resolve().parent.parent / "BENCH_api.json")
     premises, pool, stream, tree = build_workload()
     report = {
@@ -145,6 +161,13 @@ def main() -> None:
           f"reasoner {instance['reasoner_qps']:>8} q/s | "
           f"x{instance['speedup']}")
     print(f"wrote {out_path}")
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare_reports(report, baseline, tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -11,7 +11,6 @@ import random
 import pytest
 
 from bench_helpers import LABELS
-from repro.constraints import constraint_set
 from repro.keys import (
     consistent_annotations,
     encode_pair,

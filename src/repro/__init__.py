@@ -57,7 +57,15 @@ from repro.implication import (
 )
 from repro.instance import implies_on
 from repro.trees import DataTree, Node, TreeIndex, branch, build, leaf, parse_tree
-from repro.xpath import IndexedEvaluator, Pattern, contained, equivalent, evaluate, parse
+from repro.xpath import (
+    BitsetEvaluator,
+    IndexedEvaluator,
+    Pattern,
+    contained,
+    equivalent,
+    evaluate,
+    parse,
+)
 
 __version__ = "1.0.0"
 
@@ -69,7 +77,7 @@ __all__ = [
     "DataTree", "TreeIndex", "Node", "branch", "build", "leaf", "parse_tree",
     # xpath
     "Pattern", "parse", "evaluate", "contained", "equivalent",
-    "IndexedEvaluator",
+    "IndexedEvaluator", "BitsetEvaluator",
     # constraints
     "ConstraintType", "UpdateConstraint", "ConstraintSet", "constraint_set",
     "no_remove", "no_insert", "immutable", "relative", "RelativeConstraint",

@@ -65,6 +65,7 @@ from repro.instance.search import bounded_refutation
 from repro.trees.tree import DataTree
 from repro.xpath.ast import Pattern
 from repro.xpath.containment import contained
+from repro.xpath.bitset import BitsetEvaluator
 from repro.xpath.evaluator import evaluate_ids
 from repro.xpath.indexed import IndexedEvaluator
 from repro.xpath.intersection import intersect_child_only
@@ -245,18 +246,26 @@ class Reasoner:
         decide = partial(self.implies, require_decision=require_decision)
         return run_batch(decide, conclusions, fail_fast=fail_fast)
 
-    def bind(self, current: DataTree, indexed: bool = True) -> "BoundReasoner":
+    def bind(self, current: DataTree, indexed: bool = True,
+             engine: str | None = None) -> "BoundReasoner":
         """Fix the current instance ``J`` for instance-based queries.
 
-        With ``indexed=True`` (the default) the binding compiles a
-        :class:`repro.trees.index.TreeIndex` snapshot of ``J`` and serves
-        every range evaluation through the label-indexed evaluator, sharing
-        one predicate memo across all queries on the binding.  Verdicts are
-        bit-identical either way; ``indexed=False`` keeps the naive
-        evaluation path (used by the legacy wrapper and the benchmarks'
-        baseline).
+        ``engine`` selects the evaluation substrate for every range
+        evaluation on the binding — verdicts are bit-identical across all
+        three (enforced by the Hypothesis three-way suite):
+
+        * ``"bitset"`` (default) — set-at-a-time evaluation over a
+          :class:`repro.trees.index.TreeIndex` snapshot
+          (:class:`repro.xpath.bitset.BitsetEvaluator`): whole frontiers
+          as masks, one cached bitset per canonical predicate;
+        * ``"indexed"`` — the node-at-a-time label-indexed evaluator
+          (:class:`repro.xpath.indexed.IndexedEvaluator`);
+        * ``"naive"`` — no snapshot at all (the legacy wrapper and the
+          benchmarks' baseline).
+
+        ``indexed=False`` is the legacy spelling of ``engine="naive"``.
         """
-        return BoundReasoner(self, current, indexed=indexed)
+        return BoundReasoner(self, current, indexed=indexed, engine=engine)
 
     def implies_on(self, current: DataTree, conclusion: UpdateConstraint,
                    require_decision: bool = False,
@@ -320,24 +329,38 @@ class BoundReasoner:
     """A :class:`Reasoner` bound to one current instance ``J``.
 
     Caches everything that depends on ``J`` but not on the conclusion —
-    the :class:`~repro.trees.index.TreeIndex` snapshot powering label-
-    indexed evaluation, the answer set of every premise range on ``J``
-    (which the per-witness no-insert engine consumes for each conclusion),
-    and a result memo keyed on canonical conclusions.
+    the :class:`~repro.trees.index.TreeIndex` snapshot powering bitset or
+    label-indexed evaluation (see :meth:`Reasoner.bind` for the engine
+    choices), the answer set of every premise range on ``J`` (which the
+    per-witness no-insert engine consumes for each conclusion), and a
+    result memo keyed on canonical conclusions.
 
     The bound tree must not be mutated while the binding is in use;
     mutate-and-requery through a fresh :meth:`Reasoner.bind`.  The
     snapshot's mutation-version guard catches every structural change
-    (indexed bindings); unindexed bindings fall back to the cheaper
+    (snapshot engines); naive bindings fall back to the cheaper
     size-based guard, which moves and relabels can escape.
     """
 
+    ENGINES = ("bitset", "indexed", "naive")
+
     def __init__(self, reasoner: Reasoner, current: DataTree,
-                 indexed: bool = True):
+                 indexed: bool = True, engine: str | None = None):
+        if engine is None:
+            engine = "bitset" if indexed else "naive"
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown evaluation engine {engine!r}; "
+                             f"expected one of {self.ENGINES}")
         self._reasoner = reasoner
         self._current = current
         self._size_at_bind = current.size
-        self._context = IndexedEvaluator.for_tree(current) if indexed else None
+        self._engine = engine
+        if engine == "bitset":
+            self._context = BitsetEvaluator.for_tree(current)
+        elif engine == "indexed":
+            self._context = IndexedEvaluator.for_tree(current)
+        else:
+            self._context = None
         self._range_hits: dict[UpdateConstraint, set[int]] = {}
         self._memo = LRUMemo(reasoner.memo_size)
 
@@ -350,8 +373,13 @@ class BoundReasoner:
         return self._current
 
     @property
-    def context(self) -> IndexedEvaluator | None:
-        """The binding's indexed snapshot (``None`` for ``indexed=False``)."""
+    def engine(self) -> str:
+        """The binding's evaluation substrate (``bitset``/``indexed``/``naive``)."""
+        return self._engine
+
+    @property
+    def context(self) -> BitsetEvaluator | IndexedEvaluator | None:
+        """The binding's snapshot evaluator (``None`` on the naive engine)."""
         return self._context
 
     def premise_answers(self) -> dict[UpdateConstraint, set[int]]:
@@ -430,7 +458,7 @@ class BoundReasoner:
 
     def __repr__(self) -> str:
         return (f"BoundReasoner({len(self._reasoner.premises)} constraints, "
-                f"|J|={self._current.size}, {self.stats})")
+                f"|J|={self._current.size}, {self._engine}, {self.stats})")
 
     # ------------------------------------------------------------------
     # The Table 2 dispatch (moved verbatim from instance.general)

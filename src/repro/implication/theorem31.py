@@ -30,7 +30,6 @@ from repro.implication.result import (
     not_implied,
 )
 from repro.trees.ops import graft_at_root, replace_with_fresh_copy, swap_ids
-from repro.trees.tree import DataTree
 from repro.xpath.ast import Pattern
 from repro.xpath.canonical import smallest_model
 from repro.xpath.containment import contained, equivalent, find_separating_model

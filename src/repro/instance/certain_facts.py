@@ -28,7 +28,7 @@ from repro.errors import FragmentError
 from repro.implication.result import ImplicationResult, implied, not_implied
 from repro.trees.ops import fresh_label_for
 from repro.trees.tree import DataTree
-from repro.xpath.ast import Pattern, Pred
+from repro.xpath.ast import Pred
 from repro.xpath.evaluator import evaluate, evaluate_ids
 from repro.xpath.properties import labels_of
 
@@ -52,20 +52,28 @@ class _SpineNode:
         self.pred_trees: list[tuple[Pred, ...]] = []
 
 
-def build_certain_facts(premises: ConstraintSet, current: DataTree) -> DataTree:
-    """Materialise ``F_J`` exactly as in the proof of Theorem 5.3."""
+def build_certain_facts(premises: ConstraintSet, current: DataTree,
+                        context=None) -> DataTree:
+    """Materialise ``F_J`` exactly as in the proof of Theorem 5.3.
+
+    ``context`` optionally carries a snapshot evaluator of ``current``:
+    witness enumeration then runs over the snapshot and the fresh-label
+    choice reads the snapshot's label index instead of scanning nodes.
+    """
     fragment = premises.fragment()
     if fragment.descendant:
         raise FragmentError("F_J is defined for the child-only fragment XP{/,[],*}")
-    fresh = fresh_label_for(labels_of(*premises.ranges) | {
-        node.label for node in current.nodes()
-    })
+    if context is not None and context.covers(current):
+        data_labels = context.index.labels()
+    else:
+        data_labels = {node.label for node in current.nodes()}
+    fresh = fresh_label_for(labels_of(*premises.ranges) | data_labels)
     # One merged spine per witnessed real node; spines are independent
     # except that two witnesses sharing an identifier share everything.
     spines: dict[int, _SpineNode] = {}
     for constraint in premises:
         pattern = constraint.range
-        for node in evaluate(pattern, current):
+        for node in evaluate(pattern, current, context=context):
             root = spines.setdefault(node.nid, _SpineNode())
             cursor = root
             for step in pattern.steps:
@@ -110,8 +118,14 @@ def _materialize_pred(tree: DataTree, parent: int, pred: Pred, fresh: str) -> No
 
 
 def implies_by_certain_facts(premises: ConstraintSet, current: DataTree,
-                             conclusion: UpdateConstraint) -> ImplicationResult:
-    """Theorem 5.3's decision: ``C ⊨_J c`` iff ``q(J) ⊆ q(F_J)``."""
+                             conclusion: UpdateConstraint,
+                             context=None) -> ImplicationResult:
+    """Theorem 5.3's decision: ``C ⊨_J c`` iff ``q(J) ⊆ q(F_J)``.
+
+    ``context`` optionally carries a snapshot evaluator of ``current`` for
+    the ``J``-side evaluations (``F_J`` itself is freshly built and tiny,
+    so it stays on the naive path).
+    """
     if any(c.type is not ConstraintType.NO_INSERT for c in premises):
         raise FragmentError("F_J engine requires an all-no-insert premise set")
     if conclusion.type is not ConstraintType.NO_INSERT:
@@ -119,8 +133,8 @@ def implies_by_certain_facts(premises: ConstraintSet, current: DataTree,
     fragment = premises.fragment(conclusion.range)
     if fragment.descendant:
         raise FragmentError("F_J engine covers XP{/,[],*} (Theorem 5.3)")
-    fact_tree = build_certain_facts(premises, current)
-    answers_now = evaluate_ids(conclusion.range, current)
+    fact_tree = build_certain_facts(premises, current, context=context)
+    answers_now = evaluate_ids(conclusion.range, current, context=context)
     answers_certain = evaluate_ids(conclusion.range, fact_tree)
     escaped = sorted(answers_now - answers_certain)
     if escaped:

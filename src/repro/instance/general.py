@@ -37,20 +37,22 @@ def implies_on(premises: ConstraintSet | Iterable[UpdateConstraint],
                require_decision: bool = False,
                max_moves: int = 2,
                search_budget: int = 5000,
-               indexed: bool = False) -> ImplicationResult:
+               indexed: bool = False,
+               engine: str | None = None) -> ImplicationResult:
     """Decide ``C ⊨_J c`` (Definition 2.5).
 
     The dispatch lives in :class:`repro.api.session.BoundReasoner`; this
     free function wraps a transient, cache-free session.  Callers asking
     many conclusions against one ``(C, J)`` should hold
-    ``Reasoner(C).bind(J)`` instead and reuse its indexed snapshot and
-    per-tree answer sets.  ``indexed=True`` builds the snapshot even for
-    this one-shot call (worth it on large ``J``); the default keeps the
-    naive path, which the benchmarks use as their baseline.
+    ``Reasoner(C).bind(J)`` instead and reuse its snapshot and per-tree
+    answer sets.  ``indexed=True`` (or an explicit ``engine=`` of
+    ``"bitset"``/``"indexed"``) builds the snapshot even for this one-shot
+    call (worth it on large ``J``); the default keeps the naive path,
+    which the benchmarks use as their baseline.
     """
     from repro.api.session import Reasoner
 
     session = Reasoner(premises, memo_size=0, precompile=False)
-    return session.bind(current, indexed=indexed).implies_on(
+    return session.bind(current, indexed=indexed, engine=engine).implies_on(
         conclusion, require_decision=require_decision,
         max_moves=max_moves, search_budget=search_budget)

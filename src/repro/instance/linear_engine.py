@@ -51,8 +51,15 @@ def _past_instance(current: DataTree, n: int, word: tuple[str, ...] | None) -> D
 
 
 def implies_no_insert_linear(premises: ConstraintSet, current: DataTree,
-                             conclusion: UpdateConstraint) -> ImplicationResult:
-    """Exact all-``↓`` instance-based implication over ``XP{/,//,*}``."""
+                             conclusion: UpdateConstraint,
+                             context=None) -> ImplicationResult:
+    """Exact all-``↓`` instance-based implication over ``XP{/,//,*}``.
+
+    ``context`` optionally carries a snapshot evaluator of ``current``
+    (e.g. a binding's :class:`repro.xpath.bitset.BitsetEvaluator`): the
+    range evaluations then run set-at-a-time and the data alphabet comes
+    from the snapshot's label index instead of a full node scan.
+    """
     if any(c.type is not ConstraintType.NO_INSERT for c in premises):
         raise FragmentError("linear instance engine requires all-no-insert premises")
     if conclusion.type is not ConstraintType.NO_INSERT:
@@ -63,11 +70,15 @@ def implies_no_insert_linear(premises: ConstraintSet, current: DataTree,
             raise FragmentError(f"{pattern} has predicates: not in XP{{/,//,*}}")
     conclusion.require_concrete()
     premises.require_concrete()
-    data_labels = {node.label for node in current.nodes()}
+    if context is not None and context.covers(current):
+        data_labels = context.index.labels()
+    else:
+        data_labels = {node.label for node in current.nodes()}
     alphabet = engine_alphabet(patterns, extra=data_labels)
     q = conclusion.range
-    range_hits = {c: evaluate_ids(c.range, current) for c in premises}
-    for node in sorted(evaluate_ids(q, current)):
+    range_hits = {c: evaluate_ids(c.range, current, context=context)
+                  for c in premises}
+    for node in sorted(evaluate_ids(q, current, context=context)):
         hit = [c.range for c in premises if node in range_hits[c]]
         if not hit:
             past = _past_instance(current, node, None)

@@ -41,11 +41,19 @@ from repro.implication.result import (
 )
 from repro.trees.ops import fresh_label_for, remap_ids
 from repro.trees.tree import DataTree
+from repro.xpath.bitset import BitsetEvaluator
 from repro.xpath.canonical import canonical_models
 from repro.xpath.evaluator import evaluate_ids
 from repro.xpath.properties import labels_of, max_star_length
 
 ENGINE = "instance-no-remove-embeddings"
+
+# Canonical instantiations of q are usually tiny, and naive evaluation of
+# a tiny candidate is output-sensitive and cheap; only quotient walks over
+# models at least this large carry an incremental snapshot (every premise
+# range is re-evaluated per quotient there, so masks amortise sooner than
+# in the cascade search).
+MERGE_SNAPSHOT_MIN_SIZE = 24
 
 
 # ----------------------------------------------------------------------
@@ -65,9 +73,29 @@ def merge_variants(tree: DataTree, output: int, budget: int = 512):
     candidate must :meth:`~repro.trees.tree.DataTree.copy` it (the engine
     below materialises through ``remap_ids``, which already copies).
     """
-    scratch = tree.copy()
+    yield from _merge_walk(tree.copy(), output, budget)
+
+
+def _merge_walk(scratch: DataTree, output: int, budget: int = 512,
+                context=None):
+    """The merge/undo journal over one scratch tree (optionally snapshotted).
+
+    ``context`` is a mutable snapshot evaluator of ``scratch`` (e.g. a
+    :class:`repro.xpath.bitset.BitsetEvaluator`); when given, every journal
+    edit — child relocations, the emptied sibling's removal and its
+    revival on undo — is applied through it, so candidate quotients are
+    evaluated set-at-a-time without rebinding per candidate.
+    """
     seen: set[tuple] = set()
     produced = 0
+    if context is not None:
+        move = context.apply_move
+        remove_leaf = context.apply_remove_subtree
+        add_leaf = context.apply_add_leaf
+    else:
+        move = scratch.move
+        remove_leaf = scratch.remove_subtree
+        add_leaf = scratch.add_child
 
     def merge_ops():
         """Applicable (parent, keep, drop) merges of the current scratch."""
@@ -87,17 +115,17 @@ def merge_variants(tree: DataTree, output: int, budget: int = 512):
         moved = list(scratch.children(drop))
         drop_label = scratch.label(drop)
         for child in moved:
-            scratch.move(child, keep)
-        scratch.remove_subtree(drop)
+            move(child, keep)
+        remove_leaf(drop)
         return (parent, drop, drop_label, moved)
 
     def revert(record):
         # Revive the dropped sibling (same id, same label) and hand its
         # children back.
         parent, drop, drop_label, moved = record
-        scratch.add_child(parent, drop_label, nid=drop)
+        add_leaf(parent, drop_label, nid=drop)
         for child in moved:
-            scratch.move(child, drop)
+            move(child, drop)
 
     seen.add(_shape_key(scratch, output))
     produced += 1
@@ -153,14 +181,19 @@ def _shape_key(tree: DataTree, out: int) -> str:
 def _identify(candidate: DataTree, output: int, current: DataTree,
               premises: ConstraintSet, q_answers: set[int],
               range_hits_j: dict[UpdateConstraint, set[int]],
+              candidate_ctx=None,
               ) -> dict[int, int] | None:
     """Match obligation-carrying candidate nodes to distinct J-nodes.
 
     Returns the id substitution (candidate id -> J id) or ``None``.
     ``range_hits_j`` holds ``{c: c.range(current)}`` — loop-invariant across
-    candidates, so the caller evaluates it once.
+    candidates, so the caller evaluates it once.  ``candidate_ctx``
+    optionally carries the merge walk's incremental snapshot of
+    ``candidate``, so the per-candidate premise evaluations run
+    set-at-a-time.
     """
-    range_hits_i = {c: evaluate_ids(c.range, candidate) for c in premises}
+    range_hits_i = {c: evaluate_ids(c.range, candidate, context=candidate_ctx)
+                    for c in premises}
     j_nodes = [nid for nid in current.node_ids() if nid != current.root]
 
     graph = nx.Graph()
@@ -232,11 +265,15 @@ def implies_no_remove(premises: ConstraintSet, current: DataTree,
 
     checked = 0
     for model in canonical_models(q, cap, wildcard_labels=wildcard_labels, fresh=fresh):
-        for candidate, output in merge_variants(model.tree, model.output,
-                                                budget=merge_budget):
+        scratch = model.tree.copy()
+        scratch_ctx = (BitsetEvaluator.for_tree(scratch)
+                       if scratch.size >= MERGE_SNAPSHOT_MIN_SIZE else None)
+        for candidate, output in _merge_walk(scratch, model.output,
+                                             budget=merge_budget,
+                                             context=scratch_ctx):
             checked += 1
             mapping = _identify(candidate, output, current, premises, q_answers,
-                                range_hits)
+                                range_hits, candidate_ctx=scratch_ctx)
             if mapping is None:
                 continue
             past = remap_ids(candidate, mapping)

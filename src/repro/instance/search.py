@@ -18,11 +18,15 @@ via the embedding engine):
    replaced simultaneously, the discrete analogue of Theorem 5.2's
    "shuffle the truth assignments" counterexamples.
 
-The cascade walk is **copy-free**: all candidates are realised on one
-scratch tree through a move/undo journal, and a real
-:meth:`~repro.trees.tree.DataTree.copy` is materialised only for the
-candidate actually returned as a counterexample.  The fixed ``current``
-side of every validity re-check shares one indexed snapshot.
+The cascade walk is **copy-free and snapshot-carrying**: all candidates are
+realised on one scratch tree through a move/undo journal, and on trees
+worth indexing the journal is applied *through* an incrementally-maintained
+:class:`~repro.xpath.bitset.BitsetEvaluator` snapshot — each candidate's
+validity re-check then tests whole node-sets as masks on both sides of the
+pair, instead of re-walking the scratch tree once per constraint per
+candidate.  A real :meth:`~repro.trees.tree.DataTree.copy` is materialised
+only for the candidate actually returned as a counterexample.  The fixed
+``current`` side of every re-check shares the caller's snapshot.
 
 The search never lies: an exhausted budget yields ``UNKNOWN``.
 """
@@ -36,15 +40,26 @@ from repro.constraints.validity import is_valid, violation_of
 from repro.errors import TreeError
 from repro.implication.result import Counterexample
 from repro.trees.tree import DataTree
+from repro.xpath.bitset import BitsetEvaluator
+
+# Below this many nodes, naive per-candidate evaluation wins: it is
+# output-sensitive (child steps touch only the frontier's children), while
+# a mask evaluator recomputes its per-revision predicate masks in O(|J|)
+# for every journal state.  Measured breakeven sits around 240 nodes with
+# descendant-axis constraints; the gate is set above it so small searches
+# keep the cheap path and large ones amortise set-at-a-time checks.
+SNAPSHOT_MIN_SIZE = 256
 
 
 def _candidate_is_refutation(past: DataTree, current: DataTree,
                              premises: ConstraintSet,
                              conclusion: UpdateConstraint,
-                             context=None) -> bool:
+                             context=None, past_ctx=None) -> bool:
     return (
-        violation_of(past, current, conclusion, after_ctx=context) is not None
-        and is_valid(past, current, premises, after_ctx=context)
+        violation_of(past, current, conclusion,
+                     before_ctx=past_ctx, after_ctx=context) is not None
+        and is_valid(past, current, premises,
+                     before_ctx=past_ctx, after_ctx=context)
     )
 
 
@@ -64,6 +79,43 @@ def single_relocation_candidates(current: DataTree, conclusion: UpdateConstraint
         yield outcome.counterexample.before, outcome.counterexample.witness
 
 
+def _cascade_walk(scratch: DataTree, max_moves: int, budget: int,
+                  context: BitsetEvaluator | None = None):
+    """The move/undo journal over one scratch tree (optionally snapshotted).
+
+    When ``context`` is given it must be a mutable snapshot of ``scratch``;
+    every journal move (and undo) is applied through it, so the snapshot
+    tracks every candidate in place — no rebind per candidate.
+    """
+    movable = [nid for nid in scratch.node_ids() if nid != scratch.root]
+    targets = list(scratch.node_ids())
+    move = context.apply_move if context is not None else scratch.move
+    produced = 0
+    for count in range(1, max_moves + 1):
+        for nodes in combinations(movable, count):
+            for assignment in _assignments(nodes, targets):
+                journal: list[tuple[int, int]] = []
+                legal = True
+                for nid, target in assignment:
+                    old_parent = scratch.parent(nid)
+                    assert old_parent is not None
+                    try:
+                        move(nid, target)
+                    except TreeError:
+                        legal = False
+                        break
+                    journal.append((nid, old_parent))
+                if legal:
+                    produced += 1
+                    yield scratch, None
+                # Undo in reverse: each node returns to the parent it had
+                # when its move was applied, restoring the original tree.
+                for nid, old_parent in reversed(journal):
+                    move(nid, old_parent)
+                if legal and produced >= budget:
+                    return
+
+
 def cascade_candidates(current: DataTree, max_moves: int, budget: int):
     """Pasts obtained by relocating up to ``max_moves`` nodes of ``J``.
 
@@ -75,33 +127,7 @@ def cascade_candidates(current: DataTree, max_moves: int, budget: int):
     applied, undone before the next candidate — inspect the yielded tree
     before advancing the generator, and ``copy()`` it to keep it.
     """
-    movable = [nid for nid in current.node_ids() if nid != current.root]
-    targets = list(current.node_ids())
-    scratch = current.copy()
-    produced = 0
-    for count in range(1, max_moves + 1):
-        for nodes in combinations(movable, count):
-            for assignment in _assignments(nodes, targets):
-                journal: list[tuple[int, int]] = []
-                legal = True
-                for nid, target in assignment:
-                    old_parent = scratch.parent(nid)
-                    assert old_parent is not None
-                    try:
-                        scratch.move(nid, target)
-                    except TreeError:
-                        legal = False
-                        break
-                    journal.append((nid, old_parent))
-                if legal:
-                    produced += 1
-                    yield scratch, None
-                # Undo in reverse: each node returns to the parent it had
-                # when its move was applied, restoring the original tree.
-                for nid, old_parent in reversed(journal):
-                    scratch.move(nid, old_parent)
-                if legal and produced >= budget:
-                    return
+    yield from _cascade_walk(current.copy(), max_moves, budget)
 
 
 def _assignments(nodes, targets):
@@ -124,16 +150,23 @@ def bounded_refutation(premises: ConstraintSet, current: DataTree,
 
     ``context`` optionally carries an indexed snapshot of ``current``; the
     fixed side of every candidate's validity re-check then comes from
-    label-indexed evaluation with a memo shared across the whole search.
+    set-at-a-time evaluation with memos shared across the whole search.
+    The mutable side gets its own incremental snapshot of the scratch tree
+    (on trees above :data:`SNAPSHOT_MIN_SIZE`), updated in place by the
+    move journal.
     """
     for past, witness in single_relocation_candidates(current, conclusion,
                                                       premises, context=context):
         if _candidate_is_refutation(past, current, premises, conclusion,
                                     context=context):
             return Counterexample(past, current, witness=witness)
-    for past, witness in cascade_candidates(current, max_moves, budget):
+    scratch = current.copy()
+    scratch_ctx = (BitsetEvaluator.for_tree(scratch)
+                   if scratch.size >= SNAPSHOT_MIN_SIZE else None)
+    for past, witness in _cascade_walk(scratch, max_moves, budget,
+                                       context=scratch_ctx):
         if _candidate_is_refutation(past, current, premises, conclusion,
-                                    context=context):
+                                    context=context, past_ctx=scratch_ctx):
             # The scratch tree is reused by the generator: materialise the
             # one candidate that escapes the search.
             return Counterexample(past.copy(), current, witness=witness)

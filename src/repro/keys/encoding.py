@@ -28,7 +28,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.constraints.model import ConstraintSet, ConstraintType, UpdateConstraint
 from repro.errors import FragmentError
-from repro.keys.regex import AnyOf, Regex, Star, any_of, seq, star, sym
+from repro.keys.regex import AnyOf, Regex, Star, seq, sym
 from repro.keys.regular import (
     AttributedTree,
     RegularInclusion,

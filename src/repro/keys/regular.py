@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.keys.regex import Regex
+from repro.trees.index import TreeIndex
 from repro.trees.tree import DataTree
 
 
@@ -26,17 +27,25 @@ class AttributedTree:
 
     tree: DataTree
     id_attr: dict[int, int] = field(default_factory=dict)
+    _index: TreeIndex | None = field(default=None, repr=False, compare=False)
+
+    def _snapshot(self) -> TreeIndex:
+        """A fresh :class:`TreeIndex` of the tree, rebuilt on mutation.
+
+        Its path-label arrays memoise shared prefixes, so matching every
+        node's word is O(n) label lookups instead of one root-to-node walk
+        per node.
+        """
+        if self._index is None or not self._index.covers(self.tree):
+            self._index = TreeIndex(self.tree)
+        return self._index
 
     def nodes_matching(self, path: Regex, alphabet: tuple[str, ...]) -> list[int]:
         """Nodes whose root-to-node label word matches ``path``."""
         dfa = path.to_dfa(alphabet)
-        hits: list[int] = []
-        for nid in self.tree.node_ids():
-            if nid == self.tree.root:
-                continue
-            if dfa.accepts(self.tree.path_labels(nid)):
-                hits.append(nid)
-        return hits
+        index = self._snapshot()
+        return [nid for nid in index.node_ids()
+                if nid != index.root and dfa.accepts(index.path_labels(nid))]
 
     def id_values(self, path: Regex, alphabet: tuple[str, ...]) -> list[int]:
         return [self.id_attr[n] for n in self.nodes_matching(path, alphabet)

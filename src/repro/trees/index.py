@@ -7,51 +7,81 @@ label lookups by full scans — so repeated pattern evaluation over one
 instance (the workload of every Table 2 engine and of a bound
 :class:`repro.api.session.BoundReasoner`) pays a quadratic-ish tax.
 
-A :class:`TreeIndex` freezes one tree into flat lookup structures:
+A :class:`TreeIndex` encodes one tree into flat lookup structures:
 
-* an Euler-tour **pre/post interval numbering** — ``is_ancestor`` and
-  descendant-interval membership become two integer comparisons, and the
-  strict-descendant set of any node is a contiguous slice of the preorder
-  array;
-* a **label index**: label → preorder numbers of the nodes carrying it,
-  sorted by construction, so "descendants of ``n`` labelled ``a``" is one
-  ``bisect`` pair instead of a subtree scan;
+* an Euler-tour **pre/post interval numbering** over *gapped slots* —
+  ``is_ancestor`` and descendant-interval membership become two integer
+  comparisons, and the subtree of any node occupies a contiguous slot
+  interval;
+* a **label index**: label → slots of the nodes carrying it, sorted by
+  construction, so "descendants of ``n`` labelled ``a``" is one ``bisect``
+  pair instead of a subtree scan;
 * per-node **depth** and **path-label** arrays (the node *words* consumed by
   the linear-fragment engines);
+* **bitset views** (:meth:`label_mask`, :meth:`all_mask`,
+  :meth:`subtree_mask`) — node-sets as Python ``int`` masks keyed by slot,
+  the substrate of the set-at-a-time
+  :class:`repro.xpath.bitset.BitsetEvaluator`;
 * the canonical shape/hash of the snapshot, computed by the shared
   iterative (non-recursive) hasher.
 
-The snapshot records the tree's mutation :attr:`~repro.trees.tree.DataTree.
-version` at build time; :attr:`fresh` is the staleness test every consumer
-checks before trusting the index.  Mutate-and-requery means rebuilding — an
-index never observes mutations.
+Incremental maintenance
+-----------------------
+Slots are allocated with gaps (``SLOT_GAP`` per node at build time), so the
+snapshot survives small edits *in place*: :meth:`apply_move`,
+:meth:`apply_add_leaf` and :meth:`apply_remove_subtree` mutate the tree
+**and** the index together, renumbering only the smallest enclosing subtree
+whose interval still has room (a weight-balanced host search; the root is
+renumbered with fresh gaps when nothing smaller fits).  This is what lets
+the move/undo journals of the refutation search
+(:mod:`repro.instance.search`, :func:`repro.instance.no_remove_engine.
+merge_variants`) keep one live snapshot across thousands of candidate
+pasts instead of rebinding per candidate.
+
+Every applied edit bumps :attr:`revision` — evaluators key their memos on
+it — and re-syncs the recorded tree :attr:`~repro.trees.tree.DataTree.
+version`, so :attr:`fresh` stays true.  Mutating the tree *behind* the
+index (directly through :class:`DataTree` methods) still stales it, exactly
+as before: an index never observes mutations it did not apply.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 
 from repro.errors import TreeError
 from repro.trees.node import Node
 from repro.trees.tree import DataTree, iter_canonical_shape
 
+SLOT_GAP = 8       # slots allocated per node at (re)build time
+HOST_DENSITY = 2   # a renumber host needs >= DENSITY * nodes slots of width
+
+_BIT = tuple(1 << b for b in range(8))  # byte-view membership test masks
+
 
 class TreeIndex:
-    """A frozen, interval-encoded view of one :class:`DataTree`."""
+    """An interval-encoded view of one :class:`DataTree`.
 
-    __slots__ = ("_tree", "_built_version", "_root", "_pre", "_post",
-                 "_order", "_depth", "_labels", "_children", "_parent",
-                 "_by_label", "_paths", "_shape", "_shape_hash")
+    Frozen with respect to *foreign* mutations (anything done directly to
+    the tree), updatable in place through the ``apply_*`` methods.
+    """
+
+    __slots__ = ("_tree", "_built_version", "_root", "_slot", "_post",
+                 "_slots", "_node_at", "_depth", "_labels", "_children",
+                 "_parent", "_by_label", "_paths", "_shape", "_shape_hash",
+                 "_revision", "_rebuilds", "_label_masks", "_all_mask",
+                 "_kids_masks", "_parent_slots")
 
     def __init__(self, tree: DataTree):
         self._tree = tree
         self._built_version = tree.version
         self._root = tree.root
         # One iterative Euler tour builds every structure at once.
-        pre: dict[int, int] = {}
+        slot: dict[int, int] = {}
         post: dict[int, int] = {}
         depth: dict[int, int] = {tree.root: 0}
-        order: list[int] = []
+        slots: list[int] = []
+        node_at: dict[int, int] = {}
         by_label: dict[str, list[int]] = {}
         labels: dict[int, str] = {}
         children: dict[int, tuple[int, ...]] = {}
@@ -61,15 +91,17 @@ class TreeIndex:
         stack: list[int] = [tree.root]
         while stack:
             nid = stack.pop()
-            pre[nid] = len(order)
-            order.append(nid)
+            s = len(slots) * SLOT_GAP
+            slot[nid] = s
+            slots.append(s)
+            node_at[s] = nid
             label = tree_label(nid)
             labels[nid] = label
             bucket = by_label.get(label)
             if bucket is None:
-                by_label[label] = [pre[nid]]
+                by_label[label] = [s]
             else:
-                bucket.append(pre[nid])
+                bucket.append(s)
             kids = tree_children(nid)
             children[nid] = kids
             if kids:
@@ -80,12 +112,14 @@ class TreeIndex:
                     stack.append(child)
         # Preorder places a node's last child's subtree at the end of its
         # interval, so one reversed pass closes every interval.
-        for nid in reversed(order):
+        for s in reversed(slots):
+            nid = node_at[s]
             kids = children[nid]
-            post[nid] = post[kids[-1]] if kids else pre[nid]
-        self._pre = pre
+            post[nid] = post[kids[-1]] if kids else slot[nid]
+        self._slot = slot
         self._post = post
-        self._order = order
+        self._slots = slots
+        self._node_at = node_at
         self._depth = depth
         self._labels = labels
         self._children = children
@@ -94,6 +128,12 @@ class TreeIndex:
         self._paths: dict[int, tuple[str, ...]] = {tree.root: ()}
         self._shape: tuple | None = None
         self._shape_hash: int | None = None
+        self._revision = 0
+        self._rebuilds = 0
+        self._label_masks: dict[str | None, int] = {}
+        self._all_mask: int | None = None
+        self._kids_masks: dict[int, int] = {}
+        self._parent_slots: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Snapshot identity
@@ -108,19 +148,29 @@ class TreeIndex:
 
     @property
     def size(self) -> int:
-        return len(self._order)
+        return len(self._slots)
 
     @property
     def fresh(self) -> bool:
         """Does the snapshot still describe its tree exactly?"""
         return self._tree.version == self._built_version
 
+    @property
+    def revision(self) -> int:
+        """Bumped by every applied edit — evaluators key their memos on it."""
+        return self._revision
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many edits fell back to a full renumber (observability)."""
+        return self._rebuilds
+
     def covers(self, tree: DataTree) -> bool:
         """Is this a fresh snapshot of ``tree`` (identity, not equality)?"""
         return tree is self._tree and self.fresh
 
     def __contains__(self, nid: int) -> bool:
-        return nid in self._pre
+        return nid in self._slot
 
     # ------------------------------------------------------------------
     # O(1) structure lookups
@@ -153,20 +203,28 @@ class TreeIndex:
             raise TreeError(f"node {nid} not in snapshot") from None
 
     def pre(self, nid: int) -> int:
-        """Preorder (Euler-tour) number of ``nid``."""
-        return self._pre[nid]
+        """Document-order (Euler-tour) slot of ``nid``.
+
+        Slots are gapped, so consecutive nodes differ by more than one —
+        only the *order* and the interval containments are meaningful.
+        """
+        return self._slot[nid]
+
+    def node_at(self, slot: int) -> int:
+        """The node occupying ``slot`` (KeyError on free slots)."""
+        return self._node_at[slot]
 
     def interval(self, nid: int) -> tuple[int, int]:
-        """``[pre, post]`` — preorder numbers of the subtree at ``nid``."""
-        return self._pre[nid], self._post[nid]
+        """``[pre, post]`` — slot interval of the subtree at ``nid``."""
+        return self._slot[nid], self._post[nid]
 
     def is_ancestor(self, anc: int, nid: int) -> bool:
         """Strict ancestry in O(1): interval containment."""
-        return self._pre[anc] < self._pre[nid] <= self._post[anc]
+        return self._slot[anc] < self._slot[nid] <= self._post[anc]
 
     def in_subtree(self, nid: int, anchor: int) -> bool:
         """Is ``nid`` in the subtree rooted at ``anchor`` (self included)?"""
-        return self._pre[anchor] <= self._pre[nid] <= self._post[anchor]
+        return self._slot[anchor] <= self._slot[nid] <= self._post[anchor]
 
     def path_labels(self, nid: int) -> tuple[str, ...]:
         """Labels on the root-to-``nid`` path (root excluded) — the *word*
@@ -192,38 +250,46 @@ class TreeIndex:
     # ------------------------------------------------------------------
     def node_ids(self) -> tuple[int, ...]:
         """All nodes in document (preorder) order."""
-        return tuple(self._order)
+        node_at = self._node_at
+        return tuple(node_at[s] for s in self._slots)
+
+    def labels(self) -> set[str]:
+        """The label alphabet of the snapshot (root label included)."""
+        return {label for label, bucket in self._by_label.items() if bucket}
 
     def nodes_with_label(self, label: str) -> list[int]:
         """All nodes carrying ``label``, document order."""
-        order = self._order
-        return [order[p] for p in self._by_label.get(label, ())]
+        node_at = self._node_at
+        return [node_at[s] for s in self._by_label.get(label, ())]
 
     def descendants(self, nid: int, include_self: bool = False) -> list[int]:
-        """Strict descendants as a contiguous slice of the preorder array."""
-        lo = self._pre[nid] + (0 if include_self else 1)
-        return self._order[lo:self._post[nid] + 1]
+        """Strict descendants as a contiguous slice of the slot array."""
+        slots = self._slots
+        lo = bisect_left(slots, self._slot[nid]) + (0 if include_self else 1)
+        hi = bisect_right(slots, self._post[nid], lo=max(lo, 0))
+        node_at = self._node_at
+        return [node_at[s] for s in slots[lo:hi]]
 
     def descendants_with_label(self, label: str, anchor: int) -> list[int]:
         """Strict descendants of ``anchor`` labelled ``label``.
 
-        Two bisections on the label's sorted preorder numbers — O(log n +
-        answer) instead of scanning the whole subtree.
+        Two bisections on the label's sorted slots — O(log n + answer)
+        instead of scanning the whole subtree.
         """
         pres = self._by_label.get(label)
         if not pres:
             return []
-        lo = bisect_right(pres, self._pre[anchor])
+        lo = bisect_right(pres, self._slot[anchor])
         hi = bisect_right(pres, self._post[anchor], lo=lo)
-        order = self._order
-        return [order[p] for p in pres[lo:hi]]
+        node_at = self._node_at
+        return [node_at[s] for s in pres[lo:hi]]
 
     def count_descendants_with_label(self, label: str, anchor: int) -> int:
         """Cardinality of :meth:`descendants_with_label`, O(log n)."""
         pres = self._by_label.get(label)
         if not pres:
             return 0
-        lo = bisect_right(pres, self._pre[anchor])
+        lo = bisect_right(pres, self._slot[anchor])
         return bisect_right(pres, self._post[anchor], lo=lo) - lo
 
     def minimal_cover(self, nids) -> list[int]:
@@ -235,11 +301,472 @@ class TreeIndex:
         """
         survivors: list[int] = []
         covered = -1
-        for nid in sorted(nids, key=self._pre.__getitem__):
-            if self._pre[nid] > covered:
+        for nid in sorted(nids, key=self._slot.__getitem__):
+            if self._slot[nid] > covered:
                 survivors.append(nid)
                 covered = self._post[nid]
         return survivors
+
+    # ------------------------------------------------------------------
+    # Bitset views (node-sets as int masks keyed by slot)
+    # ------------------------------------------------------------------
+    def pack_slots(self, slots) -> int:
+        """Fold an iterable of slots into one int mask (byte-buffer fold).
+
+        O(width/8 + len(slots)) — the churn-free way to build a mask,
+        instead of one big-int ``|= 1 << slot`` allocation per member.
+        """
+        top = self._slots[-1] if self._slots else 0
+        buf = bytearray((top >> 3) + 1)
+        size = len(buf)
+        for s in slots:
+            i = s >> 3
+            if i >= size:  # rare: packing slots beyond the current maximum
+                buf.extend(bytes(i + 1 - size))
+                size = i + 1
+            buf[i] |= 1 << (s & 7)
+        return int.from_bytes(buf, "little")
+
+    def all_mask(self) -> int:
+        """Mask with one bit per occupied slot (cached per revision)."""
+        mask = self._all_mask
+        if mask is None:
+            mask = self._all_mask = self.pack_slots(self._slots)
+        return mask
+
+    def label_mask(self, label: str | None) -> int:
+        """Mask of the nodes carrying ``label`` (``None`` = every node)."""
+        if label is None:
+            return self.all_mask()
+        mask = self._label_masks.get(label)
+        if mask is None:
+            mask = self.pack_slots(self._by_label.get(label, ()))
+            self._label_masks[label] = mask
+        return mask
+
+    def children_mask(self, nid: int) -> int:
+        """Mask of ``nid``'s children (cached per revision)."""
+        mask = self._kids_masks.get(nid)
+        if mask is None:
+            slot = self._slot
+            mask = self.pack_slots([slot[c] for c in self._children[nid]])
+            self._kids_masks[nid] = mask
+        return mask
+
+    def parent_slots(self) -> dict[int, int]:
+        """``slot -> parent's slot`` for every non-root node (cached per
+        revision) — the one-hop substrate of the whole-set step primitives."""
+        table = self._parent_slots
+        if table is None:
+            parent = self._parent
+            slot = self._slot
+            node_at = self._node_at
+            root = self._root
+            table = {}
+            for s in self._slots:
+                nid = node_at[s]
+                if nid != root:
+                    table[s] = slot[parent[nid]]  # type: ignore[index]
+            self._parent_slots = table
+        return table
+
+    def parents_mask(self, target: int, label: str | None = None) -> int:
+        """Mask of parents of the ``target`` nodes — one whole-set hop up.
+
+        ``label`` must be the label whose bucket covers every bit of
+        ``target`` (pass ``None`` when the target is not label-homogeneous);
+        it restricts the scan to that bucket's slot list.
+        """
+        up = self.parent_slots()
+        bucket = self.label_slots(label)
+        if target == self.label_mask(label):
+            # Common leaf-predicate case: every bucket member qualifies.
+            return self.pack_slots({up[s] for s in bucket if s in up})
+        view = target.to_bytes((target.bit_length() + 7) >> 3, "little")
+        limit = len(view) << 3
+        bits = _BIT
+        out: set[int] = set()
+        add = out.add
+        for s in bucket:
+            if s < limit and view[s >> 3] & bits[s & 7] and s in up:
+                add(up[s])
+        return self.pack_slots(out)
+
+    def ancestors_mask(self, target: int, label: str | None = None) -> int:
+        """Mask of strict ancestors of the ``target`` nodes.
+
+        Marked-ancestor early exit: every tree edge is climbed at most
+        once per call, so the whole-set closure costs O(n) amortised.
+        ``label`` restricts the scan exactly as in :meth:`parents_mask`.
+        """
+        up = self.parent_slots()
+        bucket = self.label_slots(label)
+        seen: set[int] = set()
+        add = seen.add
+        if target == self.label_mask(label):
+            sources = bucket
+        else:
+            view = target.to_bytes((target.bit_length() + 7) >> 3, "little")
+            limit = len(view) << 3
+            bits = _BIT
+            sources = [s for s in bucket
+                       if s < limit and view[s >> 3] & bits[s & 7]]
+        get = up.get
+        for s in sources:
+            cur = get(s)
+            while cur is not None and cur not in seen:
+                add(cur)
+                cur = get(cur)
+        return self.pack_slots(seen)
+
+    def child_step_mask(self, frontier: int, test: int,
+                        label: str | None = None) -> int:
+        """One ``/`` step over a whole frontier: nodes passing ``test``
+        whose parent is in ``frontier`` — byte-view membership tests over
+        the label's slot list, no per-bit big-int arithmetic."""
+        up = self.parent_slots()
+        tview = test.to_bytes((test.bit_length() + 7) >> 3, "little")
+        tlimit = len(tview) << 3
+        fview = frontier.to_bytes((frontier.bit_length() + 7) >> 3, "little")
+        flimit = len(fview) << 3
+        bits = _BIT
+        keep: list[int] = []
+        append = keep.append
+        get = up.get
+        for s in self.label_slots(label):
+            if s >= tlimit or not tview[s >> 3] & bits[s & 7]:
+                continue
+            ps = get(s)
+            if ps is not None and ps < flimit and fview[ps >> 3] & bits[ps & 7]:
+                append(s)
+        return self.pack_slots(keep)
+
+    def label_slots(self, label: str | None) -> list[int]:
+        """Occupied slots carrying ``label`` (every slot for ``None``), as a
+        sorted list — the iterable twin of :meth:`label_mask`."""
+        if label is None:
+            return self._slots
+        return self._by_label.get(label, [])
+
+    def subtree_mask(self, nid: int, include_self: bool = False) -> int:
+        """Raw interval mask of the subtree at ``nid``.
+
+        Covers the *slot range* — gap bits included — so intersect with
+        :meth:`all_mask` or a label mask before treating bits as nodes.
+        """
+        lo = self._slot[nid] + (0 if include_self else 1)
+        hi = self._post[nid]
+        if lo > hi:
+            return 0
+        return ((1 << (hi - lo + 1)) - 1) << lo
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (tree + index mutate together)
+    # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        """Close out one applied edit: new revision, caches re-keyed.
+
+        The bitset caches (label/all/children masks, parent-slot table) are
+        *patched* by the edit paths rather than dropped, so the refutation
+        search's journals pay per-edit cost proportional to the renumbered
+        region, not to the tree.
+        """
+        self._revision += 1
+        self._built_version = self._tree.version
+        self._paths = {self._root: ()}
+        self._shape = None
+        self._shape_hash = None
+
+    def _detach_subtree(self, nid: int) -> list[int]:
+        """Remove the subtree's slots from every slot structure.
+
+        Returns the subtree's nodes in document order.  Structural maps
+        (labels/parent/children/depth) are left to the caller; the bitset
+        caches are patched in place.
+        """
+        lo, hi = self._slot[nid], self._post[nid]
+        slots = self._slots
+        i = bisect_left(slots, lo)
+        j = bisect_right(slots, hi, lo=i)
+        removed = slots[i:j]
+        del slots[i:j]
+        node_at = self._node_at
+        parent_slots = self._parent_slots
+        kids_masks = self._kids_masks
+        nodes: list[int] = []
+        gone_by_label: dict[str, list[int]] = {}
+        for s in removed:
+            n = node_at.pop(s)
+            nodes.append(n)
+            gone_by_label.setdefault(self._labels[n], []).append(s)
+            del self._slot[n]
+            del self._post[n]
+            if parent_slots is not None:
+                parent_slots.pop(s, None)
+            kids_masks.pop(n, None)
+        label_masks = self._label_masks
+        for label, gone in gone_by_label.items():
+            bucket = self._by_label[label]
+            a = bisect_left(bucket, lo)
+            b = bisect_right(bucket, hi, lo=a)
+            del bucket[a:b]
+            mask = label_masks.get(label)
+            if mask is not None:
+                label_masks[label] = mask ^ self.pack_slots(gone)
+        if self._all_mask is not None and removed:
+            self._all_mask ^= self.pack_slots(removed)
+        return nodes
+
+    def _fix_posts_upward(self, start: int | None) -> None:
+        """Re-close intervals from ``start`` up, stopping once unchanged."""
+        a = start
+        while a is not None:
+            new_post = self._slot[a]
+            for c in self._children[a]:
+                pc = self._post[c]
+                if pc > new_post:
+                    new_post = pc
+            if self._post[a] == new_post:
+                break
+            self._post[a] = new_post
+            a = self._parent[a]
+
+    def _subtree_slot_count(self, nid: int) -> int:
+        """Occupied slots inside ``nid``'s interval (two bisections)."""
+        lo = bisect_left(self._slots, self._slot[nid])
+        return bisect_right(self._slots, self._post[nid], lo=lo) - lo
+
+    def _find_host(self, anchor: int, extra: int) -> int:
+        """Lowest ancestor-or-self of ``anchor`` whose interval can absorb
+        ``extra`` more nodes at :data:`HOST_DENSITY`; the root always can
+        (its interval is re-spaced on demand)."""
+        a = anchor
+        while a != self._root:
+            width = self._post[a] - self._slot[a] + 1
+            if width >= HOST_DENSITY * (self._subtree_slot_count(a) + extra):
+                return a
+            a = self._parent[a]
+        return self._root
+
+    def _renumber_subtree(self, host: int) -> None:
+        """Re-spread ``host``'s whole subtree over its slot interval.
+
+        Unslotted nodes hanging off the structural maps (a freshly attached
+        subtree) receive slots; ``pre``/``post`` of ``host`` itself are
+        preserved (root excepted: the root re-spaces with fresh gaps, which
+        is the full-rebuild fallback counted by :attr:`rebuild_count`)."""
+        children = self._children
+        # New document order of the host subtree, depths refreshed as the
+        # walk descends (moved nodes change depth).
+        order: list[int] = []
+        depth = self._depth
+        stack = [host]
+        while stack:
+            n = stack.pop()
+            order.append(n)
+            kids = children[n]
+            if kids:
+                d = depth[n] + 1
+                for c in reversed(kids):
+                    depth[c] = d
+                    stack.append(c)
+        m = len(order)
+        if host == self._root:
+            self._rebuilds += 1
+            lo = 0
+            new_slots = [i * SLOT_GAP for i in range(m)]
+        else:
+            lo, hi = self._slot[host], self._post[host]
+            width = hi - lo + 1
+            if m == 1:
+                new_slots = [lo]
+            else:
+                step = width - 1
+                new_slots = [lo + (i * step) // (m - 1) for i in range(m)]
+        # Drop the old slots of the already-slotted part of the subtree
+        # (detached nodes in `order` have none), then slot the new layout.
+        if host in self._slot:
+            self._detach_subtree(host)
+        slots = self._slots
+        at = bisect_left(slots, lo)
+        slots[at:at] = new_slots
+        node_at = self._node_at
+        slot_of = self._slot
+        kids_masks = self._kids_masks
+        fresh_by_label: dict[str, list[int]] = {}
+        for n, s in zip(order, new_slots):
+            slot_of[n] = s
+            node_at[s] = n
+            kids_masks.pop(n, None)
+            fresh_by_label.setdefault(self._labels[n], []).append(s)
+        label_masks = self._label_masks
+        for label, added in fresh_by_label.items():
+            bucket = self._by_label.setdefault(label, [])
+            a = bisect_left(bucket, lo)
+            bucket[a:a] = added  # ascending and disjoint from the rest
+            mask = label_masks.get(label)
+            if mask is not None:
+                label_masks[label] = mask ^ self.pack_slots(added)
+        if self._all_mask is not None:
+            self._all_mask ^= self.pack_slots(new_slots)
+        parent_slots = self._parent_slots
+        if parent_slots is not None:
+            parent_d = self._parent
+            for n in order:
+                if n != self._root:
+                    parent_slots[slot_of[n]] = slot_of[parent_d[n]]  # type: ignore[index]
+        post = self._post
+        for n in reversed(order):
+            kids = children[n]
+            post[n] = post[kids[-1]] if kids else slot_of[n]
+
+    def apply_move(self, nid: int, new_parent: int) -> None:
+        """Move ``nid`` under ``new_parent`` in the tree *and* the index.
+
+        The index stays fresh: only the smallest enclosing interval with
+        room is renumbered.  Raises :class:`TreeError` (tree and index both
+        untouched) on illegal moves, exactly like :meth:`DataTree.move`.
+        """
+        if nid not in self._slot or new_parent not in self._slot:
+            raise TreeError("node not in snapshot")
+        self._tree.move(nid, new_parent)  # validates root/cycle first
+        old_parent = self._parent[nid]
+        assert old_parent is not None
+        detached = self._detach_subtree(nid)
+        self._children[old_parent] = tuple(
+            c for c in self._children[old_parent] if c != nid)
+        self._kids_masks.pop(old_parent, None)
+        # Close the old side's intervals while the moved subtree is still
+        # fully detached (its nodes have no posts to consult).
+        self._fix_posts_upward(old_parent)
+        self._children[new_parent] = self._children[new_parent] + (nid,)
+        self._kids_masks.pop(new_parent, None)
+        self._parent[nid] = new_parent
+        if not self._attach_after(new_parent, detached):
+            self._renumber_subtree(self._find_host(new_parent, len(detached)))
+        self._bump()
+
+    def _attach_after(self, new_parent: int, detached: list[int]) -> bool:
+        """Fast attach: compact the detached subtree into the free run right
+        after ``new_parent``'s interval end.
+
+        ``detached`` is the subtree in its (unchanged) preorder, so
+        consecutive slots are a valid renumbering.  O(k + depth) — this is
+        what keeps the search journals' move/undo pairs cheap: an undo finds
+        the gap the original move left behind.  Returns False when the free
+        run is too short (the caller then renumbers a host subtree).
+        """
+        k = len(detached)
+        old_post = self._post[new_parent]
+        slots = self._slots
+        i = bisect_right(slots, old_post)
+        if i < len(slots) and slots[i] - old_post - 1 < k:
+            return False
+        new_slots = list(range(old_post + 1, old_post + 1 + k))
+        slot_of = self._slot
+        node_at = self._node_at
+        kids_masks = self._kids_masks
+        depth = self._depth
+        parent_d = self._parent
+        fresh_by_label: dict[str, list[int]] = {}
+        for n, s in zip(detached, new_slots):
+            slot_of[n] = s
+            node_at[s] = n
+            kids_masks.pop(n, None)
+            # Parents precede children in preorder, so depths resolve in
+            # one pass even though the whole subtree changed level.
+            depth[n] = depth[parent_d[n]] + 1  # type: ignore[index]
+            fresh_by_label.setdefault(self._labels[n], []).append(s)
+        slots[i:i] = new_slots
+        label_masks = self._label_masks
+        for label, added in fresh_by_label.items():
+            bucket = self._by_label.setdefault(label, [])
+            a = bisect_left(bucket, added[0])
+            bucket[a:a] = added
+            mask = label_masks.get(label)
+            if mask is not None:
+                label_masks[label] = mask | self.pack_slots(added)
+        if self._all_mask is not None:
+            self._all_mask |= self.pack_slots(new_slots)
+        parent_slots = self._parent_slots
+        if parent_slots is not None:
+            parent_d = self._parent
+            for n in detached:
+                parent_slots[slot_of[n]] = slot_of[parent_d[n]]  # type: ignore[index]
+        children = self._children
+        post = self._post
+        for n in reversed(detached):
+            kids = children[n]
+            post[n] = post[kids[-1]] if kids else slot_of[n]
+        top = old_post + k
+        a: int | None = new_parent
+        while a is not None and self._post[a] == old_post:
+            self._post[a] = top
+            a = self._parent[a]
+        return True
+
+    def apply_add_leaf(self, parent: int, label: str,
+                       nid: int | None = None) -> int:
+        """Attach a fresh leaf in the tree *and* the index; returns its id.
+
+        Appending after a subtree's end usually finds a free slot in O(log
+        n) (the gap a removed sibling left behind — the merge journals'
+        revive pattern); otherwise the host renumber kicks in.
+        """
+        if parent not in self._slot:
+            raise TreeError(f"parent {parent} not in snapshot")
+        new_id = self._tree.add_child(parent, label, nid=nid)
+        self._labels[new_id] = label
+        self._parent[new_id] = parent
+        self._children[new_id] = ()
+        self._children[parent] = self._children[parent] + (new_id,)
+        self._depth[new_id] = self._depth[parent] + 1
+        self._kids_masks.pop(parent, None)
+        old_post = self._post[parent]
+        slots = self._slots
+        i = bisect_right(slots, old_post)
+        free = old_post + 1
+        if i == len(slots) or free < slots[i]:
+            # Fast path: the slot right after the parent's interval is free.
+            slots.insert(i, free)
+            self._node_at[free] = new_id
+            self._slot[new_id] = free
+            self._post[new_id] = free
+            insort(self._by_label.setdefault(label, []), free)
+            mask = self._label_masks.get(label)
+            if mask is not None:
+                self._label_masks[label] = mask | (1 << free)
+            if self._all_mask is not None:
+                self._all_mask |= 1 << free
+            if self._parent_slots is not None:
+                self._parent_slots[free] = self._slot[parent]
+            a: int | None = parent
+            while a is not None and self._post[a] == old_post:
+                self._post[a] = free
+                a = self._parent[a]
+        else:
+            self._renumber_subtree(self._find_host(parent, 1))
+        self._bump()
+        return new_id
+
+    def apply_remove_subtree(self, nid: int) -> None:
+        """Delete ``nid``'s subtree from the tree *and* the index."""
+        if nid not in self._slot:
+            raise TreeError(f"node {nid} not in snapshot")
+        self._tree.remove_subtree(nid)  # validates (root) first
+        parent = self._parent[nid]
+        assert parent is not None
+        doomed = self._detach_subtree(nid)
+        self._children[parent] = tuple(
+            c for c in self._children[parent] if c != nid)
+        self._kids_masks.pop(parent, None)
+        for n in doomed:
+            del self._labels[n]
+            del self._parent[n]
+            del self._children[n]
+            del self._depth[n]
+        self._fix_posts_upward(parent)
+        self._bump()
 
     # ------------------------------------------------------------------
     # Canonical shape (iterative hasher)
@@ -262,7 +789,8 @@ class TreeIndex:
     def __repr__(self) -> str:
         state = "fresh" if self.fresh else "STALE"
         return (f"TreeIndex(size={self.size}, root={self._root}, "
-                f"labels={len(self._by_label)}, {state})")
+                f"labels={len(self._by_label)}, rev={self._revision}, "
+                f"{state})")
 
 
-__all__ = ["TreeIndex"]
+__all__ = ["TreeIndex", "SLOT_GAP", "HOST_DENSITY"]

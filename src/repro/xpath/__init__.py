@@ -1,6 +1,7 @@
 """The XPath fragment ``XP{/,[],//,*}`` of the paper (Section 2)."""
 
 from repro.xpath.ast import Axis, Pattern, Pred, Step, make_path, normalize
+from repro.xpath.bitset import BitsetEvaluator
 from repro.xpath.canonical import (
     CanonicalModel,
     canonical_models,
@@ -50,6 +51,7 @@ __all__ = [
     "selects",
     "matches_at",
     "IndexedEvaluator",
+    "BitsetEvaluator",
     "contained",
     "hom_contained",
     "canonical_contained",

@@ -1,0 +1,212 @@
+"""Set-at-a-time tree-pattern evaluation: node-sets as bitsets.
+
+Third evaluation substrate, same semantics as :mod:`repro.xpath.evaluator`
+(naive) and :mod:`repro.xpath.indexed` (node-at-a-time over a
+:class:`~repro.trees.index.TreeIndex`) — the three are cross-checked by a
+Hypothesis three-way equivalence suite.  Where the indexed evaluator still
+loops "for each candidate, does the predicate hold?", this one evaluates
+whole frontiers at once as Python ``int`` masks keyed by the snapshot's
+slot numbering:
+
+* a step's *test* is one mask — the label's bitset intersected with one
+  **predicate mask per canonical predicate**, each computed once per
+  snapshot revision and cached (predicate satisfaction for *every* node in
+  a single bottom-up pass, instead of once per (predicate, node) pair);
+* a ``//`` step expands the frontier as interval range-masks over its
+  minimal cover — one shift-and-subtract per covering subtree, no
+  per-descendant work at all;
+* a ``/`` step is one whole-set hop over the label's slot list (byte-view
+  membership tests) or, for sparse frontiers, a union of cached per-node
+  children masks.
+
+The evaluator tracks its snapshot's :attr:`~repro.trees.index.TreeIndex.
+revision` (see :class:`repro.xpath.snapshot.SnapshotEvaluator`): after an
+in-place index edit (the search journals' moves) the masks are rebuilt
+lazily on the next query, so one evaluator survives a whole refutation
+search.  All memos are LRU-capped — a long-lived binding serving an
+adversarial query stream cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+from repro.caching import LRUMemo
+from repro.trees.index import TreeIndex
+from repro.trees.node import Node
+from repro.trees.tree import DataTree
+from repro.xpath.ast import Axis, Pattern, Pred
+from repro.xpath.snapshot import SnapshotEvaluator
+
+PRED_MASK_MEMO_SIZE = 4096   # canonical predicate -> satisfaction mask
+QUERY_MEMO_SIZE = 4096       # (canonical pattern, anchor) -> answer ids
+
+_MISS = object()
+
+_BIT = tuple(1 << b for b in range(8))
+
+
+def iter_slots(mask: int):
+    """Slots (bit positions) of a mask, ascending — document order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def byte_view(mask: int) -> bytes:
+    """The mask as bytes: O(1) per-slot membership tests against big masks
+    (``view[s >> 3] & _BIT[s & 7]``) instead of an O(words) shift each."""
+    return mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+
+
+class BitsetEvaluator(SnapshotEvaluator):
+    """A set-at-a-time evaluation session over one tree snapshot.
+
+    Interface-compatible with :class:`repro.xpath.indexed.IndexedEvaluator`
+    (both derive the session plumbing — ``covers``, ``apply_*``, revision
+    sync, canonicalisation — from the shared base), so every ``context=``
+    fast path accepts either.
+    """
+
+    __slots__ = ("_pred_masks", "_query_memo")
+
+    def __init__(self, snapshot: TreeIndex | DataTree):
+        super().__init__(snapshot)
+        self._pred_masks = LRUMemo(PRED_MASK_MEMO_SIZE)
+        self._query_memo = LRUMemo(QUERY_MEMO_SIZE)
+
+    @property
+    def memo_entries(self) -> int:
+        """Number of cached predicate masks (observability hook)."""
+        return len(self._pred_masks)
+
+    def _drop_revision_memos(self) -> None:
+        self._pred_masks.clear()
+        self._query_memo.clear()
+
+    # ------------------------------------------------------------------
+    # Whole-tree predicate masks
+    # ------------------------------------------------------------------
+    def _pred_mask(self, pred: Pred) -> int:
+        """Mask of every node where the (canonical) predicate holds.
+
+        One bottom-up pass: the nodes matching the predicate's own test
+        (label mask ∩ child-predicate masks) are lifted to their parents
+        (``/``) or their ancestor closure (``//``, with marked-ancestor
+        early exit — O(n) amortised across the whole mask).
+        """
+        mask = self._pred_masks.get(pred, _MISS)
+        if mask is not _MISS:
+            return mask
+        idx = self._index
+        target = idx.label_mask(pred.label)
+        for sub in pred.children:
+            if not target:
+                break
+            target &= self._pred_mask(sub)
+        if not target:
+            result = 0
+        elif pred.axis is Axis.CHILD:
+            result = idx.parents_mask(target, pred.label)
+        else:
+            result = idx.ancestors_mask(target, pred.label)
+        self._pred_masks.put(pred, result)
+        return result
+
+    def matches_at(self, pred: Pred, anchor: int) -> bool:
+        """Boolean-pattern satisfaction: does ``pred`` hold at ``anchor``?"""
+        self._sync()
+        return bool((self._pred_mask(self._canonical(pred))
+                     >> self._index.pre(anchor)) & 1)
+
+    # ------------------------------------------------------------------
+    # Whole-frontier spine sweep
+    # ------------------------------------------------------------------
+    def _sweep_mask(self, pattern: Pattern, start: int) -> int:
+        idx = self._index
+        node_at = idx.node_at
+        frontier = 1 << idx.pre(start)
+        anchors = 1  # popcount of the frontier, tracked cheaply
+        for step in pattern.steps:
+            test = idx.label_mask(step.label)
+            for p in step.preds:
+                if not test:
+                    break
+                test &= self._pred_mask(self._canonical(p))
+            if not test:
+                return 0
+            if step.axis is Axis.CHILD:
+                if anchors * 8 < len(idx.label_slots(step.label)):
+                    # Sparse frontier: union the per-anchor children masks.
+                    cand = 0
+                    for s in iter_slots(frontier):
+                        cand |= idx.children_mask(node_at(s))
+                    frontier = cand & test
+                else:
+                    # Dense frontier: one whole-set hop over the label's
+                    # candidates, byte-view membership tests throughout.
+                    frontier = idx.child_step_mask(frontier, test, step.label)
+            else:
+                # The lowest remaining bit is always a minimal-cover anchor;
+                # clearing its whole interval afterwards skips the covered
+                # frontier bits in one C-level mask op.
+                cand = 0
+                rest = frontier
+                while rest:
+                    s = (rest & -rest).bit_length() - 1
+                    lo, hi = idx.interval(node_at(s))
+                    if hi > lo:
+                        cand |= ((1 << (hi - lo)) - 1) << (lo + 1)
+                    rest &= -1 << (hi + 1)
+                frontier = cand & test
+            if not frontier:
+                return 0
+            anchors = frontier.bit_count()
+        return frontier
+
+    def evaluate_ids(self, pattern: Pattern, start: int | None = None) -> set[int]:
+        """``q(n, I)`` as bare identifiers (``n`` defaults to the root)."""
+        self._sync()
+        idx = self._index
+        anchor = idx.root if start is None else start
+        key = (self._canonical_pattern(pattern), anchor)
+        hit = self._query_memo.get(key)
+        if hit is None:
+            node_at = idx.node_at
+            hit = frozenset(node_at(s)
+                            for s in iter_slots(self._sweep_mask(key[0], anchor)))
+            self._query_memo.put(key, hit)
+        return set(hit)
+
+    def __repr__(self) -> str:
+        return (f"BitsetEvaluator({self._index!r}, "
+                f"masks={len(self._pred_masks)})")
+
+
+# ----------------------------------------------------------------------
+# Module-level mirrors of the naive evaluator's API
+# ----------------------------------------------------------------------
+def context_for(source: BitsetEvaluator | TreeIndex | DataTree) -> BitsetEvaluator:
+    """Coerce any snapshot-ish object into a :class:`BitsetEvaluator`."""
+    if isinstance(source, BitsetEvaluator):
+        return source
+    return BitsetEvaluator(source)
+
+
+def evaluate(pattern: Pattern, context: BitsetEvaluator | TreeIndex | DataTree,
+             start: int | None = None) -> set[Node]:
+    return context_for(context).evaluate(pattern, start)
+
+
+def evaluate_ids(pattern: Pattern, context: BitsetEvaluator | TreeIndex | DataTree,
+                 start: int | None = None) -> set[int]:
+    return context_for(context).evaluate_ids(pattern, start)
+
+
+def selects(pattern: Pattern, context: BitsetEvaluator | TreeIndex | DataTree,
+            nid: int) -> bool:
+    return context_for(context).selects(pattern, nid)
+
+
+def matches_at(pred: Pred, context: BitsetEvaluator | TreeIndex | DataTree,
+               anchor: int) -> bool:
+    return context_for(context).matches_at(pred, anchor)

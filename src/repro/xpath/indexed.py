@@ -1,11 +1,12 @@
 """Label-indexed tree-pattern evaluation over a :class:`TreeIndex` snapshot.
 
 Same semantics as :mod:`repro.xpath.evaluator` (the two are cross-checked by
-a Hypothesis equivalence suite), different substrate:
+a Hypothesis equivalence suite; :mod:`repro.xpath.bitset` is the third,
+set-at-a-time substrate), different evaluation strategy:
 
 * each step's frontier is seeded from the snapshot's **label index** — a
-  ``//a`` step bisects the sorted preorder numbers of the ``a``-nodes
-  instead of walking every subtree under every anchor;
+  ``//a`` step bisects the sorted slot numbers of the ``a``-nodes instead
+  of walking every subtree under every anchor;
 * a ``//`` step first reduces the frontier to its **minimal interval
   cover**, so overlapping subtrees are scanned once;
 * predicate satisfaction is memoised per ``(canonical predicate, node)``
@@ -16,66 +17,51 @@ a Hypothesis equivalence suite), different substrate:
 Predicates are canonicalised (:func:`repro.xpath.ast.normalize_preds`)
 before keying, so syntactically different but structurally equal predicates
 from different queries share memo rows.
+
+All memos are LRU-capped (:class:`repro.caching.LRUMemo`) so a long-lived
+binding serving an adversarial stream of distinct queries stays bounded,
+and they are keyed to the snapshot's :attr:`~repro.trees.index.TreeIndex.
+revision` (see :class:`repro.xpath.snapshot.SnapshotEvaluator`): after an
+in-place index edit (``apply_move`` & co.) the memos are dropped lazily on
+the next query instead of poisoning answers.
 """
 
 from __future__ import annotations
 
+from repro.caching import LRUMemo
 from repro.trees.index import TreeIndex
 from repro.trees.node import Node
 from repro.trees.tree import DataTree
-from repro.xpath.ast import Axis, Pattern, Pred, normalize, normalize_preds
+from repro.xpath.ast import Axis, Pattern, Pred
+from repro.xpath.snapshot import SnapshotEvaluator
+
+PRED_MEMO_SIZE = 65536   # (canonical predicate, node) -> bool
+QUERY_MEMO_SIZE = 4096   # (canonical pattern, anchor) -> answer ids
 
 
-class IndexedEvaluator:
-    """A pattern-evaluation session pinned to one tree snapshot.
+class IndexedEvaluator(SnapshotEvaluator):
+    """A node-at-a-time evaluation session pinned to one tree snapshot.
 
     Build one per instance (or let :meth:`for_tree` / the ``context=``
     fast paths do it) and ask any number of queries; every answer is
     bit-identical to the naive evaluator on the same tree.
     """
 
-    __slots__ = ("_index", "_pred_memo", "_canon", "_query_memo",
-                 "_canon_patterns")
+    __slots__ = ("_pred_memo", "_query_memo")
 
     def __init__(self, snapshot: TreeIndex | DataTree):
-        if isinstance(snapshot, DataTree):
-            snapshot = TreeIndex(snapshot)
-        self._index = snapshot
-        self._pred_memo: dict[tuple[Pred, int], bool] = {}
-        self._canon: dict[Pred, Pred] = {}
-        self._query_memo: dict[tuple[Pattern, int], frozenset[int]] = {}
-        self._canon_patterns: dict[Pattern, Pattern] = {}
-
-    @classmethod
-    def for_tree(cls, tree: DataTree) -> "IndexedEvaluator":
-        return cls(TreeIndex(tree))
-
-    @property
-    def index(self) -> TreeIndex:
-        return self._index
-
-    @property
-    def tree(self) -> DataTree:
-        return self._index.tree
-
-    def covers(self, tree: DataTree) -> bool:
-        """Usable as a fast path for ``tree``?  (Same object, unmutated.)"""
-        return self._index.covers(tree)
+        super().__init__(snapshot)
+        self._pred_memo = LRUMemo(PRED_MEMO_SIZE)
+        self._query_memo = LRUMemo(QUERY_MEMO_SIZE)
 
     @property
     def memo_entries(self) -> int:
         """Size of the shared predicate memo (observability hook)."""
         return len(self._pred_memo)
 
-    # ------------------------------------------------------------------
-    # Canonicalisation
-    # ------------------------------------------------------------------
-    def _canonical(self, pred: Pred) -> Pred:
-        canon = self._canon.get(pred)
-        if canon is None:
-            canon = normalize_preds((pred,))[0]
-            self._canon[pred] = canon
-        return canon
+    def _drop_revision_memos(self) -> None:
+        self._pred_memo.clear()
+        self._query_memo.clear()
 
     # ------------------------------------------------------------------
     # Candidate enumeration (the label-index seeding)
@@ -123,11 +109,12 @@ class IndexedEvaluator:
                 if ok:
                     result = True
                     break
-        self._pred_memo[key] = result
+        self._pred_memo.put(key, result)
         return result
 
     def matches_at(self, pred: Pred, anchor: int) -> bool:
         """Boolean-pattern satisfaction: does ``pred`` hold at ``anchor``?"""
+        self._sync()
         return self._holds(self._canonical(pred), anchor)
 
     # ------------------------------------------------------------------
@@ -137,19 +124,17 @@ class IndexedEvaluator:
         """``q(n, I)`` as bare identifiers (``n`` defaults to the root).
 
         Answers are memoised per ``(canonical pattern, anchor)`` — the
-        snapshot never changes, so a repeated query (the session workload:
-        premise ranges re-evaluated for every conclusion) is a dict hit.
+        snapshot only changes through the revision-bumping ``apply_*``
+        edits, so a repeated query (the session workload: premise ranges
+        re-evaluated for every conclusion) is a dict hit.
         """
+        self._sync()
         anchor = self._index.root if start is None else start
-        canon = self._canon_patterns.get(pattern)
-        if canon is None:
-            canon = normalize(pattern)
-            self._canon_patterns[pattern] = canon
-        key = (canon, anchor)
+        key = (self._canonical_pattern(pattern), anchor)
         hit = self._query_memo.get(key)
         if hit is None:
-            hit = frozenset(self._sweep(canon, anchor))
-            self._query_memo[key] = hit
+            hit = frozenset(self._sweep(key[0], anchor))
+            self._query_memo.put(key, hit)
         return set(hit)
 
     def _sweep(self, pattern: Pattern, start: int) -> set[int]:
@@ -192,15 +177,6 @@ class IndexedEvaluator:
             if not frontier:
                 break
         return frontier
-
-    def evaluate(self, pattern: Pattern, start: int | None = None) -> set[Node]:
-        """``q(n, I)`` as ``(id, label)`` pairs, exactly like the naive path."""
-        idx = self._index
-        return {idx.node(nid) for nid in self.evaluate_ids(pattern, start)}
-
-    def selects(self, pattern: Pattern, nid: int) -> bool:
-        """Is node ``nid`` in ``q(I)``?"""
-        return nid in self.evaluate_ids(pattern)
 
 
 # ----------------------------------------------------------------------

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.constraints import (
-    ConstraintSet,
     ConstraintType,
     UpdateConstraint,
     constraint_set,
@@ -11,7 +10,7 @@ from repro.constraints import (
     no_remove,
 )
 from repro.xpath import parse
-from repro.xpath.ast import Pattern, Pred, Axis, Step
+from repro.xpath.ast import Axis, Pattern, Step
 
 
 def unnormalized(text_a: str, text_b: str) -> Pattern:

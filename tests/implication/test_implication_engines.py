@@ -20,7 +20,6 @@ from repro.implication import (
     implies_one_type,
     implies_single,
 )
-from repro.xpath import parse
 
 
 def assert_refutation_certified(result):

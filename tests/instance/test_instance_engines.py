@@ -16,7 +16,6 @@ from repro.instance import (
 )
 from repro.implication.result import Answer
 from repro.trees import branch, build, parse_tree
-from repro.xpath import evaluate_ids, parse
 
 
 def assert_refutation_certified(result):

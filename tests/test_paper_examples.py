@@ -19,7 +19,7 @@ from repro.instance import implies_on
 from repro.keys import pair_satisfies_encoding
 from repro.trees import branch, build
 from repro.xic import chase_implication
-from repro.xpath import evaluate, parse
+from repro.xpath import parse
 
 
 class TestFigure2Example21:

@@ -13,11 +13,10 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.constraints import ConstraintSet, UpdateConstraint, ConstraintType
+from repro.constraints import UpdateConstraint, ConstraintType
 from repro.constraints.validity import is_valid, satisfies, violation_of
 from repro.implication import implies
 from repro.instance import implies_on
-from repro.trees import DataTree
 from repro.workloads import (
     FragmentSpec,
     random_constraints,

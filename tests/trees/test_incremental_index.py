@@ -1,0 +1,239 @@
+"""Unit tests for in-place :class:`TreeIndex` maintenance.
+
+The incremental contract: after any sequence of ``apply_*`` edits, the
+index answers every structural query exactly like a freshly built index of
+the mutated tree — same document order, intervals, label buckets, depths,
+path-label arrays and bitset views — while staying ``fresh`` (the edits
+re-sync the recorded tree version) and bumping ``revision`` so evaluators
+know to drop their masks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import DataTree, TreeIndex
+from repro.trees.index import SLOT_GAP
+from repro.workloads import random_tree
+
+LABELS = ["a", "b", "c"]
+
+
+def assert_matches_fresh(index: TreeIndex, tree: DataTree) -> None:
+    """The incrementally-maintained index agrees with a fresh rebuild."""
+    fresh = TreeIndex(tree)
+    assert list(index.node_ids()) == list(fresh.node_ids())
+    for nid in tree.node_ids():
+        assert index.label(nid) == fresh.label(nid)
+        assert index.parent(nid) == fresh.parent(nid)
+        assert index.children(nid) == fresh.children(nid)
+        assert index.depth(nid) == fresh.depth(nid)
+        assert index.path_labels(nid) == fresh.path_labels(nid)
+        assert index.descendants(nid) == fresh.descendants(nid)
+        for label in LABELS:
+            assert (index.descendants_with_label(label, nid)
+                    == fresh.descendants_with_label(label, nid))
+            assert (index.count_descendants_with_label(label, nid)
+                    == fresh.count_descendants_with_label(label, nid))
+    for anc in tree.node_ids():
+        for nid in tree.node_ids():
+            assert index.is_ancestor(anc, nid) == fresh.is_ancestor(anc, nid)
+    assert index.canonical_shape() == fresh.canonical_shape()
+    # Bitset views describe the same node sets (slots may differ).
+    for label in LABELS:
+        assert (sorted(index.node_at(s) for s in _slots(index.label_mask(label)))
+                == sorted(fresh.nodes_with_label(label)))
+    assert (sorted(index.node_at(s) for s in _slots(index.all_mask()))
+            == sorted(tree.node_ids()))
+
+
+def _slots(mask: int) -> list[int]:
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+class TestApplyMove:
+    def build(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        b = tree.add_child(tree.root, "b")
+        c = tree.add_child(a, "c")
+        d = tree.add_child(c, "a")
+        return tree, a, b, c, d
+
+    def test_move_updates_tree_and_index_together(self):
+        tree, a, b, c, d = self.build()
+        index = TreeIndex(tree)
+        index.apply_move(c, b)
+        assert tree.parent(c) == b
+        assert index.fresh
+        assert index.revision == 1
+        assert_matches_fresh(index, tree)
+
+    def test_move_up_and_back_restores_structure(self):
+        tree, a, b, c, d = self.build()
+        index = TreeIndex(tree)
+        before = tree.copy()
+        index.apply_move(d, tree.root)
+        index.apply_move(d, c)
+        assert tree.same_instance(before)
+        assert_matches_fresh(index, tree)
+
+    def test_illegal_moves_leave_both_untouched(self):
+        tree, a, b, c, d = self.build()
+        index = TreeIndex(tree)
+        with pytest.raises(TreeError):
+            index.apply_move(tree.root, a)       # the root is pinned
+        with pytest.raises(TreeError):
+            index.apply_move(a, d)               # descendant target
+        assert index.revision == 0
+        assert index.fresh
+        assert_matches_fresh(index, tree)
+
+    def test_foreign_mutation_still_stales(self):
+        tree, a, *_ = self.build()
+        index = TreeIndex(tree)
+        tree.add_child(a, "c")                   # behind the index's back
+        assert not index.fresh
+        assert not index.covers(tree)
+
+
+class TestApplyLeafEdits:
+    def test_add_leaf_fast_path_after_subtree_end(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        tree.add_child(tree.root, "b")
+        index = TreeIndex(tree)
+        nid = index.apply_add_leaf(a, "c")
+        assert tree.parent(nid) == a
+        assert index.label(nid) == "c"
+        assert index.fresh
+        assert_matches_fresh(index, tree)
+
+    def test_dense_adds_trigger_host_renumber(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        tree.add_child(tree.root, "b")
+        index = TreeIndex(tree)
+        # a's interval has SLOT_GAP slots before b's; overflowing it forces
+        # a renumber (possibly of the root, counted as a rebuild).
+        for _ in range(3 * SLOT_GAP):
+            index.apply_add_leaf(a, "c")
+        assert index.rebuild_count >= 1
+        assert index.fresh
+        assert_matches_fresh(index, tree)
+
+    def test_remove_then_revive_reuses_the_gap(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        b = tree.add_child(a, "b")
+        tree.add_child(tree.root, "c")
+        index = TreeIndex(tree)
+        index.apply_remove_subtree(b)
+        assert b not in index
+        assert_matches_fresh(index, tree)
+        revived = index.apply_add_leaf(a, "b", nid=b)
+        assert revived == b
+        assert_matches_fresh(index, tree)
+
+    def test_remove_subtree_drops_whole_interval(self):
+        rng = random.Random(7)
+        tree = random_tree(rng, LABELS, size=15)
+        index = TreeIndex(tree)
+        victim = next(n for n in tree.node_ids()
+                      if n != tree.root and tree.children(n))
+        doomed = set(tree.descendants(victim, include_self=True))
+        index.apply_remove_subtree(victim)
+        assert all(n not in index for n in doomed)
+        assert index.size == tree.size
+        assert_matches_fresh(index, tree)
+
+
+class TestRandomJournals:
+    def test_random_edit_sequences_match_fresh_rebuilds(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            tree = random_tree(rng, LABELS, size=rng.randint(2, 15))
+            index = TreeIndex(tree)
+            revision = 0
+            for _ in range(12):
+                op = rng.random()
+                nodes = [n for n in tree.node_ids() if n != tree.root]
+                try:
+                    if op < 0.55 and nodes:
+                        index.apply_move(rng.choice(nodes),
+                                         rng.choice(list(tree.node_ids())))
+                    elif op < 0.8:
+                        index.apply_add_leaf(rng.choice(list(tree.node_ids())),
+                                             rng.choice(LABELS))
+                    elif nodes:
+                        index.apply_remove_subtree(rng.choice(nodes))
+                    else:
+                        continue
+                except TreeError:
+                    continue
+                revision += 1
+                assert index.revision == revision
+                assert index.fresh
+                tree.validate()
+            assert_matches_fresh(index, tree)
+
+    def test_move_undo_journal_is_lossless(self):
+        """The cascade pattern: apply a batch of moves, undo in reverse."""
+        for seed in range(10):
+            rng = random.Random(100 + seed)
+            tree = random_tree(rng, LABELS, size=10)
+            original = tree.copy()
+            index = TreeIndex(tree)
+            journal = []
+            for _ in range(4):
+                nodes = [n for n in tree.node_ids() if n != tree.root]
+                nid = rng.choice(nodes)
+                target = rng.choice(list(tree.node_ids()))
+                old_parent = tree.parent(nid)
+                try:
+                    index.apply_move(nid, target)
+                except TreeError:
+                    continue
+                journal.append((nid, old_parent))
+            for nid, old_parent in reversed(journal):
+                index.apply_move(nid, old_parent)
+            assert tree.same_instance(original)
+            assert_matches_fresh(index, tree)
+
+
+class TestBitsetViews:
+    def test_masks_track_revisions(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        tree.add_child(a, "b")
+        index = TreeIndex(tree)
+        before = index.label_mask("b")
+        nid = index.apply_add_leaf(tree.root, "b")
+        after = index.label_mask("b")
+        assert before != after
+        assert sorted(index.node_at(s) for s in _slots(after)) == sorted(
+            index.nodes_with_label("b"))
+        assert nid in index.nodes_with_label("b")
+
+    def test_subtree_mask_covers_exactly_the_subtree(self):
+        rng = random.Random(3)
+        tree = random_tree(rng, LABELS, size=12)
+        index = TreeIndex(tree)
+        for nid in tree.node_ids():
+            mask = index.subtree_mask(nid) & index.all_mask()
+            assert (sorted(index.node_at(s) for s in _slots(mask))
+                    == sorted(tree.descendants(nid)))
+
+    def test_labels_alphabet(self):
+        rng = random.Random(5)
+        tree = random_tree(rng, LABELS, size=10)
+        index = TreeIndex(tree)
+        assert index.labels() == {node.label for node in tree.nodes()}

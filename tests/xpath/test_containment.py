@@ -4,7 +4,6 @@ Includes random cross-validation of the containment verdicts against raw
 evaluation on canonical models — the semantic ground truth.
 """
 
-import random
 
 import pytest
 
