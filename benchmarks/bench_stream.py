@@ -1,0 +1,317 @@
+"""Online enforcement throughput: delta-maintained masks vs re-validation.
+
+Three sections, checksummed so the compared paths provably behave
+identically:
+
+* **enforcement** — one seeded update log (ops, transaction brackets and a
+  tunable adversarial fraction) replayed against a ~2k-node document under
+  a mixed constraint set.  The incremental path is the shipped
+  :class:`~repro.stream.engine.StreamEnforcer`: one live
+  :class:`~repro.trees.index.TreeIndex` across the whole stream,
+  predicate masks delta-patched per edit.  The baseline is the same
+  engine with its validation strategy swapped for honest per-op
+  recompute-from-scratch: a *fresh* snapshot and cold masks for every
+  check (what a caller would do with the session API alone, rebinding
+  after each mutation).  Same decisions, same witnesses — the acceptance
+  floor is a ≥3x per-op speedup at 2k nodes.
+* **decoder** — the ``int.to_bytes`` batch slot decoder
+  (:func:`repro.xpath.bitset.slots_of` / ``iter_slots``) vs the old
+  big-int bit-kernel loop, extracting every mask of a >10k-node document
+  (ROADMAP follow-up: the bitset ceiling on large documents).
+* **sharded** — a fleet of independent streams through
+  :func:`repro.stream.shard.run_sharded`, sequential vs a 2-worker pool.
+  The checksum pins cross-process determinism; the ``parallel_ratio`` is
+  reported for observability but deliberately not gated (CI runners have
+  wildly varying core counts).
+
+Run:  PYTHONPATH=src python benchmarks/bench_stream.py [output.json]
+          [--smoke] [--compare BASELINE.json] [--tolerance 0.2]
+
+Emits ``BENCH_stream.json`` at the repo root by default; ``--compare``
+gates every tracked ratio and checksum against a committed baseline
+exactly like the other bench scripts (see ``bench_helpers``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from bench_helpers import compare_reports
+from repro.constraints.validity import Violation
+from repro.errors import TreeError
+from repro.stream import AddLeaf, Move, StreamEnforcer, StreamJob, run_sharded
+from repro.stream.shard import decision_checksum
+from repro.trees.index import TreeIndex
+from repro.workloads import (
+    FragmentSpec,
+    random_constraints,
+    random_tree,
+    random_update_stream,
+)
+from repro.xpath.bitset import BitsetEvaluator, slots_of
+
+SEED = 20070611  # PODS 2007
+LABELS = [f"l{i}" for i in range(8)]
+
+
+def timed(fn, units: int, rounds: int) -> float:
+    """Best-of-``rounds`` units/sec for ``fn`` (runs the whole workload)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return units / best
+
+
+class ScratchEnforcer(StreamEnforcer):
+    """The same enforcement semantics, validated from scratch per op.
+
+    Edits go straight to the raw tree (no live snapshot to maintain) and
+    every re-check builds a fresh :class:`BitsetEvaluator` — cold masks,
+    full bottom-up recompute.  Decisions must be bit-identical to the
+    incremental engine's; only the work per operation differs.
+    """
+
+    def _check_fresh(self) -> None:  # the initial snapshot is left behind
+        pass
+
+    def _current_violations(self) -> tuple[Violation, ...]:
+        fresh = BitsetEvaluator.for_tree(self._tree)
+        return tuple(self._checker.violations(self._tree, context=fresh))
+
+    def _perform(self, op):
+        tree = self._tree
+        if isinstance(op, AddLeaf):
+            nid = tree.add_child(op.parent, op.label, nid=op.nid)
+            return ("unadd", nid)
+        if isinstance(op, Move):
+            old_parent = tree.parent(op.nid)
+            tree.move(op.nid, op.new_parent)
+            return ("move", op.nid, old_parent)
+        if op.nid not in tree:
+            raise TreeError(f"node {op.nid} not in tree")
+        spec = tuple((n, tree.parent(n), tree.label(n))
+                     for n in tree.descendants(op.nid, include_self=True))
+        tree.remove_subtree(op.nid)
+        return ("revive", spec)
+
+    def _undo(self, journal) -> None:
+        tree = self._tree
+        for entry in reversed(journal):
+            tag = entry[0]
+            if tag == "move":
+                tree.move(entry[1], entry[2])
+            elif tag == "unadd":
+                tree.remove_subtree(entry[1])
+            else:
+                for nid, parent, label in entry[1]:
+                    tree.add_child(parent, label, nid=nid)
+
+
+def bench_enforcement(tree_size: int, ops: int, rounds: int) -> dict:
+    rng = random.Random(SEED)
+    base = random_tree(rng, LABELS, size=tree_size)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    constraints = random_constraints(rng, LABELS, spec, count=6,
+                                     types="mixed", spine=2)
+    log = random_update_stream(rng, base, LABELS, constraints=constraints,
+                               ops=ops, violation_rate=0.3, txn_prob=0.15)
+
+    incremental_out, scratch_out = [], []
+
+    def incremental():
+        incremental_out.clear()
+        stream = StreamEnforcer(constraints, base.copy())
+        incremental_out.extend(stream.submit(log))
+
+    def scratch():
+        scratch_out.clear()
+        stream = ScratchEnforcer(constraints, base.copy())
+        scratch_out.extend(stream.submit(log))
+
+    incremental_qps = timed(incremental, len(log), rounds)
+    scratch_qps = timed(scratch, len(log), max(1, rounds - 1))
+    inc_sum = decision_checksum(incremental_out)
+    scr_sum = decision_checksum(scratch_out)
+    rejected = sum(1 for d in incremental_out if d.rejected and not d.pending)
+    return {
+        "tree_size": base.size,
+        "log_entries": len(log),
+        "constraints": len(constraints),
+        "rejections": rejected,
+        "scratch_qps": round(scratch_qps, 1),
+        "incremental_qps": round(incremental_qps, 1),
+        "speedup": round(incremental_qps / scratch_qps, 2),
+        "decisions_match": inc_sum == scr_sum,
+        "decision_checksum": inc_sum,
+    }
+
+
+def bench_decoder(tree_size: int, rounds: int) -> dict:
+    """Batch ``int.to_bytes`` slot decoding vs the big-int bit-kernel."""
+    rng = random.Random(SEED)
+    tree = random_tree(rng, LABELS, size=tree_size)
+    index = TreeIndex(tree)
+    masks = [index.label_mask(label) for label in LABELS]
+    masks.append(index.all_mask())
+
+    def bitkernel(mask: int) -> list[int]:
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    total_slots = sum(len(slots_of(m)) for m in masks)
+
+    def batch():
+        for m in masks:
+            slots_of(m)
+
+    def kernel():
+        for m in masks:
+            bitkernel(m)
+
+    batch_sps = timed(batch, total_slots, rounds)
+    kernel_sps = timed(kernel, total_slots, rounds)
+    checksum = sum(sum(slots_of(m)) for m in masks) % (2 ** 61)
+    reference = sum(sum(bitkernel(m)) for m in masks) % (2 ** 61)
+    return {
+        "tree_size": tree.size,
+        "masks": len(masks),
+        "slots_decoded": total_slots,
+        "bitkernel_slots_per_sec": round(kernel_sps, 0),
+        "batch_slots_per_sec": round(batch_sps, 0),
+        "speedup": round(batch_sps / kernel_sps, 2),
+        "answers_match": checksum == reference,
+        "slot_checksum": checksum,
+    }
+
+
+def bench_sharded(jobs: int, tree_size: int, ops: int, rounds: int) -> dict:
+    rng = random.Random(SEED)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    bundle = []
+    for i in range(jobs):
+        tree = random_tree(rng, LABELS, size=tree_size)
+        constraints = random_constraints(rng, LABELS, spec, count=4,
+                                         types="mixed", spine=2)
+        log = random_update_stream(rng, tree, LABELS,
+                                   constraints=constraints, ops=ops,
+                                   violation_rate=0.3)
+        bundle.append(StreamJob.build(constraints, tree, log, name=f"doc{i}"))
+
+    sequential_out, sharded_out = [], []
+
+    def sequential():
+        sequential_out[:] = run_sharded(bundle, workers=1)
+
+    def sharded():
+        sharded_out[:] = run_sharded(bundle, workers=2)
+
+    total_ops = jobs * ops
+    sequential_qps = timed(sequential, total_ops, rounds)
+    sharded_qps = timed(sharded, total_ops, rounds)
+    fold = 0
+    for report in sequential_out:
+        fold = (fold * 1_000_003 + report.decision_checksum) % (2 ** 61)
+    match = [r.decision_checksum for r in sequential_out] == \
+            [r.decision_checksum for r in sharded_out]
+    return {
+        "jobs": jobs,
+        "tree_size": tree_size,
+        "ops_per_job": ops,
+        "sequential_qps": round(sequential_qps, 1),
+        "sharded_qps": round(sharded_qps, 1),
+        # Reported, not gated: runner core counts vary too much.
+        "parallel_ratio": round(sharded_qps / sequential_qps, 2),
+        "reports_match": match,
+        "fleet_checksum": fold,
+    }
+
+
+def main() -> None:
+    args = list(sys.argv[1:])
+    smoke = "--smoke" in args
+    if smoke:
+        args.remove("--smoke")
+    baseline_path = None
+    if "--compare" in args:
+        at = args.index("--compare")
+        baseline_path = Path(args[at + 1])
+        del args[at:at + 2]
+    tolerance = 0.20
+    if "--tolerance" in args:
+        at = args.index("--tolerance")
+        tolerance = float(args[at + 1])
+        del args[at:at + 2]
+    out_path = (Path(args[0]) if args
+                else Path(__file__).resolve().parent.parent / "BENCH_stream.json")
+
+    if smoke:
+        enforcement = bench_enforcement(tree_size=300, ops=40, rounds=2)
+        decoder = bench_decoder(tree_size=2_000, rounds=2)
+        sharded = bench_sharded(jobs=2, tree_size=60, ops=12, rounds=1)
+        floors = {"enforcement": 1.3, "decoder": 1.05}
+    else:
+        enforcement = bench_enforcement(tree_size=2_000, ops=150, rounds=3)
+        decoder = bench_decoder(tree_size=12_000, rounds=5)
+        sharded = bench_sharded(jobs=3, tree_size=150, ops=30, rounds=2)
+        floors = {"enforcement": 3.0, "decoder": 1.2}
+
+    report = {
+        "benchmark": "online enforcement: delta-maintained vs re-validation",
+        "seed": SEED,
+        "mode": "smoke" if smoke else "full",
+        "enforcement": enforcement,
+        "decoder": decoder,
+        "sharded": sharded,
+        "floors": floors,
+    }
+    out_path.write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
+    print(f"enforce : scratch {enforcement['scratch_qps']:>8} op/s | "
+          f"incremental {enforcement['incremental_qps']:>9} op/s | "
+          f"x{enforcement['speedup']}")
+    print(f"decoder : kernel {decoder['bitkernel_slots_per_sec']:>9} sl/s | "
+          f"batch       {decoder['batch_slots_per_sec']:>9} sl/s | "
+          f"x{decoder['speedup']}")
+    print(f"sharded : seq    {sharded['sequential_qps']:>9} op/s | "
+          f"pool        {sharded['sharded_qps']:>9} op/s | "
+          f"x{sharded['parallel_ratio']} (not gated)")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if not enforcement["decisions_match"]:
+        failures.append("enforcement decisions diverged between incremental "
+                        "and recompute-from-scratch")
+    if not decoder["answers_match"]:
+        failures.append("decoder slot sets diverged from the bit-kernel")
+    if not sharded["reports_match"]:
+        failures.append("sharded reports diverged from the sequential run")
+    for name in ("enforcement", "decoder"):
+        row = report[name]
+        if row["speedup"] < floors[name]:
+            failures.append(f"{name} speedup {row['speedup']} "
+                            f"< floor {floors[name]}")
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("mode") != report["mode"]:
+            failures.append(f"--compare mode mismatch: baseline is "
+                            f"{baseline.get('mode')!r}, this run is "
+                            f"{report['mode']!r}")
+        else:
+            failures.extend(compare_reports(report, baseline, tolerance))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,17 +22,25 @@ free functions remain as one-shot conveniences over the same dispatch:
 >>> implies(C, no_insert("/patient[/visit][/clinicalTrial]")).is_implied
 True
 
+Long-lived documents under write traffic go through the online
+enforcement engine: ``r.open_stream(doc)`` (or ``StreamEnforcer(C, doc)``
+directly) ingests a log of ``add_leaf``/``move``/``remove_subtree``
+operations with transaction brackets, rejects — and rolls back — any edit
+that breaks the policy, and keeps an audit trail of witnesses.
+
 Sub-packages: ``api`` (compiled reasoning sessions), ``trees`` (data
 model), ``xpath`` (the fragment, containment, intersections), ``automata``
 (linear-path machinery), ``constraints`` (update constraints + validity),
 ``implication`` (Table 1 engines), ``instance`` (Table 2 engines),
-``reductions`` (hardness constructions), ``keys`` / ``xic`` (the related
-formalisms of Section 3), ``bruteforce`` (ground-truth oracles) and
-``workloads`` (benchmark generators).
+``stream`` (online update-log enforcement + shard runner), ``reductions``
+(hardness constructions), ``keys`` / ``xic`` (the related formalisms of
+Section 3), ``bruteforce`` (ground-truth oracles) and ``workloads``
+(benchmark generators).
 """
 
 from repro.api import BatchReport, BoundReasoner, CacheStats, Reasoner
 from repro.constraints import (
+    BaselineValidity,
     ConstraintSet,
     ConstraintType,
     RelativeConstraint,
@@ -56,6 +64,20 @@ from repro.implication import (
     implies_single,
 )
 from repro.instance import implies_on
+from repro.stream import (
+    AddLeaf,
+    AuditTrail,
+    Begin,
+    Commit,
+    Decision,
+    Move,
+    RemoveSubtree,
+    Rollback,
+    StreamEnforcer,
+    StreamJob,
+    StreamReport,
+    run_sharded,
+)
 from repro.trees import DataTree, Node, TreeIndex, branch, build, leaf, parse_tree
 from repro.xpath import (
     BitsetEvaluator,
@@ -82,7 +104,11 @@ __all__ = [
     "ConstraintType", "UpdateConstraint", "ConstraintSet", "constraint_set",
     "no_remove", "no_insert", "immutable", "relative", "RelativeConstraint",
     "is_valid", "explain_violations", "check_sequence", "Violation",
-    "satisfies_relative",
+    "satisfies_relative", "BaselineValidity",
+    # stream
+    "StreamEnforcer", "AuditTrail", "Decision",
+    "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",
+    "StreamJob", "StreamReport", "run_sharded",
     # implication
     "implies", "implies_single", "implies_on",
     "Answer", "ImplicationResult", "Counterexample",

@@ -17,6 +17,7 @@ guarantees and the relationship to the legacy free functions.
 from repro.api.batch import BatchReport
 from repro.api.cache import CacheStats, LRUMemo
 from repro.api.session import BoundReasoner, Reasoner
+from repro.stream.engine import StreamEnforcer
 
 __all__ = [
     "Reasoner",
@@ -24,4 +25,5 @@ __all__ = [
     "BatchReport",
     "CacheStats",
     "LRUMemo",
+    "StreamEnforcer",
 ]

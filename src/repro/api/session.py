@@ -62,6 +62,7 @@ from repro.instance.general import HYBRID_ENGINE as INSTANCE_HYBRID_ENGINE
 from repro.instance.no_insert_engine import implies_no_insert
 from repro.instance.no_remove_engine import implies_no_remove
 from repro.instance.search import bounded_refutation
+from repro.stream.engine import StreamEnforcer
 from repro.trees.tree import DataTree
 from repro.xpath.ast import Pattern
 from repro.xpath.containment import contained
@@ -276,6 +277,18 @@ class Reasoner:
             conclusion, require_decision=require_decision,
             max_moves=max_moves, search_budget=search_budget)
 
+    def open_stream(self, tree: DataTree,
+                    engine: str = "bitset") -> StreamEnforcer:
+        """Enforce the compiled constraint set online over ``tree``.
+
+        Returns a :class:`repro.stream.engine.StreamEnforcer` that
+        **adopts** ``tree``: submitted operations mutate it in place (one
+        live incremental snapshot, delta-maintained predicate masks) and
+        violating operations — or transactions whose commit finds the
+        cumulative edit invalid — are rolled back automatically.
+        """
+        return StreamEnforcer(self._premises, tree, engine=engine)
+
     @property
     def stats(self) -> CacheStats:
         """Hit/miss statistics of the session's result memo."""
@@ -451,6 +464,25 @@ class BoundReasoner:
         decide = partial(self.implies_on, require_decision=require_decision,
                          max_moves=max_moves, search_budget=search_budget)
         return run_batch(decide, conclusions, fail_fast=fail_fast)
+
+    def open_stream(self, copy: bool = True,
+                    engine: str | None = None) -> StreamEnforcer:
+        """Open an enforcement stream on the bound instance.
+
+        With ``copy=True`` (default) the stream adopts a private
+        id-preserving copy of ``J``, so this binding stays fresh and
+        queryable while the stream evolves its own document.  With
+        ``copy=False`` the stream adopts the bound tree itself — the
+        binding is effectively consumed: its snapshot goes stale on the
+        first applied operation and further :meth:`implies_on` calls
+        raise.  ``engine`` defaults to this binding's substrate (bitset
+        for naive bindings, which have no snapshot engine of their own).
+        """
+        if engine is None:
+            engine = (self._engine if self._engine in StreamEnforcer.ENGINES
+                      else "bitset")
+        tree = self._current.copy() if copy else self._current
+        return self._reasoner.open_stream(tree, engine=engine)
 
     @property
     def stats(self) -> CacheStats:

@@ -20,10 +20,12 @@ from repro.constraints.relative import (
     satisfies_relative,
 )
 from repro.constraints.validity import (
+    BaselineValidity,
     Violation,
     check_sequence,
     explain_violations,
     is_valid,
+    range_violation,
     satisfies,
     violation_of,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "NO_INSERT",
     "Violation",
     "violation_of",
+    "range_violation",
+    "BaselineValidity",
     "satisfies",
     "is_valid",
     "explain_violations",

@@ -46,6 +46,30 @@ class Violation:
         return f"{self.constraint} violated ({'; '.join(parts)})"
 
 
+def range_violation(constraint: UpdateConstraint,
+                    answers_before: Iterable[Node],
+                    answers_after: Iterable[Node]) -> Violation | None:
+    """Definition 2.3 on *already-evaluated* answer sets.
+
+    The node-set diff shared by :func:`violation_of` (which evaluates both
+    sides) and :class:`BaselineValidity` (which froze the before side once
+    and re-evaluates only the live side per stream operation).
+    """
+    before_set = (answers_before if isinstance(answers_before, (set, frozenset))
+                  else set(answers_before))
+    after_set = (answers_after if isinstance(answers_after, (set, frozenset))
+                 else set(answers_after))
+    if constraint.type is ConstraintType.NO_REMOVE:
+        missing = before_set - after_set
+        if missing:
+            return Violation(constraint, frozenset(missing), frozenset())
+        return None
+    extra = after_set - before_set
+    if extra:
+        return Violation(constraint, frozenset(), frozenset(extra))
+    return None
+
+
 def violation_of(before: DataTree, after: DataTree,
                  constraint: UpdateConstraint,
                  before_ctx=None, after_ctx=None) -> Violation | None:
@@ -58,15 +82,7 @@ def violation_of(before: DataTree, after: DataTree,
     """
     answers_before = evaluate(constraint.range, before, context=before_ctx)
     answers_after = evaluate(constraint.range, after, context=after_ctx)
-    if constraint.type is ConstraintType.NO_REMOVE:
-        missing = answers_before - answers_after
-        if missing:
-            return Violation(constraint, frozenset(missing), frozenset())
-        return None
-    extra = answers_after - answers_before
-    if extra:
-        return Violation(constraint, frozenset(), frozenset(extra))
-    return None
+    return range_violation(constraint, answers_before, answers_after)
 
 
 def satisfies(before: DataTree, after: DataTree,
@@ -97,6 +113,61 @@ def explain_violations(before: DataTree, after: DataTree,
         if violation is not None:
             found.append(violation)
     return found
+
+
+class BaselineValidity:
+    """Violation checking of a live document against a frozen baseline.
+
+    The online-enforcement setting (:mod:`repro.stream`) asks the same
+    question after every operation: does the *cumulative* edit — the pair
+    ``(I₀, J_now)`` of the stream's opening instance and the live document
+    — still satisfy every constraint?  The before side of Definition 2.3
+    never changes, so it is evaluated exactly once here and frozen as
+    ``(id, label)`` node sets; per operation only the live side is
+    re-evaluated (through the caller's snapshot evaluator, whose predicate
+    masks are delta-maintained across the stream's edits) and diffed.
+    """
+
+    __slots__ = ("_constraints", "_baseline")
+
+    def __init__(self, constraints: ConstraintSet | Iterable[UpdateConstraint],
+                 baseline: DataTree, context=None):
+        self._constraints: list[UpdateConstraint] = list(constraints)
+        self._baseline: dict[UpdateConstraint, frozenset[Node]] = {
+            c: frozenset(evaluate(c.range, baseline, context=context))
+            for c in self._constraints
+        }
+
+    @property
+    def constraints(self) -> tuple[UpdateConstraint, ...]:
+        return tuple(self._constraints)
+
+    def baseline_answers(self) -> dict[UpdateConstraint, frozenset[Node]]:
+        """``{c: q_c(I₀)}`` as captured at construction (a shallow copy)."""
+        return dict(self._baseline)
+
+    def violations(self, current: DataTree, context=None) -> list[Violation]:
+        """All witnesses of ``(I₀, current)`` (empty list = still valid)."""
+        found: list[Violation] = []
+        for constraint in self._constraints:
+            answers_now = evaluate(constraint.range, current, context=context)
+            violation = range_violation(constraint, self._baseline[constraint],
+                                        answers_now)
+            if violation is not None:
+                found.append(violation)
+        return found
+
+    def is_valid(self, current: DataTree, context=None) -> bool:
+        """Does ``(I₀, current)`` satisfy every constraint?"""
+        for constraint in self._constraints:
+            answers_now = evaluate(constraint.range, current, context=context)
+            if range_violation(constraint, self._baseline[constraint],
+                               answers_now) is not None:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"BaselineValidity({len(self._constraints)} constraints)"
 
 
 def check_sequence(instances: Sequence[DataTree],

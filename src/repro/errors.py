@@ -49,6 +49,12 @@ class NotConcreteError(FragmentError):
     that, following the paper's presentation, assumes concrete paths."""
 
 
+class StreamError(ReproError):
+    """Raised on protocol misuse of the online enforcement stream
+    (:mod:`repro.stream`): nested ``begin``, ``commit``/``rollback``
+    outside a transaction, or operations on a closed stream."""
+
+
 class UnsupportedProblemError(ReproError):
     """Raised when no exact engine covers a problem instance and the caller
     asked for a definite answer (``require_decision=True``)."""

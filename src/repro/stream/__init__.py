@@ -1,0 +1,47 @@
+"""Online enforcement of update constraints over a log of operations.
+
+>>> from repro import DataTree, StreamEnforcer
+>>> from repro.stream import AddLeaf, RemoveSubtree
+>>> doc = DataTree()
+>>> patient = doc.add_child(doc.root, "patient")
+>>> trial = doc.add_child(patient, "clinicalTrial")
+>>> s = StreamEnforcer([("/patient[/clinicalTrial]", "up")], doc)
+>>> s.apply(AddLeaf(patient, "visit")).accepted
+True
+>>> s.apply(RemoveSubtree(trial)).accepted    # breaks the no-remove range
+False
+>>> doc.size                                  # the edit was rolled back
+4
+
+See :mod:`repro.stream.engine` for the enforcement model (one live
+incremental snapshot, delta-maintained predicate masks, transaction
+brackets with undo journals), :mod:`repro.stream.ops` for the operation
+language, :mod:`repro.stream.log` for the audit trail and
+:mod:`repro.stream.shard` for the multiprocessing shard runner.
+"""
+
+from repro.stream.engine import StreamEnforcer, StreamStats
+from repro.stream.log import AuditTrail, Decision
+from repro.stream.ops import (
+    AddLeaf,
+    Begin,
+    Commit,
+    Move,
+    RemoveSubtree,
+    Rollback,
+)
+from repro.stream.shard import (
+    StreamJob,
+    StreamReport,
+    decision_checksum,
+    run_sharded,
+    run_stream,
+)
+
+__all__ = [
+    "StreamEnforcer", "StreamStats",
+    "AuditTrail", "Decision",
+    "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",
+    "StreamJob", "StreamReport", "run_stream", "run_sharded",
+    "decision_checksum",
+]

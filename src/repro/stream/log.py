@@ -1,0 +1,92 @@
+"""Decisions and the append-only audit trail of an enforcement stream.
+
+Every operation and every transaction marker submitted to a
+:class:`~repro.stream.engine.StreamEnforcer` yields exactly one
+:class:`Decision`; the :class:`AuditTrail` accumulates them in submission
+order and never forgets a rejection — it is the machine-checkable record
+of *why* the live document is in the state it is in, mirroring the
+per-constraint :class:`~repro.constraints.validity.Violation` witnesses
+the offline checker attaches to invalid pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+from repro.constraints.validity import Violation
+from repro.stream.ops import StreamOp
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The verdict on one submitted operation or marker.
+
+    ``accepted`` means the cumulative edit satisfies the constraint set
+    after this entry took effect; for an entry inside an open transaction
+    (``pending=True``) the verdict is provisional — the transaction's
+    :class:`~repro.stream.ops.Commit` decision is the binding one, and a
+    failing commit (or an explicit rollback) undoes the whole bracket.
+    ``violations`` carries the witnesses that justified a rejection (or,
+    for pending entries, the violations currently standing).
+    """
+
+    seq: int
+    op: StreamOp
+    accepted: bool
+    violations: tuple[Violation, ...] = ()
+    txn: int | None = None
+    pending: bool = False
+    note: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return not self.accepted
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.accepted else "REJECTED"
+        if self.pending:
+            verdict += " (pending)"
+        txn = f" [txn {self.txn}]" if self.txn is not None else ""
+        tail = ""
+        if self.violations:
+            tail = " | " + "; ".join(str(v) for v in self.violations)
+        elif self.note:
+            tail = f" | {self.note}"
+        return f"#{self.seq:<4} {self.op}{txn}: {verdict}{tail}"
+
+
+@dataclass
+class AuditTrail:
+    """Append-only log of every decision a stream has taken."""
+
+    entries: list[Decision] = field(default_factory=list)
+
+    def append(self, decision: Decision) -> None:
+        self.entries.append(decision)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self.entries)
+
+    def __getitem__(self, at: int) -> Decision:
+        return self.entries[at]
+
+    def rejections(self) -> list[Decision]:
+        """Every non-pending rejection, in submission order."""
+        return [d for d in self.entries if d.rejected and not d.pending]
+
+    def render(self) -> str:
+        """The whole trail as one line per decision (examples print this)."""
+        return "\n".join(str(d) for d in self.entries)
+
+    def __str__(self) -> str:
+        accepted = sum(1 for d in self.entries if d.accepted and not d.pending)
+        rejected = sum(1 for d in self.entries if d.rejected and not d.pending)
+        return (f"AuditTrail({len(self.entries)} entries, "
+                f"{accepted} accepted, {rejected} rejected)")
+
+
+__all__ = ["Decision", "AuditTrail"]

@@ -1,0 +1,104 @@
+"""The update-log operation model of the enforcement stream.
+
+The paper's update language ([27], Section 2) manipulates documents by
+inserting fresh leaves, moving subtrees (identity-preserving) and deleting
+subtrees — exactly the three structural edits the incremental
+:class:`~repro.trees.index.TreeIndex` applies in place.  A *log* is a flat
+sequence of these operations interleaved with transaction markers:
+
+* :class:`AddLeaf` / :class:`Move` / :class:`RemoveSubtree` — the edits;
+* :class:`Begin` / :class:`Commit` / :class:`Rollback` — flat (unnested)
+  transaction brackets.  Operations outside a bracket are *autocommit*:
+  each one is its own transaction.
+
+All operations are frozen dataclasses — hashable, picklable (the shard
+runner ships whole logs to worker processes) and printable in the audit
+trail's one-line form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class AddLeaf:
+    """Insert a fresh leaf labelled ``label`` under ``parent``.
+
+    ``nid`` pins the new node's identifier; logs meant to be replayed
+    (benchmarks, the equivalence suite, shard jobs) always pin it, so the
+    same log produces the same instance on every replay.
+    """
+
+    parent: int
+    label: str
+    nid: int | None = None
+
+    def __str__(self) -> str:
+        pin = f" as #{self.nid}" if self.nid is not None else ""
+        return f"add-leaf {self.label!r} under #{self.parent}{pin}"
+
+
+@dataclass(frozen=True)
+class Move:
+    """Re-attach the subtree at ``nid`` under ``new_parent`` (ids kept)."""
+
+    nid: int
+    new_parent: int
+
+    def __str__(self) -> str:
+        return f"move #{self.nid} under #{self.new_parent}"
+
+
+@dataclass(frozen=True)
+class RemoveSubtree:
+    """Delete the whole subtree rooted at ``nid``."""
+
+    nid: int
+
+    def __str__(self) -> str:
+        return f"remove-subtree #{self.nid}"
+
+
+@dataclass(frozen=True)
+class Begin:
+    """Open a transaction (flat — nesting is a :class:`~repro.errors.
+    StreamError`).  ``name`` labels the bracket in the audit trail."""
+
+    name: str | None = None
+
+    def __str__(self) -> str:
+        return f"begin {self.name}" if self.name else "begin"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Close the open transaction, keeping its edits iff the cumulative
+    document still satisfies the constraint set."""
+
+    def __str__(self) -> str:
+        return "commit"
+
+
+@dataclass(frozen=True)
+class Rollback:
+    """Close the open transaction, undoing all of its edits."""
+
+    def __str__(self) -> str:
+        return "rollback"
+
+
+UpdateOp = Union[AddLeaf, Move, RemoveSubtree]
+Marker = Union[Begin, Commit, Rollback]
+StreamOp = Union[UpdateOp, Marker]
+
+UPDATE_OPS = (AddLeaf, Move, RemoveSubtree)
+MARKERS = (Begin, Commit, Rollback)
+
+__all__ = [
+    "AddLeaf", "Move", "RemoveSubtree",
+    "Begin", "Commit", "Rollback",
+    "UpdateOp", "Marker", "StreamOp",
+    "UPDATE_OPS", "MARKERS",
+]

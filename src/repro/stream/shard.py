@@ -1,0 +1,132 @@
+"""Fan independent enforcement streams across worker processes.
+
+Documents under write traffic are independent of one another: each stream
+owns its document, its baseline and its audit trail, so a fleet of
+streams is embarrassingly parallel.  The shard runner ships whole
+:class:`StreamJob` bundles (constraints + document + update log) to a
+``multiprocessing`` pool and collects per-stream :class:`StreamReport`
+summaries whose checksums are machine- and process-independent — a
+sharded run is bit-comparable to the same jobs run sequentially (the
+determinism the shard tests pin down).
+
+Trees travel in their nested-``dict`` interchange form
+(:mod:`repro.trees.serialize`) and logs as tuples of frozen op
+dataclasses, so a job pickles cheaply and rebuilds identically in the
+worker.  ``workers <= 1`` (or a single job) runs inline — the sequential
+twin used by tests and small batches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any
+from collections.abc import Iterable, Sequence
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.stream.engine import StreamEnforcer
+from repro.stream.ops import StreamOp
+from repro.trees.serialize import from_dict, to_dict, to_literal
+from repro.trees.tree import DataTree
+
+_FOLD = 1_000_003
+_MOD = 2 ** 61
+
+
+@dataclass(frozen=True)
+class StreamJob:
+    """One shard: a policy, a document and the log to enforce against it."""
+
+    constraints: tuple[UpdateConstraint, ...]
+    tree: dict[str, Any]
+    ops: tuple[StreamOp, ...]
+    name: str = ""
+    engine: str = "bitset"
+
+    @staticmethod
+    def build(constraints: ConstraintSet | Iterable[UpdateConstraint],
+              tree: DataTree, ops: Sequence[StreamOp], *,
+              name: str = "", engine: str = "bitset") -> "StreamJob":
+        """Bundle live objects into the picklable wire form."""
+        return StreamJob(constraints=tuple(constraints), tree=to_dict(tree),
+                         ops=tuple(ops), name=name, engine=engine)
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """What one stream did, in machine-independent numbers.
+
+    ``decision_checksum`` folds every decision's (accepted, pending,
+    violation-count) triple in order; ``document_digest`` is a CRC of the
+    final document's id-annotated literal — together they pin the whole
+    observable behaviour of the stream, so sequential and sharded runs
+    (and re-runs on other machines) can be compared bit-for-bit.
+    """
+
+    name: str
+    entries: int
+    ops: int
+    accepted: int
+    rejected: int
+    transactions: int
+    rolled_back: int
+    final_size: int
+    revision: int
+    decision_checksum: int
+    document_digest: int
+
+    def __str__(self) -> str:
+        return (f"{self.name or 'stream'}: {self.ops} ops, "
+                f"{self.accepted} accepted / {self.rejected} rejected, "
+                f"{self.transactions} txns ({self.rolled_back} rolled "
+                f"back), final size {self.final_size}")
+
+
+def decision_checksum(decisions) -> int:
+    """Order-sensitive fold of per-decision verdicts (id-independent)."""
+    total = 0
+    for d in decisions:
+        code = int(d.accepted) << 1 | int(d.pending)
+        total = (total * _FOLD + code * 31 + len(d.violations)) % _MOD
+    return total
+
+
+def run_stream(job: StreamJob) -> StreamReport:
+    """Enforce one job's log start to finish (the worker entry point)."""
+    tree = from_dict(job.tree)
+    enforcer = StreamEnforcer(job.constraints, tree, engine=job.engine)
+    decisions = enforcer.submit(job.ops)
+    if enforcer.in_transaction:  # a log cut mid-bracket still settles
+        decisions.append(enforcer.commit())
+    stats = enforcer.stats
+    digest = zlib.crc32(to_literal(tree, with_ids=True).encode())
+    return StreamReport(
+        name=job.name, entries=stats.entries, ops=stats.ops,
+        accepted=stats.accepted, rejected=stats.rejected,
+        transactions=stats.transactions, rolled_back=stats.rolled_back,
+        final_size=tree.size, revision=stats.revision,
+        decision_checksum=decision_checksum(decisions),
+        document_digest=digest)
+
+
+def run_sharded(jobs: Sequence[StreamJob],
+                workers: int | None = None,
+                chunksize: int = 1) -> list[StreamReport]:
+    """Run a fleet of jobs, fanning across processes; reports in job order.
+
+    ``workers=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
+    ``workers <= 1`` (or one job) runs inline with no pool at all.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = min(len(jobs), os.cpu_count() or 1)
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_stream(job) for job in jobs]
+    with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(run_stream, jobs, chunksize=chunksize)
+
+
+__all__ = ["StreamJob", "StreamReport", "run_stream", "run_sharded",
+           "decision_checksum"]

@@ -39,8 +39,11 @@ merge_variants`) keep one live snapshot across thousands of candidate
 pasts instead of rebinding per candidate.
 
 Every applied edit bumps :attr:`revision` — evaluators key their memos on
-it — and re-syncs the recorded tree :attr:`~repro.trees.tree.DataTree.
-version`, so :attr:`fresh` stays true.  Mutating the tree *behind* the
+it — appends an :class:`EditDelta` to a bounded log (:meth:`deltas_since`),
+from which the set-at-a-time evaluator *patches* its cached predicate masks
+instead of recomputing them (only the ancestor chains of the edit points
+can change downward structure), and re-syncs the recorded tree
+:attr:`~repro.trees.tree.DataTree.version`, so :attr:`fresh` stays true.  Mutating the tree *behind* the
 index (directly through :class:`DataTree` methods) still stales it, exactly
 as before: an index never observes mutations it did not apply.
 """
@@ -55,8 +58,70 @@ from repro.trees.tree import DataTree, iter_canonical_shape
 
 SLOT_GAP = 8       # slots allocated per node at (re)build time
 HOST_DENSITY = 2   # a renumber host needs >= DENSITY * nodes slots of width
+DELTA_LOG_CAP = 64  # edit deltas retained for delta-maintained consumers
 
 _BIT = tuple(1 << b for b in range(8))  # byte-view membership test masks
+
+
+class EditDelta:
+    """Compact record of one applied edit, for delta-maintained consumers.
+
+    Under a single edit only the *ancestor chains* of the edit points can
+    change their downward structure — every other surviving node keeps its
+    whole subtree, so any downward-looking fact cached about it (predicate
+    satisfaction, notably) transfers verbatim to its new slot.  A delta
+    therefore carries exactly what a mask maintainer needs:
+
+    * ``relocated`` — ``(nid, old_slot, new_slot)`` for every surviving
+      node whose slot changed (the moved subtree, plus the renumbered host
+      subtree when the fast attach found no room);
+    * ``vanished`` — ``(nid, old_slot)`` for every deleted node (remove
+      only; the id lets baseline-mask maintainers recognise a later
+      revival of the same node);
+    * ``added`` — identifiers of freshly attached nodes (add-leaf only);
+    * ``dirty`` — identifiers whose *subtree contents* changed: the
+      ancestor chains of the old and new attachment points.  This set is
+      upward closed, which is what makes patching sound for nested
+      predicates.
+    """
+
+    __slots__ = ("revision", "relocated", "vanished", "added", "dirty")
+
+    def __init__(self, revision: int,
+                 relocated: tuple[tuple[int, int, int], ...],
+                 vanished: tuple[tuple[int, int], ...],
+                 added: tuple[int, ...],
+                 dirty: tuple[int, ...]):
+        self.revision = revision
+        self.relocated = relocated
+        self.vanished = vanished
+        self.added = added
+        self.dirty = dirty
+
+    def patch_mask(self, mask: int) -> int:
+        """Re-key a slot mask across this edit: relocated bits move to
+        their new slots, vanished bits drop.
+
+        The one shared kernel of every delta-maintained mask (predicate
+        masks, baseline answer masks): moved bit values are read from the
+        *pre-clear* mask — a new slot may reuse a slot freed in this same
+        edit — and callers replay chained deltas oldest-first so slot
+        reuse across edits resolves in order.
+        """
+        sets = 0
+        clear = 0
+        for _, old, new in self.relocated:
+            if (mask >> old) & 1:
+                sets |= 1 << new
+            clear |= 1 << old
+        for _, old in self.vanished:
+            clear |= 1 << old
+        return (mask & ~clear) | sets
+
+    def __repr__(self) -> str:
+        return (f"EditDelta(rev={self.revision}, moved={len(self.relocated)}, "
+                f"gone={len(self.vanished)}, added={len(self.added)}, "
+                f"dirty={len(self.dirty)})")
 
 
 class TreeIndex:
@@ -70,7 +135,7 @@ class TreeIndex:
                  "_slots", "_node_at", "_depth", "_labels", "_children",
                  "_parent", "_by_label", "_paths", "_shape", "_shape_hash",
                  "_revision", "_rebuilds", "_label_masks", "_all_mask",
-                 "_kids_masks", "_parent_slots")
+                 "_kids_masks", "_parent_slots", "_delta_log", "_capture")
 
     def __init__(self, tree: DataTree):
         self._tree = tree
@@ -134,6 +199,8 @@ class TreeIndex:
         self._all_mask: int | None = None
         self._kids_masks: dict[int, int] = {}
         self._parent_slots: dict[int, int] | None = None
+        self._delta_log: list[EditDelta] = []
+        self._capture: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Snapshot identity
@@ -477,6 +544,47 @@ class TreeIndex:
         self._shape = None
         self._shape_hash = None
 
+    def _chain(self, nid: int) -> list[int]:
+        """``nid`` and its ancestors up to the root (post-edit pointers)."""
+        out: list[int] = []
+        cur: int | None = nid
+        parent = self._parent
+        while cur is not None:
+            out.append(cur)
+            cur = parent[cur]
+        return out
+
+    def _log_delta(self, capture: dict[int, int],
+                   vanished: tuple[tuple[int, int], ...],
+                   added: tuple[int, ...],
+                   dirty_anchors: tuple[int, ...]) -> None:
+        """Record the edit just closed by :meth:`_bump` in the delta log."""
+        slot = self._slot
+        relocated = tuple((n, old, now) for n, old in capture.items()
+                          if (now := slot.get(n)) is not None and now != old)
+        dirty: dict[int, None] = dict.fromkeys(added)
+        for anchor in dirty_anchors:
+            for n in self._chain(anchor):
+                dirty[n] = None
+        log = self._delta_log
+        log.append(EditDelta(self._revision, relocated, vanished, added,
+                             tuple(dirty)))
+        if len(log) > DELTA_LOG_CAP:
+            del log[:len(log) - DELTA_LOG_CAP]
+
+    def deltas_since(self, revision: int) -> list[EditDelta] | None:
+        """The deltas taking ``revision`` to the current one, oldest first.
+
+        ``None`` when the log no longer reaches back that far — the caller
+        must recompute from scratch.  Empty list when already current.
+        """
+        span = self._revision - revision
+        if span == 0:
+            return []
+        if span < 0 or span > len(self._delta_log):
+            return None
+        return self._delta_log[-span:]
+
     def _detach_subtree(self, nid: int) -> list[int]:
         """Remove the subtree's slots from every slot structure.
 
@@ -493,11 +601,17 @@ class TreeIndex:
         node_at = self._node_at
         parent_slots = self._parent_slots
         kids_masks = self._kids_masks
+        capture = self._capture
         nodes: list[int] = []
         gone_by_label: dict[str, list[int]] = {}
         for s in removed:
             n = node_at.pop(s)
             nodes.append(n)
+            if capture is not None:
+                # First detach wins: a host renumber re-detaches nodes the
+                # edit already relocated, and their *original* slot is the
+                # one a delta consumer must clear.
+                capture.setdefault(n, s)
             gone_by_label.setdefault(self._labels[n], []).append(s)
             del self._slot[n]
             del self._post[n]
@@ -632,19 +746,27 @@ class TreeIndex:
         self._tree.move(nid, new_parent)  # validates root/cycle first
         old_parent = self._parent[nid]
         assert old_parent is not None
-        detached = self._detach_subtree(nid)
-        self._children[old_parent] = tuple(
-            c for c in self._children[old_parent] if c != nid)
-        self._kids_masks.pop(old_parent, None)
-        # Close the old side's intervals while the moved subtree is still
-        # fully detached (its nodes have no posts to consult).
-        self._fix_posts_upward(old_parent)
-        self._children[new_parent] = self._children[new_parent] + (nid,)
-        self._kids_masks.pop(new_parent, None)
-        self._parent[nid] = new_parent
-        if not self._attach_after(new_parent, detached):
-            self._renumber_subtree(self._find_host(new_parent, len(detached)))
+        capture: dict[int, int] = {}
+        self._capture = capture
+        try:
+            detached = self._detach_subtree(nid)
+            self._children[old_parent] = tuple(
+                c for c in self._children[old_parent] if c != nid)
+            self._kids_masks.pop(old_parent, None)
+            # Close the old side's intervals while the moved subtree is still
+            # fully detached (its nodes have no posts to consult).
+            self._fix_posts_upward(old_parent)
+            self._children[new_parent] = self._children[new_parent] + (nid,)
+            self._kids_masks.pop(new_parent, None)
+            self._parent[nid] = new_parent
+            if not self._attach_after(new_parent, detached):
+                self._renumber_subtree(
+                    self._find_host(new_parent, len(detached)))
+        finally:
+            self._capture = None
         self._bump()
+        self._log_delta(capture, vanished=(), added=(),
+                        dirty_anchors=(old_parent, new_parent))
 
     def _attach_after(self, new_parent: int, detached: list[int]) -> bool:
         """Fast attach: compact the detached subtree into the free run right
@@ -726,6 +848,7 @@ class TreeIndex:
         slots = self._slots
         i = bisect_right(slots, old_post)
         free = old_post + 1
+        capture: dict[int, int] = {}
         if i == len(slots) or free < slots[i]:
             # Fast path: the slot right after the parent's interval is free.
             slots.insert(i, free)
@@ -745,8 +868,14 @@ class TreeIndex:
                 self._post[a] = free
                 a = self._parent[a]
         else:
-            self._renumber_subtree(self._find_host(parent, 1))
+            self._capture = capture
+            try:
+                self._renumber_subtree(self._find_host(parent, 1))
+            finally:
+                self._capture = None
         self._bump()
+        self._log_delta(capture, vanished=(), added=(new_id,),
+                        dirty_anchors=(parent,))
         return new_id
 
     def apply_remove_subtree(self, nid: int) -> None:
@@ -756,7 +885,12 @@ class TreeIndex:
         self._tree.remove_subtree(nid)  # validates (root) first
         parent = self._parent[nid]
         assert parent is not None
-        doomed = self._detach_subtree(nid)
+        capture: dict[int, int] = {}
+        self._capture = capture
+        try:
+            doomed = self._detach_subtree(nid)
+        finally:
+            self._capture = None
         self._children[parent] = tuple(
             c for c in self._children[parent] if c != nid)
         self._kids_masks.pop(parent, None)
@@ -767,6 +901,8 @@ class TreeIndex:
             del self._depth[n]
         self._fix_posts_upward(parent)
         self._bump()
+        self._log_delta({}, vanished=tuple(capture.items()), added=(),
+                        dirty_anchors=(parent,))
 
     # ------------------------------------------------------------------
     # Canonical shape (iterative hasher)
@@ -793,4 +929,5 @@ class TreeIndex:
                 f"{state})")
 
 
-__all__ = ["TreeIndex", "SLOT_GAP", "HOST_DENSITY"]
+__all__ = ["TreeIndex", "EditDelta", "SLOT_GAP", "HOST_DENSITY",
+           "DELTA_LOG_CAP"]

@@ -6,6 +6,7 @@ from repro.workloads.generators import (
     random_pattern,
     random_pred,
     random_tree,
+    random_update_stream,
     random_valid_pair,
     scaling_labels,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "random_pred",
     "random_constraints",
     "random_tree",
+    "random_update_stream",
     "random_valid_pair",
     "scaling_labels",
 ]

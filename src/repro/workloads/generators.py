@@ -132,6 +132,84 @@ def random_valid_pair(rng: random.Random, tree: DataTree,
     return before, after
 
 
+def random_update_stream(rng: random.Random, tree: DataTree,
+                         labels: list[str], *,
+                         constraints: ConstraintSet | None = None,
+                         ops: int = 30,
+                         violation_rate: float = 0.3,
+                         txn_prob: float = 0.15,
+                         max_txn_ops: int = 5) -> list:
+    """A seeded update log for the enforcement stream (:mod:`repro.stream`).
+
+    Generation is *enforcement-aware*: each candidate operation is drawn
+    against a shadow replay of the log so far (same engine, same rollback
+    semantics), so every op references nodes that actually exist at its
+    point in the log — including after rejections and rolled-back
+    transactions.  ``violation_rate`` tunes the fraction of ops drawn
+    adversarially at the constraint ranges' baseline answers (the nodes
+    whose removal/insertion can break a constraint); the remainder are
+    neutral random edits.  Leaf inserts pin fresh node ids, so replaying
+    the returned log on a copy of ``tree`` is deterministic.
+
+    Transaction brackets (``Begin``/``Commit``/``Rollback``) appear with
+    probability ``txn_prob`` per entry, stay flat, and are always closed
+    before the log ends.  Returns a list of :mod:`repro.stream.ops`
+    entries, exactly ``ops`` of them plus a possible closing commit.
+    """
+    from repro.stream.engine import StreamEnforcer
+    from repro.stream.ops import (
+        AddLeaf, Begin, Commit, Move, RemoveSubtree, Rollback,
+    )
+    from repro.trees.node import fresh_id
+
+    policy = ConstraintSet([]) if constraints is None else constraints
+    shadow = StreamEnforcer(policy, tree.copy())
+    targets = sorted({node.nid for answers in shadow.baseline_answers().values()
+                      for node in answers})
+    log: list = []
+    txn_left = 0
+
+    def emit(op) -> None:
+        log.append(op)
+        shadow.apply(op)
+
+    for _ in range(ops):
+        current = shadow.tree
+        if shadow.in_transaction and txn_left <= 0:
+            emit(Commit() if rng.random() < 0.7 else Rollback())
+            continue
+        if not shadow.in_transaction and rng.random() < txn_prob:
+            emit(Begin())
+            txn_left = rng.randint(1, max_txn_ops)
+            continue
+        nodes = list(current.node_ids())
+        nonroot = [n for n in nodes if n != current.root]
+        live_targets = [n for n in targets if n in current]
+        if live_targets and rng.random() < violation_rate:
+            # Adversarial: aim straight at a node some range answers.
+            victim = rng.choice(live_targets)
+            roll = rng.random()
+            if roll < 0.45 and victim != current.root:
+                emit(RemoveSubtree(victim))
+            elif roll < 0.8 and victim != current.root and nonroot:
+                emit(Move(victim, rng.choice(nodes)))
+            else:
+                emit(AddLeaf(victim, rng.choice(labels), nid=fresh_id()))
+        else:
+            roll = rng.random()
+            if roll < 0.5 or not nonroot:
+                emit(AddLeaf(rng.choice(nodes), rng.choice(labels),
+                             nid=fresh_id()))
+            elif roll < 0.8:
+                emit(Move(rng.choice(nonroot), rng.choice(nodes)))
+            else:
+                emit(RemoveSubtree(rng.choice(nonroot)))
+        txn_left -= 1
+    if shadow.in_transaction:
+        log.append(Commit())
+    return log
+
+
 def scaling_labels(count: int) -> list[str]:
     """A deterministic label alphabet ``l0 .. l<count-1>``."""
     return [f"l{i}" for i in range(count)]

@@ -21,10 +21,17 @@ slot numbering:
 
 The evaluator tracks its snapshot's :attr:`~repro.trees.index.TreeIndex.
 revision` (see :class:`repro.xpath.snapshot.SnapshotEvaluator`): after an
-in-place index edit (the search journals' moves) the masks are rebuilt
-lazily on the next query, so one evaluator survives a whole refutation
-search.  All memos are LRU-capped — a long-lived binding serving an
-adversarial query stream cannot grow without bound.
+in-place index edit (the search journals' moves, the enforcement stream's
+operations) cached predicate masks are **delta-patched** from the index's
+:class:`~repro.trees.index.EditDelta` log rather than recomputed — under a
+single edit only the ancestor chains of the edit points can change their
+downward structure, so a stale mask is repaired by remapping relocated
+slots (satisfaction travels with a moved subtree) and re-deciding the
+predicate at the few dirty nodes.  Per-edit upkeep is proportional to the
+edit's footprint, not to the document; when the delta log no longer
+reaches back (a long-idle mask), the full bottom-up rebuild kicks in.
+All memos are LRU-capped — a long-lived binding serving an adversarial
+query stream cannot grow without bound.
 """
 
 from __future__ import annotations
@@ -44,12 +51,39 @@ _MISS = object()
 _BIT = tuple(1 << b for b in range(8))
 
 
+# Per-byte decode table: byte value -> bit positions set in it.  One
+# ``int.to_bytes`` conversion turns slot extraction into a C-level byte
+# scan with table lookups — O(words + answers) instead of the bit-kernel
+# loop's O(answers * words) repeated big-int ``mask & -mask`` arithmetic.
+_BYTE_SLOTS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(b for b in range(8) if byte >> b & 1) for byte in range(256))
+
+
 def iter_slots(mask: int):
-    """Slots (bit positions) of a mask, ascending — document order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+    """Slots (bit positions) of a mask, ascending — document order.
+
+    Batch-decoded through :data:`_BYTE_SLOTS`; on >10k-node documents this
+    is what keeps whole-mask extraction off the profile (see the
+    ``decoder`` row of ``benchmarks/bench_stream.py``).
+    """
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            for b in _BYTE_SLOTS[byte]:
+                yield offset + b
+        offset += 8
+
+
+def slots_of(mask: int) -> list[int]:
+    """All slots of a mask as a list (the loop-free twin of
+    :func:`iter_slots` for callers that consume the whole answer)."""
+    out: list[int] = []
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            out += [offset + b for b in _BYTE_SLOTS[byte]]
+        offset += 8
+    return out
 
 
 def byte_view(mask: int) -> bytes:
@@ -80,23 +114,37 @@ class BitsetEvaluator(SnapshotEvaluator):
         return len(self._pred_masks)
 
     def _drop_revision_memos(self) -> None:
-        self._pred_masks.clear()
+        # Query answers are revision-bound and cheap to rebuild; predicate
+        # masks are *kept* — each entry carries the revision it is valid
+        # at and is delta-patched (or, past the delta log, recomputed)
+        # lazily on its next use.
         self._query_memo.clear()
 
     # ------------------------------------------------------------------
-    # Whole-tree predicate masks
+    # Whole-tree predicate masks (delta-maintained across index edits)
     # ------------------------------------------------------------------
     def _pred_mask(self, pred: Pred) -> int:
         """Mask of every node where the (canonical) predicate holds.
 
-        One bottom-up pass: the nodes matching the predicate's own test
-        (label mask ∩ child-predicate masks) are lifted to their parents
-        (``/``) or their ancestor closure (``//``, with marked-ancestor
-        early exit — O(n) amortised across the whole mask).
+        A cold mask is one bottom-up pass: the nodes matching the
+        predicate's own test (label mask ∩ child-predicate masks) are
+        lifted to their parents (``/``) or their ancestor closure (``//``,
+        with marked-ancestor early exit — O(n) amortised across the whole
+        mask).  A mask left stale by in-place index edits is *patched*
+        from the edit deltas instead (:meth:`_patch_pred_mask`) — per-edit
+        cost proportional to the edit, not the tree.
         """
-        mask = self._pred_masks.get(pred, _MISS)
-        if mask is not _MISS:
-            return mask
+        rev = self._revision
+        entry = self._pred_masks.get(pred, _MISS)
+        if entry is not _MISS:
+            mask, at = entry
+            if at == rev:
+                return mask
+            deltas = self._index.deltas_since(at)
+            if deltas is not None:
+                mask = self._patch_pred_mask(pred, mask, deltas)
+                self._pred_masks.put(pred, (mask, rev))
+                return mask
         idx = self._index
         target = idx.label_mask(pred.label)
         for sub in pred.children:
@@ -109,8 +157,49 @@ class BitsetEvaluator(SnapshotEvaluator):
             result = idx.parents_mask(target, pred.label)
         else:
             result = idx.ancestors_mask(target, pred.label)
-        self._pred_masks.put(pred, result)
+        self._pred_masks.put(pred, (result, rev))
         return result
+
+    def _patch_pred_mask(self, pred: Pred, mask: int, deltas) -> int:
+        """Repair a stale satisfaction mask from the index's edit deltas.
+
+        Two facts make this sound: satisfaction of a downward-looking
+        predicate travels verbatim with a relocated subtree (its contents
+        are unchanged), and the nodes whose subtree contents *did* change
+        are exactly the deltas' dirty chains — upward-closed sets, so a
+        nested predicate's flips are always covered by the same chains.
+        Relocations are replayed in order (chained moves re-use slots);
+        dirty nodes are re-decided once, at the end, against the current
+        structure and the (recursively patched) sub-predicate masks.
+        """
+        dirty: dict[int, None] = {}
+        for delta in deltas:
+            mask = delta.patch_mask(mask)
+            dirty.update(dict.fromkeys(delta.dirty))
+            dirty.update(dict.fromkeys(delta.added))
+        idx = self._index
+        alive = [n for n in dirty if n in idx]
+        if not alive:
+            return mask
+        target = idx.label_mask(pred.label)
+        for sub in pred.children:
+            if not target:
+                break
+            target &= self._pred_mask(sub)
+        child_axis = pred.axis is Axis.CHILD
+        for n in alive:
+            bit = 1 << idx.pre(n)
+            if not target:
+                holds = False
+            elif child_axis:
+                holds = bool(idx.children_mask(n) & target)
+            else:
+                holds = bool(idx.subtree_mask(n) & target)
+            if holds:
+                mask |= bit
+            else:
+                mask &= ~bit
+        return mask
 
     def matches_at(self, pred: Pred, anchor: int) -> bool:
         """Boolean-pattern satisfaction: does ``pred`` hold at ``anchor``?"""
@@ -162,6 +251,19 @@ class BitsetEvaluator(SnapshotEvaluator):
                 return 0
             anchors = frontier.bit_count()
         return frontier
+
+    def evaluate_mask(self, pattern: Pattern, start: int | None = None) -> int:
+        """``q(n, I)`` as a raw slot mask — no id decoding at all.
+
+        The whole-answer compare primitive of the enforcement stream: two
+        answer sets over one snapshot revision are equal iff their masks
+        are, so the per-op check never materialises node sets unless a
+        diff (a violation witness) actually exists.
+        """
+        self._sync()
+        idx = self._index
+        anchor = idx.root if start is None else start
+        return self._sweep_mask(self._canonical_pattern(pattern), anchor)
 
     def evaluate_ids(self, pattern: Pattern, start: int | None = None) -> set[int]:
         """``q(n, I)`` as bare identifiers (``n`` defaults to the root)."""

@@ -237,3 +237,116 @@ class TestBitsetViews:
         tree = random_tree(rng, LABELS, size=10)
         index = TreeIndex(tree)
         assert index.labels() == {node.label for node in tree.nodes()}
+
+
+class TestRemoveReAddCycles:
+    """Remove → re-add into the freed slot run (the revive pattern).
+
+    ``apply_remove_subtree`` frees a contiguous slot run; subsequent
+    ``apply_add_leaf``/``apply_move`` edits under the same parent should
+    land in (or around) that run, and every cache — label buckets, masks,
+    children tuples, parent-slot table — must stay consistent with a
+    fresh rebuild across the whole cycle.
+    """
+
+    def warm(self, index: TreeIndex) -> None:
+        """Materialise every patched-not-rebuilt cache before editing."""
+        index.all_mask()
+        index.parent_slots()
+        for label in LABELS:
+            index.label_mask(label)
+        for nid in list(index.node_ids()):
+            index.children_mask(nid)
+
+    def assert_parent_slots_consistent(self, index: TreeIndex,
+                                       tree: DataTree) -> None:
+        fresh = TreeIndex(tree)
+        translate = lambda idx: {(idx.node_at(s), idx.node_at(p))
+                                 for s, p in idx.parent_slots().items()}
+        assert translate(index) == translate(fresh)
+
+    def test_remove_then_readd_leaves_into_freed_run(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        b = tree.add_child(a, "b")
+        for _ in range(3):
+            tree.add_child(b, "c")
+        tail = tree.add_child(tree.root, "c")
+        index = TreeIndex(tree)
+        self.warm(index)
+        index.apply_remove_subtree(b)  # frees a 4-slot run inside a
+        assert_matches_fresh(index, tree)
+        revived = [index.apply_add_leaf(a, "b")]
+        for _ in range(3):
+            revived.append(index.apply_add_leaf(revived[0], "c"))
+        assert_matches_fresh(index, tree)
+        self.assert_parent_slots_consistent(index, tree)
+        assert tail in index
+
+    def test_remove_then_move_into_freed_slot_run(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        doomed = tree.add_child(a, "b")
+        for _ in range(4):
+            tree.add_child(doomed, "c")
+        other = tree.add_child(tree.root, "b")
+        payload = tree.add_child(other, "a")
+        tree.add_child(payload, "c")
+        index = TreeIndex(tree)
+        self.warm(index)
+        index.apply_remove_subtree(doomed)
+        index.apply_move(payload, a)  # re-attach into the freed region
+        assert_matches_fresh(index, tree)
+        self.assert_parent_slots_consistent(index, tree)
+
+    def test_identity_reuse_after_remove(self):
+        """A freed identifier may be re-pinned by a later add (the stream
+        rollback's revive path) — caches must not resurrect stale facts."""
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        b = tree.add_child(a, "b", nid=777001)
+        tree.add_child(b, "c", nid=777002)
+        index = TreeIndex(tree)
+        self.warm(index)
+        index.apply_remove_subtree(777001)
+        assert 777001 not in index
+        # Revive the same ids, preorder, exactly like the undo journal.
+        index.apply_add_leaf(a, "b", nid=777001)
+        index.apply_add_leaf(777001, "c", nid=777002)
+        assert_matches_fresh(index, tree)
+        self.assert_parent_slots_consistent(index, tree)
+        assert index.label(777001) == "b"
+
+    def test_randomised_remove_readd_cycles(self):
+        for seed in range(8):
+            rng = random.Random(7_000 + seed)
+            tree = random_tree(rng, LABELS, size=14)
+            index = TreeIndex(tree)
+            self.warm(index)
+            for _ in range(6):
+                nodes = [n for n in tree.node_ids() if n != tree.root]
+                if not nodes:
+                    break
+                victim = rng.choice(nodes)
+                parent = tree.parent(victim)
+                spec = [(n, tree.parent(n), tree.label(n))
+                        for n in tree.descendants(victim, include_self=True)]
+                index.apply_remove_subtree(victim)
+                if rng.random() < 0.5:
+                    # Revive the identical subtree into the freed run.
+                    for nid, par, label in spec:
+                        index.apply_add_leaf(par, label, nid=nid)
+                else:
+                    # Or re-point fresh growth and a move at the region.
+                    fresh_leaf = index.apply_add_leaf(parent, rng.choice(LABELS))
+                    movers = [n for n in tree.node_ids()
+                              if n not in (tree.root, fresh_leaf)]
+                    if movers:
+                        try:
+                            index.apply_move(rng.choice(movers), fresh_leaf)
+                        except TreeError:
+                            pass
+                tree.validate()
+                assert index.fresh
+            assert_matches_fresh(index, tree)
+            self.assert_parent_slots_consistent(index, tree)

@@ -1,0 +1,151 @@
+"""Delta-maintained predicate masks and the batch slot decoder.
+
+The bitset evaluator no longer drops its predicate masks when the index
+revision moves — it patches them from the :class:`~repro.trees.index.
+EditDelta` log.  These tests pin the patch path directly: masks warmed
+*before* an edit must answer exactly like the naive evaluator *after* it,
+for every node, across chains of edits, and past the delta log's horizon
+(where the full recompute takes over).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.trees import DataTree, TreeIndex
+from repro.trees.index import DELTA_LOG_CAP
+from repro.workloads import FragmentSpec, random_pattern, random_tree
+from repro.xpath import BitsetEvaluator
+from repro.xpath.bitset import iter_slots, slots_of
+from repro.xpath.evaluator import evaluate_ids, matches_at
+
+LABELS = ["a", "b", "c"]
+FULL = FragmentSpec(predicates=True, descendant=True, wildcard=True)
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def random_edit(rng: random.Random, snapshot: TreeIndex) -> None:
+    tree = snapshot.tree
+    nodes = list(tree.node_ids())
+    nonroot = [n for n in nodes if n != tree.root]
+    try:
+        roll = rng.random()
+        if roll < 0.45 and nonroot:
+            snapshot.apply_move(rng.choice(nonroot), rng.choice(nodes))
+        elif roll < 0.8:
+            snapshot.apply_add_leaf(rng.choice(nodes), rng.choice(LABELS))
+        elif nonroot:
+            snapshot.apply_remove_subtree(rng.choice(nonroot))
+    except TreeError:
+        pass  # illegal move rolls — the index must stay untouched
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_warm_masks_stay_exact_across_edit_chains(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(2, 20))
+    snapshot = TreeIndex(tree)
+    evaluator = BitsetEvaluator(snapshot)
+    patterns = [random_pattern(rng, LABELS, FULL, spine=rng.randint(1, 3),
+                               pred_prob=0.8, max_pred_depth=3)
+                for _ in range(3)]
+    preds = [p.as_boolean() for p in patterns]
+    # Warm every predicate mask on the initial revision...
+    for pred in preds:
+        evaluator.matches_at(pred, tree.root)
+    # ...then edit and require patched answers to match naive, per node.
+    for _ in range(5):
+        random_edit(rng, snapshot)
+        for pattern, pred in zip(patterns, preds):
+            assert evaluator.evaluate_ids(pattern) == evaluate_ids(pattern, tree)
+            for nid in tree.node_ids():
+                assert (evaluator.matches_at(pred, nid)
+                        == matches_at(pred, tree, nid))
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_masks_survive_the_delta_log_horizon(seed):
+    """More unqueried edits than the log retains: recompute path, same
+    answers."""
+    rng = random.Random(seed)
+    tree = random_tree(rng, LABELS, size=rng.randint(3, 12))
+    snapshot = TreeIndex(tree)
+    evaluator = BitsetEvaluator(snapshot)
+    pattern = random_pattern(rng, LABELS, FULL, spine=2, pred_prob=0.8)
+    evaluator.evaluate_ids(pattern)  # warm
+    start = snapshot.revision
+    while snapshot.revision - start <= DELTA_LOG_CAP:
+        random_edit(rng, snapshot)
+    assert snapshot.deltas_since(start) is None
+    assert evaluator.evaluate_ids(pattern) == evaluate_ids(pattern, tree)
+
+
+class TestDeltaLog:
+    def test_revision_bookkeeping(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        index = TreeIndex(tree)
+        assert index.deltas_since(0) == []
+        b = index.apply_add_leaf(a, "b")
+        index.apply_move(b, tree.root)
+        index.apply_remove_subtree(b)
+        deltas = index.deltas_since(0)
+        assert [d.revision for d in deltas] == [1, 2, 3]
+        assert deltas[0].added == (b,)
+        assert deltas[2].vanished  # the removed node's old slot
+        assert index.deltas_since(2) == deltas[2:]
+        assert index.deltas_since(3) == []
+
+    def test_dirty_chains_are_upward_closed(self):
+        tree = DataTree()
+        a = tree.add_child(tree.root, "a")
+        b = tree.add_child(a, "b")
+        c = tree.add_child(b, "c")
+        index = TreeIndex(tree)
+        index.apply_add_leaf(c, "a")
+        (delta,) = index.deltas_since(0)
+        # Every ancestor of the attachment point is dirty.
+        assert set(delta.dirty) >= {c, b, a, tree.root}
+
+    def test_log_is_capped(self):
+        tree = DataTree()
+        parent = tree.add_child(tree.root, "a")
+        index = TreeIndex(tree)
+        for _ in range(DELTA_LOG_CAP + 10):
+            index.apply_add_leaf(parent, "b")
+        assert index.deltas_since(0) is None
+        assert len(index.deltas_since(index.revision - DELTA_LOG_CAP)) == \
+            DELTA_LOG_CAP
+
+
+class TestSlotDecoder:
+    def reference(self, mask: int) -> list[int]:
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def test_empty_mask(self):
+        assert list(iter_slots(0)) == []
+        assert slots_of(0) == []
+
+    def test_against_bit_kernel_reference(self):
+        rng = random.Random(20070611)
+        masks = [rng.getrandbits(width) for width in
+                 (1, 7, 8, 9, 64, 65, 1000, 100_000) for _ in range(5)]
+        masks += [1, (1 << 100_000), (1 << 100_000) | 1]
+        for mask in masks:
+            expected = self.reference(mask)
+            assert list(iter_slots(mask)) == expected
+            assert slots_of(mask) == expected
