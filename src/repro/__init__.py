@@ -28,9 +28,17 @@ directly) ingests a log of ``add_leaf``/``move``/``remove_subtree``
 operations with transaction brackets, rejects — and rolls back — any edit
 that breaks the policy, and keeps an audit trail of witnesses.
 
-Sub-packages: ``api`` (compiled reasoning sessions), ``trees`` (data
-model), ``xpath`` (the fragment, containment, intersections), ``automata``
-(linear-path machinery), ``constraints`` (update constraints + validity),
+Fleets of documents live behind the multi-document service:
+``ConstraintService`` registers named documents and named compiled
+constraint sets once and answers a JSON-serialisable request protocol
+(implication, instance queries, enforcement) through pluggable executors
+— inline, process-pooled, or the ``AsyncService`` asyncio front end with
+per-document ordering.
+
+Sub-packages: ``service`` (the multi-document front door), ``api``
+(compiled reasoning sessions), ``trees`` (data model), ``xpath`` (the
+fragment, containment, intersections), ``automata`` (linear-path
+machinery), ``constraints`` (update constraints + validity),
 ``implication`` (Table 1 engines), ``instance`` (Table 2 engines),
 ``stream`` (online update-log enforcement + shard runner), ``reductions``
 (hardness constructions), ``keys`` / ``xic`` (the related formalisms of
@@ -64,6 +72,13 @@ from repro.implication import (
     implies_single,
 )
 from repro.instance import implies_on
+from repro.service import (
+    AsyncService,
+    ConstraintService,
+    DocumentStore,
+    InlineExecutor,
+    ProcessExecutor,
+)
 from repro.stream import (
     AddLeaf,
     AuditTrail,
@@ -105,6 +120,9 @@ __all__ = [
     "no_remove", "no_insert", "immutable", "relative", "RelativeConstraint",
     "is_valid", "explain_violations", "check_sequence", "Violation",
     "satisfies_relative", "BaselineValidity",
+    # service
+    "ConstraintService", "DocumentStore", "AsyncService",
+    "InlineExecutor", "ProcessExecutor",
     # stream
     "StreamEnforcer", "AuditTrail", "Decision",
     "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",

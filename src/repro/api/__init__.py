@@ -15,7 +15,7 @@ guarantees and the relationship to the legacy free functions.
 """
 
 from repro.api.batch import BatchReport
-from repro.api.cache import CacheStats, LRUMemo
+from repro.caching import CacheStats, LRUMemo
 from repro.api.session import BoundReasoner, Reasoner
 from repro.stream.engine import StreamEnforcer
 

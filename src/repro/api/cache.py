@@ -1,12 +1,22 @@
-"""Session-API view of the shared memoisation primitives.
+"""Deprecated alias of :mod:`repro.caching` (the canonical module).
 
 The implementations moved to :mod:`repro.caching` so the snapshot
 evaluators under :mod:`repro.xpath` can cap their per-snapshot memos with
 the same LRU without importing the ``api`` package (which imports
-``xpath`` — the old location would be a cycle).  This module remains the
-stable import path for session-level callers.
+``xpath`` — the old location would be a cycle).  This shim keeps the old
+import path working one deprecation cycle longer; new code (and all
+in-repo code) imports :mod:`repro.caching` directly.
 """
 
+import warnings
+
 from repro.caching import DEFAULT_MEMO_SIZE, CacheStats, LRUMemo
+
+warnings.warn(
+    "repro.api.cache is deprecated; import DEFAULT_MEMO_SIZE, CacheStats "
+    "and LRUMemo from repro.caching instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["DEFAULT_MEMO_SIZE", "CacheStats", "LRUMemo"]

@@ -44,7 +44,7 @@ from repro.constraints.model import (
 )
 from repro.errors import UnsupportedProblemError
 from repro.api.batch import BatchReport, run_batch
-from repro.api.cache import DEFAULT_MEMO_SIZE, CacheStats, LRUMemo
+from repro.caching import DEFAULT_MEMO_SIZE, CacheStats, LRUMemo
 from repro.implication.cross_type import cross_type_counterexample
 from repro.implication.general import HYBRID_ENGINE as GENERAL_HYBRID_ENGINE
 from repro.implication.linear_engine import implies_linear
@@ -71,6 +71,18 @@ from repro.xpath.evaluator import evaluate_ids
 from repro.xpath.indexed import IndexedEvaluator
 from repro.xpath.intersection import intersect_child_only
 from repro.xpath.properties import Fragment, is_linear
+
+
+# The require_decision=True failure texts, shared with the service layer
+# (whose executors replicate the raise when assembling fanned-out batches).
+GENERAL_UNDECIDED = (
+    "mixed types with predicates and descendant axis (the paper's "
+    "NEXPTIME cell): sound tests were inconclusive"
+)
+INSTANCE_UNDECIDED = (
+    "mixed-type instance-based implication (coNP-complete, "
+    "Theorems 5.1/5.2): sound tests were inconclusive"
+)
 
 
 def _for_conclusion(result: ImplicationResult,
@@ -227,10 +239,7 @@ class Reasoner:
             lambda: self._decide_general(conclusion),
         )
         if result.is_unknown and require_decision:
-            raise UnsupportedProblemError(
-                "mixed types with predicates and descendant axis (the paper's "
-                "NEXPTIME cell): sound tests were inconclusive"
-            )
+            raise UnsupportedProblemError(GENERAL_UNDECIDED)
         return _for_conclusion(result, conclusion)
 
     def implies_all(self, conclusions: Sequence[UpdateConstraint],
@@ -265,8 +274,13 @@ class Reasoner:
           benchmarks' baseline).
 
         ``indexed=False`` is the legacy spelling of ``engine="naive"``.
+
+        Routes through :mod:`repro.service.dispatch`, the one dispatch
+        layer shared with the service executors and the legacy wrappers.
         """
-        return BoundReasoner(self, current, indexed=indexed, engine=engine)
+        from repro.service.dispatch import bind_session
+
+        return bind_session(self, current, indexed=indexed, engine=engine)
 
     def implies_on(self, current: DataTree, conclusion: UpdateConstraint,
                    require_decision: bool = False,
@@ -286,8 +300,13 @@ class Reasoner:
         live incremental snapshot, delta-maintained predicate masks) and
         violating operations — or transactions whose commit finds the
         cumulative edit invalid — are rolled back automatically.
+
+        Routes through :mod:`repro.service.dispatch`, the one dispatch
+        layer shared with the service executors and the legacy wrappers.
         """
-        return StreamEnforcer(self._premises, tree, engine=engine)
+        from repro.service.dispatch import open_enforcer
+
+        return open_enforcer(self._premises, tree, engine=engine)
 
     @property
     def stats(self) -> CacheStats:
@@ -435,26 +454,35 @@ class BoundReasoner:
     def implies_on(self, conclusion: UpdateConstraint,
                    require_decision: bool = False,
                    max_moves: int = 2,
-                   search_budget: int = 5000) -> ImplicationResult:
-        """Decide ``C ⊨_J c`` (Definition 2.5) with per-tree caching."""
+                   search_budget: int = 5000,
+                   search_workers: int = 1) -> ImplicationResult:
+        """Decide ``C ⊨_J c`` (Definition 2.5) with per-tree caching.
+
+        ``search_workers > 1`` fans the refutation search's cascade family
+        across a process pool (see
+        :func:`repro.instance.search.bounded_refutation`) — verdicts are
+        identical to the sequential search, only the wall-clock differs.
+        """
         conclusion.require_concrete()
         self._check_fresh()
+        # search_workers is an execution hint, not part of the query: the
+        # sharded walk is verdict-identical by construction (and pinned by
+        # the equivalence tests), so worker counts share one cache line.
         result = self._memo.get_or_compute(
             ("instance", conclusion.canonical_key, max_moves, search_budget),
-            lambda: self._decide_instance(conclusion, max_moves, search_budget),
+            lambda: self._decide_instance(conclusion, max_moves, search_budget,
+                                          search_workers),
         )
         if result.is_unknown and require_decision:
-            raise UnsupportedProblemError(
-                "mixed-type instance-based implication (coNP-complete, "
-                "Theorems 5.1/5.2): sound tests were inconclusive"
-            )
+            raise UnsupportedProblemError(INSTANCE_UNDECIDED)
         return _for_conclusion(result, conclusion)
 
     def implies_all(self, conclusions: Sequence[UpdateConstraint],
                     fail_fast: bool = False,
                     require_decision: bool = False,
                     max_moves: int = 2,
-                    search_budget: int = 5000) -> BatchReport:
+                    search_budget: int = 5000,
+                    search_workers: int = 1) -> BatchReport:
         """Batch instance-based queries against the bound tree.
 
         The search knobs are forwarded to every per-conclusion query, so
@@ -462,7 +490,8 @@ class BoundReasoner:
         :meth:`implies_on` calls with the same arguments.
         """
         decide = partial(self.implies_on, require_decision=require_decision,
-                         max_moves=max_moves, search_budget=search_budget)
+                         max_moves=max_moves, search_budget=search_budget,
+                         search_workers=search_workers)
         return run_batch(decide, conclusions, fail_fast=fail_fast)
 
     def open_stream(self, copy: bool = True,
@@ -496,7 +525,8 @@ class BoundReasoner:
     # The Table 2 dispatch (moved verbatim from instance.general)
     # ------------------------------------------------------------------
     def _decide_instance(self, conclusion: UpdateConstraint,
-                         max_moves: int, search_budget: int) -> ImplicationResult:
+                         max_moves: int, search_budget: int,
+                         search_workers: int = 1) -> ImplicationResult:
         premises = self._reasoner.premises
         current = self._current
         same = self._reasoner.of_type(conclusion.type)
@@ -533,7 +563,8 @@ class BoundReasoner:
                                   f"premise(s): {subset_result.reason}")
         certificate = bounded_refutation(premises, current, conclusion,
                                          max_moves=max_moves, budget=search_budget,
-                                         context=self._context)
+                                         context=self._context,
+                                         workers=search_workers)
         if certificate is not None:
             return not_implied(INSTANCE_HYBRID_ENGINE, premises, conclusion,
                                certificate,

@@ -55,6 +55,13 @@ class StreamError(ReproError):
     outside a transaction, or operations on a closed stream."""
 
 
+class ServiceError(ReproError):
+    """Raised on misuse of the multi-document constraint service
+    (:mod:`repro.service`): unknown or duplicate document / constraint-set
+    names, a document already enforced under a different policy, or a
+    malformed wire-level request."""
+
+
 class UnsupportedProblemError(ReproError):
     """Raised when no exact engine covers a problem instance and the caller
     asked for a definite answer (``require_decision=True``)."""

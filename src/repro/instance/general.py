@@ -42,17 +42,19 @@ def implies_on(premises: ConstraintSet | Iterable[UpdateConstraint],
     """Decide ``C ⊨_J c`` (Definition 2.5).
 
     The dispatch lives in :class:`repro.api.session.BoundReasoner`; this
-    free function wraps a transient, cache-free session.  Callers asking
-    many conclusions against one ``(C, J)`` should hold
-    ``Reasoner(C).bind(J)`` instead and reuse its snapshot and per-tree
-    answer sets.  ``indexed=True`` (or an explicit ``engine=`` of
-    ``"bitset"``/``"indexed"``) builds the snapshot even for this one-shot
-    call (worth it on large ``J``); the default keeps the naive path,
-    which the benchmarks use as their baseline.
+    free function is a thin route through :mod:`repro.service.dispatch`
+    (a transient, cache-free session).  Callers asking many conclusions
+    against one ``(C, J)`` should hold ``Reasoner(C).bind(J)`` instead
+    and reuse its snapshot and per-tree answer sets.  ``indexed=True``
+    (or an explicit ``engine=`` of ``"bitset"``/``"indexed"``) builds the
+    snapshot even for this one-shot call (worth it on large ``J``); the
+    default keeps the naive path, which the benchmarks use as their
+    baseline.
     """
-    from repro.api.session import Reasoner
+    from repro.service.dispatch import one_shot_implies_on
 
-    session = Reasoner(premises, memo_size=0, precompile=False)
-    return session.bind(current, indexed=indexed, engine=engine).implies_on(
-        conclusion, require_decision=require_decision,
-        max_moves=max_moves, search_budget=search_budget)
+    return one_shot_implies_on(premises, current, conclusion,
+                               require_decision=require_decision,
+                               max_moves=max_moves,
+                               search_budget=search_budget,
+                               indexed=indexed, engine=engine)

@@ -1,0 +1,68 @@
+"""Multi-document constraint service with pluggable executors.
+
+The serving layer over everything below it: register named documents and
+named constraint sets once, then drive implication queries, instance
+queries and live update-stream enforcement through one JSON-serialisable
+request/response protocol.
+
+>>> from repro import ConstraintService, DataTree
+>>> from repro.stream import AddLeaf, RemoveSubtree
+>>> svc = ConstraintService()
+>>> doc = DataTree()
+>>> patient = doc.add_child(doc.root, "patient")
+>>> trial = doc.add_child(patient, "clinicalTrial")
+>>> _ = svc.register_constraints("policy",
+...                              [("/patient[/clinicalTrial]", "up")])
+>>> _ = svc.register_document("ward", doc)
+>>> stream = svc.enforcer("ward", "policy")
+>>> stream.apply(AddLeaf(patient, "visit")).accepted
+True
+>>> stream.apply(RemoveSubtree(trial)).accepted
+False
+
+Components: :mod:`~repro.service.protocol` (the wire-level request and
+response dataclasses, ``to_dict``/``from_dict`` round-trippable),
+:mod:`~repro.service.store` (:class:`DocumentStore`),
+:mod:`~repro.service.executors` (:class:`InlineExecutor`,
+:class:`ProcessExecutor`), :mod:`~repro.service.async_service`
+(:class:`AsyncService`, the ``asyncio`` front end with per-document
+ordering) and :mod:`~repro.service.dispatch` (the single dispatch layer
+the session API and the legacy free functions also route through).
+"""
+
+from repro.service.async_service import AsyncService
+from repro.service.executors import Executor, InlineExecutor, ProcessExecutor
+from repro.service.protocol import (
+    Ack,
+    ErrorResponse,
+    ImplicationQuery,
+    InstanceQuery,
+    QueryAnswers,
+    RegisterConstraints,
+    RegisterDocument,
+    Request,
+    Response,
+    StreamDecisions,
+    StreamSubmit,
+    Verdict,
+    WireDecision,
+    WireViolation,
+    request_from_dict,
+    request_from_json,
+    response_checksum,
+    response_from_dict,
+    response_from_json,
+)
+from repro.service.service import ConstraintService
+from repro.service.store import DocumentStore
+
+__all__ = [
+    "ConstraintService", "DocumentStore", "AsyncService",
+    "Executor", "InlineExecutor", "ProcessExecutor",
+    "Request", "RegisterConstraints", "RegisterDocument",
+    "ImplicationQuery", "InstanceQuery", "StreamSubmit",
+    "Response", "Ack", "Verdict", "QueryAnswers",
+    "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
+    "request_from_dict", "request_from_json",
+    "response_from_dict", "response_from_json", "response_checksum",
+]

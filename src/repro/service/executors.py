@@ -1,0 +1,289 @@
+"""Pluggable execution strategies for service requests.
+
+An :class:`Executor` turns one :class:`~repro.service.protocol.Request`
+into one :class:`~repro.service.protocol.Response` against a
+:class:`~repro.service.store.DocumentStore`.  Three strategies ship:
+
+* :class:`InlineExecutor` — synchronous, in-process; the reference
+  semantics every other executor must match bit-for-bit (the Hypothesis
+  equivalence suite compares response checksums);
+* :class:`ProcessExecutor` — fans *stateless* query batches across a
+  ``multiprocessing`` pool (conclusions are independent, so a batch
+  splits into contiguous chunks reassembled in submission order) and
+  parallelises the refutation search of single-conclusion mixed-type
+  instance queries across candidate families
+  (:func:`repro.instance.search.bounded_refutation` with ``workers>1``).
+  Stateful requests — registration, stream enforcement — always run
+  inline: they mutate the store and are inherently serial per document;
+* :class:`~repro.service.async_service.AsyncService` — not an executor
+  but an ``asyncio`` façade that serialises requests per document and
+  awaits responses; it drives whichever executor its service holds.
+
+Executors never swallow errors: they raise
+:class:`~repro.errors.ReproError` subclasses and let
+:class:`~repro.service.service.ConstraintService.handle` turn them into
+wire-level :class:`~repro.service.protocol.ErrorResponse` objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+
+from repro.api.session import GENERAL_UNDECIDED, INSTANCE_UNDECIDED
+from repro.constraints.model import ConstraintSet
+from repro.errors import ReproError, ServiceError, UnsupportedProblemError
+from repro.implication.result import Answer
+from repro.service.dispatch import bind_session, compiled_session
+from repro.service.protocol import (
+    Ack,
+    ErrorResponse,
+    ImplicationQuery,
+    InstanceQuery,
+    RegisterConstraints,
+    RegisterDocument,
+    Request,
+    Response,
+    StreamSubmit,
+    QueryAnswers,
+    StreamDecisions,
+    Verdict,
+    WireDecision,
+)
+from repro.service.store import DocumentStore
+from repro.trees.serialize import from_dict, to_dict
+
+
+class Executor:
+    """Strategy interface: one request in, one response out."""
+
+    def execute(self, request: Request,
+                store: DocumentStore) -> Response:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; inline executors no-op)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InlineExecutor(Executor):
+    """Synchronous in-process execution — the reference semantics."""
+
+    def execute(self, request: Request, store: DocumentStore) -> Response:
+        if isinstance(request, RegisterConstraints):
+            compiled = store.add_constraints(request.name, request.constraints,
+                                             replace=request.replace)
+            return Ack("constraints", request.name, len(compiled))
+        if isinstance(request, RegisterDocument):
+            tree = store.add_document(request.name, request.tree,
+                                      replace=request.replace)
+            return Ack("document", request.name, tree.size)
+        if isinstance(request, ImplicationQuery):
+            return self._implication(request, store)
+        if isinstance(request, InstanceQuery):
+            return self._instance(request, store)
+        if isinstance(request, StreamSubmit):
+            return self._stream(request, store)
+        raise ServiceError(f"unhandled request type {type(request).__name__}")
+
+    # -- query handlers -------------------------------------------------
+    def _implication(self, request: ImplicationQuery,
+                     store: DocumentStore) -> QueryAnswers:
+        report = store.session(request.constraints).implies_all(
+            request.conclusions, fail_fast=request.fail_fast,
+            require_decision=request.require_decision)
+        return QueryAnswers(tuple(
+            Verdict.of(result) if result is not None else None
+            for result in report.results))
+
+    def _instance(self, request: InstanceQuery,
+                  store: DocumentStore) -> QueryAnswers:
+        bound = store.binding(request.constraints, request.document)
+        report = bound.implies_all(
+            request.conclusions, fail_fast=request.fail_fast,
+            require_decision=request.require_decision,
+            max_moves=request.max_moves, search_budget=request.search_budget)
+        return QueryAnswers(tuple(
+            Verdict.of(result) if result is not None else None
+            for result in report.results))
+
+    def _stream(self, request: StreamSubmit,
+                store: DocumentStore) -> StreamDecisions:
+        enforcer = store.enforcer(request.document, request.constraints)
+        decisions = enforcer.submit(request.ops)
+        return StreamDecisions(tuple(WireDecision.of(d) for d in decisions))
+
+
+# ----------------------------------------------------------------------
+# Process fan-out (top-level functions: pool workers must pickle them)
+# ----------------------------------------------------------------------
+class _Failed:
+    """A conclusion whose decision raised, carried back positionally.
+
+    The assembler replays the sequential loop's control flow, so an
+    error is surfaced only if its conclusion would actually have been
+    reached — a failure past a ``fail_fast`` cutoff must stay invisible,
+    exactly as in :class:`InlineExecutor`.
+    """
+
+    __slots__ = ("error", "message")
+
+    def __init__(self, err: Exception):
+        self.error = type(err).__name__
+        self.message = str(err)
+
+
+def _decide_chunk(decide, conclusions) -> list:
+    out = []
+    for conclusion in conclusions:
+        try:
+            out.append(Verdict.of(decide(conclusion)))
+        except ReproError as err:
+            out.append(_Failed(err))
+    return out
+
+
+def _implication_chunk(payload: tuple) -> list:
+    """Worker: answer one contiguous chunk of implication conclusions."""
+    constraints, conclusions = payload
+    session = compiled_session(ConstraintSet(constraints))
+    return _decide_chunk(session.implies, conclusions)
+
+
+def _instance_chunk(payload: tuple) -> list:
+    """Worker: answer one contiguous chunk of instance conclusions."""
+    constraints, tree_dict, conclusions, max_moves, search_budget = payload
+    session = compiled_session(ConstraintSet(constraints))
+    bound = bind_session(session, from_dict(tree_dict))
+
+    def decide(conclusion):
+        return bound.implies_on(conclusion, max_moves=max_moves,
+                                search_budget=search_budget)
+
+    return _decide_chunk(decide, conclusions)
+
+
+def _chunked(items: tuple, parts: int) -> list[tuple]:
+    """Split into at most ``parts`` contiguous, order-preserving chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks, at = [], 0
+    for i in range(parts):
+        step = size + (1 if i < extra else 0)
+        chunks.append(items[at:at + step])
+        at += step
+    return chunks
+
+
+class ProcessExecutor(Executor):
+    """Fan stateless query batches across a ``multiprocessing`` pool.
+
+    Responses are reassembled in submission order and are bit-identical
+    to :class:`InlineExecutor`'s — ``fail_fast`` masking and the
+    ``require_decision`` raise are applied *after* reassembly, on the
+    same first-not-implied / first-unknown entry the sequential loop
+    would have stopped at.  Single-conclusion mixed-type instance
+    queries, where the work is one refutation search rather than many
+    conclusions, instead parallelise **inside** the search: every worker
+    owns a scratch tree and an incremental snapshot and validates one
+    stride of the shared candidate enumeration.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self._workers = workers or (multiprocessing.cpu_count() or 2)
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._inline = InlineExecutor()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _get_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self._workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def execute(self, request: Request, store: DocumentStore) -> Response:
+        if isinstance(request, ImplicationQuery) and len(request.conclusions) > 1:
+            wire = tuple(store.constraints(request.constraints))
+            chunks = _chunked(request.conclusions, self._workers)
+            results = self._get_pool().map(
+                _implication_chunk, [(wire, chunk) for chunk in chunks])
+            verdicts = [v for chunk in results for v in chunk]
+            return self._assemble(verdicts, request.fail_fast,
+                                  request.require_decision, GENERAL_UNDECIDED)
+        if isinstance(request, InstanceQuery):
+            return self._instance(request, store)
+        return self._inline.execute(request, store)
+
+    def _instance(self, request: InstanceQuery,
+                  store: DocumentStore) -> Response:
+        if len(request.conclusions) <= 1:
+            # One conclusion: the parallelism worth having is inside the
+            # refutation search (candidate families), not across the batch.
+            bound = store.binding(request.constraints, request.document)
+            report = bound.implies_all(
+                request.conclusions, fail_fast=request.fail_fast,
+                require_decision=request.require_decision,
+                max_moves=request.max_moves,
+                search_budget=request.search_budget,
+                search_workers=self._workers)
+            return QueryAnswers(tuple(
+                Verdict.of(result) if result is not None else None
+                for result in report.results))
+        wire = tuple(store.constraints(request.constraints))
+        tree_dict = to_dict(store.document(request.document))
+        chunks = _chunked(request.conclusions, self._workers)
+        results = self._get_pool().map(
+            _instance_chunk,
+            [(wire, tree_dict, chunk, request.max_moves,
+              request.search_budget) for chunk in chunks])
+        verdicts = [v for chunk in results for v in chunk]
+        return self._assemble(verdicts, request.fail_fast,
+                              request.require_decision, INSTANCE_UNDECIDED)
+
+    @staticmethod
+    def _assemble(verdicts: list, fail_fast: bool, require_decision: bool,
+                  undecided_msg: str) -> Response:
+        """Re-impose the sequential loop's observable control flow.
+
+        The workers decided every conclusion; the inline loop would have
+        decided only a prefix.  Walking in order: a failure or (with
+        ``require_decision``) an UNKNOWN is surfaced exactly when the
+        inline loop would have reached it, and everything past a
+        ``fail_fast`` stop is masked to ``None`` — so the response (or
+        error) is bit-identical to :class:`InlineExecutor`'s.
+        """
+        out: list[Verdict | None] = []
+        stopped = False
+        for verdict in verdicts:
+            if stopped:
+                out.append(None)
+                continue
+            if isinstance(verdict, _Failed):
+                return ErrorResponse(error=verdict.error,
+                                     message=verdict.message)
+            if require_decision and verdict.answer == Answer.UNKNOWN.value:
+                raise UnsupportedProblemError(undecided_msg)
+            out.append(verdict)
+            if fail_fast and verdict.answer != Answer.IMPLIED.value:
+                stopped = True
+        return QueryAnswers(tuple(out))
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "pool up"
+        return f"ProcessExecutor({self._workers} workers, {state})"
+
+
+__all__ = ["Executor", "InlineExecutor", "ProcessExecutor"]

@@ -1,0 +1,490 @@
+"""The wire-level request/response protocol of the constraint service.
+
+Every interaction with a :class:`~repro.service.service.ConstraintService`
+— registering documents and compiled constraint sets, implication and
+instance-based queries, update-stream enforcement — is one
+:class:`Request` answered by one :class:`Response`.  Both sides are frozen
+dataclasses holding *live* objects (patterns, trees, ops), with a
+JSON-safe dict form via ``to_dict`` / ``from_dict``:
+
+* constraint ranges travel as their XPath text (``str(pattern)`` parses
+  back to an equal canonical form);
+* documents travel in the nested-dict interchange form of
+  :mod:`repro.trees.serialize` (node identifiers preserved);
+* update logs travel through :func:`repro.stream.ops.op_to_dict`.
+
+The dict forms are stable across processes — ``request_from_dict(
+request.to_dict())`` rebuilds an equivalent request anywhere (the shard
+workers and a future network front end rely on this), and
+:func:`response_checksum` folds a response's wire form into one integer so
+two executors' answer streams can be compared wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.constraints.model import ConstraintType, UpdateConstraint
+from repro.constraints.validity import Violation
+from repro.errors import ServiceError
+from repro.implication.result import ImplicationResult
+from repro.stream.log import Decision
+from repro.stream.ops import StreamOp, op_from_dict, op_to_dict
+from repro.trees import serialize
+from repro.trees.tree import DataTree
+from repro.xpath.parser import parse
+
+
+# ----------------------------------------------------------------------
+# Constraint wire form
+# ----------------------------------------------------------------------
+def constraint_to_wire(constraint: UpdateConstraint) -> list:
+    """``(q, σ)`` as ``[xpath_text, type_value]``."""
+    return [str(constraint.range), constraint.type.value]
+
+
+def constraint_from_wire(pair) -> UpdateConstraint:
+    try:
+        text, kind = pair
+        return UpdateConstraint(parse(text), ConstraintType(kind))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"bad constraint wire form {pair!r}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+class Request:
+    """Base of the request union; concrete kinds register themselves."""
+
+    kind = ""
+
+    def to_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Request":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class RegisterConstraints(Request):
+    """Name a constraint set; the service compiles it once, on first use."""
+
+    kind = "register-constraints"
+
+    name: str
+    constraints: tuple[UpdateConstraint, ...]
+    replace: bool = False
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "name": self.name,
+                "constraints": [constraint_to_wire(c) for c in self.constraints],
+                "replace": self.replace}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegisterConstraints":
+        return cls(name=data["name"],
+                   constraints=tuple(constraint_from_wire(pair)
+                                     for pair in data["constraints"]),
+                   replace=bool(data.get("replace", False)))
+
+
+@dataclass(frozen=True)
+class RegisterDocument(Request):
+    """Adopt a document under a name (instance queries + enforcement)."""
+
+    kind = "register-document"
+
+    name: str
+    tree: DataTree
+    replace: bool = False
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "name": self.name,
+                "tree": serialize.to_dict(self.tree), "replace": self.replace}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegisterDocument":
+        return cls(name=data["name"], tree=serialize.from_dict(data["tree"]),
+                   replace=bool(data.get("replace", False)))
+
+
+@dataclass(frozen=True)
+class ImplicationQuery(Request):
+    """``C ⊨ c?`` for a batch of conclusions against a named set (Table 1)."""
+
+    kind = "implication"
+
+    constraints: str
+    conclusions: tuple[UpdateConstraint, ...]
+    fail_fast: bool = False
+    require_decision: bool = False
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "constraints": self.constraints,
+                "conclusions": [constraint_to_wire(c) for c in self.conclusions],
+                "fail_fast": self.fail_fast,
+                "require_decision": self.require_decision}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ImplicationQuery":
+        return cls(constraints=data["constraints"],
+                   conclusions=tuple(constraint_from_wire(pair)
+                                     for pair in data["conclusions"]),
+                   fail_fast=bool(data.get("fail_fast", False)),
+                   require_decision=bool(data.get("require_decision", False)))
+
+
+@dataclass(frozen=True)
+class InstanceQuery(Request):
+    """``C ⊨_J c?`` against a named document's current state (Table 2)."""
+
+    kind = "instance-implication"
+
+    constraints: str
+    document: str
+    conclusions: tuple[UpdateConstraint, ...]
+    fail_fast: bool = False
+    require_decision: bool = False
+    max_moves: int = 2
+    search_budget: int = 5000
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "constraints": self.constraints,
+                "document": self.document,
+                "conclusions": [constraint_to_wire(c) for c in self.conclusions],
+                "fail_fast": self.fail_fast,
+                "require_decision": self.require_decision,
+                "max_moves": self.max_moves,
+                "search_budget": self.search_budget}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstanceQuery":
+        return cls(constraints=data["constraints"], document=data["document"],
+                   conclusions=tuple(constraint_from_wire(pair)
+                                     for pair in data["conclusions"]),
+                   fail_fast=bool(data.get("fail_fast", False)),
+                   require_decision=bool(data.get("require_decision", False)),
+                   max_moves=int(data.get("max_moves", 2)),
+                   search_budget=int(data.get("search_budget", 5000)))
+
+
+@dataclass(frozen=True)
+class StreamSubmit(Request):
+    """Enforce a slice of an update log against a named document.
+
+    The first submission for a document opens its enforcement stream
+    under the named policy; later submissions must name the same policy
+    (one live stream per document).
+    """
+
+    kind = "stream-submit"
+
+    document: str
+    constraints: str
+    ops: tuple[StreamOp, ...]
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "document": self.document,
+                "constraints": self.constraints,
+                "ops": [op_to_dict(op) for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSubmit":
+        return cls(document=data["document"], constraints=data["constraints"],
+                   ops=tuple(op_from_dict(d) for d in data["ops"]))
+
+
+_REQUEST_KINDS: dict[str, type[Request]] = {
+    cls.kind: cls
+    for cls in (RegisterConstraints, RegisterDocument, ImplicationQuery,
+                InstanceQuery, StreamSubmit)
+}
+
+
+def request_from_dict(data: dict) -> Request:
+    """Rebuild any request from its wire dict (inverse of ``to_dict``)."""
+    try:
+        kind = data["request"]
+    except (TypeError, KeyError):
+        raise ServiceError(f"malformed request payload {data!r}: "
+                           "missing 'request' kind") from None
+    cls = _REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise ServiceError(f"unknown request kind {kind!r}; expected one of "
+                           f"{sorted(_REQUEST_KINDS)}")
+    try:
+        return cls.from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed {kind!r} request: {exc}") from None
+
+
+def request_from_json(payload: str) -> Request:
+    return request_from_dict(json.loads(payload))
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+class Response:
+    """Base of the response union."""
+
+    kind = ""
+    ok = True
+
+    def to_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Response":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Ack(Response):
+    """A registration took effect (``size`` = constraints or nodes)."""
+
+    kind = "ack"
+
+    registered: str
+    name: str
+    size: int
+
+    def to_dict(self) -> dict:
+        return {"response": self.kind, "registered": self.registered,
+                "name": self.name, "size": self.size}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Ack":
+        return cls(registered=data["registered"], name=data["name"],
+                   size=int(data["size"]))
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One conclusion's answer, flattened for the wire.
+
+    ``refuted`` marks a NOT_IMPLIED answer that carries a counterexample
+    certificate.  The certificate *trees* (and their witness nodes) stay
+    server-side — constructed counterexamples allocate fresh node ids per
+    call, so shipping their ids would make equal answer streams compare
+    unequal; fetch certificates through the live-object API
+    (:meth:`repro.service.service.ConstraintService.session`) when
+    forensics are needed.
+    """
+
+    answer: str
+    engine: str
+    reason: str = ""
+    refuted: bool = False
+
+    @staticmethod
+    def of(result: ImplicationResult) -> "Verdict":
+        return Verdict(answer=result.answer.value, engine=result.engine,
+                       reason=result.reason,
+                       refuted=result.counterexample is not None)
+
+    def to_dict(self) -> dict:
+        return {"answer": self.answer, "engine": self.engine,
+                "reason": self.reason, "refuted": self.refuted}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Verdict":
+        return cls(answer=data["answer"], engine=data["engine"],
+                   reason=data.get("reason", ""),
+                   refuted=bool(data.get("refuted", False)))
+
+
+@dataclass(frozen=True)
+class QueryAnswers(Response):
+    """Aligned verdicts for a query batch (``None`` = fail-fast skipped)."""
+
+    kind = "answers"
+
+    verdicts: tuple[Verdict | None, ...]
+
+    @property
+    def answers(self) -> tuple[str | None, ...]:
+        return tuple(v.answer if v is not None else None for v in self.verdicts)
+
+    def to_dict(self) -> dict:
+        return {"response": self.kind,
+                "verdicts": [v.to_dict() if v is not None else None
+                             for v in self.verdicts]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryAnswers":
+        return cls(verdicts=tuple(
+            Verdict.from_dict(v) if v is not None else None
+            for v in data["verdicts"]))
+
+
+@dataclass(frozen=True)
+class WireViolation:
+    """A :class:`~repro.constraints.validity.Violation` as sorted id/label
+    pairs (deterministic across processes — sets have no wire order)."""
+
+    constraint: UpdateConstraint
+    removed: tuple[tuple[int, str], ...]
+    inserted: tuple[tuple[int, str], ...]
+
+    @staticmethod
+    def of(violation: Violation) -> "WireViolation":
+        return WireViolation(
+            constraint=violation.constraint,
+            removed=tuple(sorted((n.nid, n.label) for n in violation.removed)),
+            inserted=tuple(sorted((n.nid, n.label) for n in violation.inserted)))
+
+    def to_dict(self) -> dict:
+        return {"constraint": constraint_to_wire(self.constraint),
+                "removed": [list(pair) for pair in self.removed],
+                "inserted": [list(pair) for pair in self.inserted]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WireViolation":
+        return cls(constraint=constraint_from_wire(data["constraint"]),
+                   removed=tuple((int(n), lab) for n, lab in data["removed"]),
+                   inserted=tuple((int(n), lab) for n, lab in data["inserted"]))
+
+
+@dataclass(frozen=True)
+class WireDecision:
+    """One enforcement decision, flattened for the wire."""
+
+    seq: int
+    op: StreamOp
+    accepted: bool
+    pending: bool = False
+    txn: int | None = None
+    note: str = ""
+    violations: tuple[WireViolation, ...] = ()
+
+    @staticmethod
+    def of(decision: Decision) -> "WireDecision":
+        return WireDecision(
+            seq=decision.seq, op=decision.op, accepted=decision.accepted,
+            pending=decision.pending, txn=decision.txn, note=decision.note,
+            violations=tuple(WireViolation.of(v) for v in decision.violations))
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "op": op_to_dict(self.op),
+                "accepted": self.accepted, "pending": self.pending,
+                "txn": self.txn, "note": self.note,
+                "violations": [v.to_dict() for v in self.violations]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WireDecision":
+        return cls(seq=int(data["seq"]), op=op_from_dict(data["op"]),
+                   accepted=bool(data["accepted"]),
+                   pending=bool(data.get("pending", False)),
+                   txn=data.get("txn"), note=data.get("note", ""),
+                   violations=tuple(WireViolation.from_dict(v)
+                                    for v in data.get("violations", ())))
+
+
+@dataclass(frozen=True)
+class StreamDecisions(Response):
+    """One decision per submitted log entry, in submission order."""
+
+    kind = "decisions"
+
+    decisions: tuple[WireDecision, ...]
+
+    @property
+    def accepted_count(self) -> int:
+        return sum(1 for d in self.decisions if d.accepted and not d.pending)
+
+    @property
+    def rejected_count(self) -> int:
+        return sum(1 for d in self.decisions if not d.accepted and not d.pending)
+
+    def to_dict(self) -> dict:
+        return {"response": self.kind,
+                "decisions": [d.to_dict() for d in self.decisions]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamDecisions":
+        return cls(decisions=tuple(WireDecision.from_dict(d)
+                                   for d in data["decisions"]))
+
+
+@dataclass(frozen=True)
+class ErrorResponse(Response):
+    """A request that could not be served (``error`` = exception class)."""
+
+    kind = "error"
+    ok = False
+
+    error: str
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = {"response": self.kind, "error": self.error,
+                "message": self.message}
+        if self.details:
+            data["details"] = dict(self.details)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorResponse":
+        return cls(error=data["error"], message=data["message"],
+                   details=dict(data.get("details", {})))
+
+
+_RESPONSE_KINDS: dict[str, type[Response]] = {
+    cls.kind: cls
+    for cls in (Ack, QueryAnswers, StreamDecisions, ErrorResponse)
+}
+
+
+def response_from_dict(data: dict) -> Response:
+    """Rebuild any response from its wire dict (inverse of ``to_dict``)."""
+    try:
+        kind = data["response"]
+    except (TypeError, KeyError):
+        raise ServiceError(f"malformed response payload {data!r}: "
+                           "missing 'response' kind") from None
+    cls = _RESPONSE_KINDS.get(kind)
+    if cls is None:
+        raise ServiceError(f"unknown response kind {kind!r}; expected one of "
+                           f"{sorted(_RESPONSE_KINDS)}")
+    try:
+        return cls.from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed {kind!r} response: {exc}") from None
+
+
+def response_from_json(payload: str) -> Response:
+    return response_from_dict(json.loads(payload))
+
+
+def response_checksum(response: Response) -> int:
+    """CRC of the canonical JSON wire form — one integer per response.
+
+    Folding a whole answer stream (``fold = fold * P + checksum``) lets
+    two executors' behaviour be compared wholesale; the equivalence suite
+    and the service benchmark both gate on it.
+    """
+    return zlib.crc32(response.to_json().encode())
+
+
+__all__ = [
+    "Request", "RegisterConstraints", "RegisterDocument",
+    "ImplicationQuery", "InstanceQuery", "StreamSubmit",
+    "Response", "Ack", "Verdict", "QueryAnswers",
+    "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
+    "request_from_dict", "request_from_json",
+    "response_from_dict", "response_from_json", "response_checksum",
+    "constraint_to_wire", "constraint_from_wire",
+]

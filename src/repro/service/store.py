@@ -1,0 +1,173 @@
+"""Named documents and named compiled constraint sets.
+
+A :class:`DocumentStore` is the server-side state of a
+:class:`~repro.service.service.ConstraintService`: clients register a
+document or a constraint set **once** under a name, and every later
+request refers to the name.  The store owns the expensive artifacts that
+registration makes shareable —
+
+* one compiled :class:`~repro.api.session.Reasoner` per constraint set
+  (canonical forms, per-type views, fragment dispatch, linear DFAs,
+  session memo), built lazily on first query and reused by every request
+  naming the set;
+* one live :class:`~repro.stream.engine.StreamEnforcer` per document
+  under enforcement (the stream *adopts* the stored document: update
+  logs mutate it in place, and instance queries against the name see the
+  current state);
+* one :class:`~repro.api.session.BoundReasoner` per ``(set, document)``
+  pair, keyed by the document's mutation version, so repeated instance
+  queries between edits reuse the snapshot and the per-tree answer sets.
+
+Names are flat strings; re-registering a taken name raises
+:class:`~repro.errors.ServiceError` unless ``replace=True`` (replacement
+drops the dependent session/stream/binding artifacts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.api.session import BoundReasoner, Reasoner
+from repro.constraints.model import ConstraintSet, constraint_set
+from repro.errors import ServiceError
+from repro.service.dispatch import bind_session, compiled_session
+from repro.stream.engine import StreamEnforcer
+from repro.trees.serialize import from_dict
+from repro.trees.tree import DataTree
+
+
+class DocumentStore:
+    """The named-object registry behind a constraint service."""
+
+    __slots__ = ("_documents", "_sets", "_sessions", "_enforcers", "_bindings")
+
+    def __init__(self) -> None:
+        self._documents: dict[str, DataTree] = {}
+        self._sets: dict[str, ConstraintSet] = {}
+        self._sessions: dict[str, Reasoner] = {}
+        # doc name -> (set name, enforcer): one live stream per document.
+        self._enforcers: dict[str, tuple[str, StreamEnforcer]] = {}
+        # (set name, doc name) -> (tree version, binding)
+        self._bindings: dict[tuple[str, str], tuple[int, BoundReasoner]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_document(self, name: str, tree: DataTree | dict, *,
+                     replace: bool = False) -> DataTree:
+        """Adopt ``tree`` (live or in nested-dict wire form) under ``name``."""
+        if isinstance(tree, dict):
+            tree = from_dict(tree)
+        if name in self._documents and not replace:
+            raise ServiceError(f"document {name!r} is already registered "
+                               "(pass replace=True to swap it)")
+        self._documents[name] = tree
+        self._enforcers.pop(name, None)
+        self._drop_bindings(document=name)
+        return tree
+
+    def add_constraints(self, name: str,
+                        constraints: ConstraintSet | Iterable, *,
+                        replace: bool = False) -> ConstraintSet:
+        """Register a constraint set (any :func:`constraint_set` spec form)."""
+        if not isinstance(constraints, ConstraintSet):
+            constraints = constraint_set(*constraints)
+        constraints.require_concrete()
+        if name in self._sets and not replace:
+            raise ServiceError(f"constraint set {name!r} is already registered "
+                               "(pass replace=True to swap it)")
+        self._sets[name] = constraints
+        self._sessions.pop(name, None)
+        self._drop_bindings(constraints=name)
+        # Live streams enforcing the replaced set froze its old baseline;
+        # drop them so the next submission reopens under the new policy.
+        for doc in [d for d, (bound_set, _) in self._enforcers.items()
+                    if bound_set == name]:
+            del self._enforcers[doc]
+        return constraints
+
+    def _drop_bindings(self, document: str | None = None,
+                       constraints: str | None = None) -> None:
+        for key in [k for k in self._bindings
+                    if k[0] == constraints or k[1] == document]:
+            del self._bindings[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def document(self, name: str) -> DataTree:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise ServiceError(f"unknown document {name!r}; registered: "
+                               f"{sorted(self._documents)}") from None
+
+    def constraints(self, name: str) -> ConstraintSet:
+        try:
+            return self._sets[name]
+        except KeyError:
+            raise ServiceError(f"unknown constraint set {name!r}; registered: "
+                               f"{sorted(self._sets)}") from None
+
+    def documents(self) -> list[str]:
+        return sorted(self._documents)
+
+    def constraint_sets(self) -> list[str]:
+        return sorted(self._sets)
+
+    # ------------------------------------------------------------------
+    # Compiled artifacts (lazy, shared across requests)
+    # ------------------------------------------------------------------
+    def session(self, name: str) -> Reasoner:
+        """The compiled session for a registered set (built on first use)."""
+        session = self._sessions.get(name)
+        if session is None:
+            session = compiled_session(self.constraints(name))
+            self._sessions[name] = session
+        return session
+
+    def binding(self, set_name: str, doc_name: str) -> BoundReasoner:
+        """A bound session on the document's *current* state.
+
+        Cached per ``(set, document)`` and invalidated by the document's
+        mutation version, so instance queries interleaved with stream
+        edits always see the live state yet amortise the snapshot between
+        edits.
+        """
+        tree = self.document(doc_name)
+        key = (set_name, doc_name)
+        cached = self._bindings.get(key)
+        if cached is not None and cached[0] == tree.version:
+            return cached[1]
+        bound = bind_session(self.session(set_name), tree)
+        self._bindings[key] = (tree.version, bound)
+        return bound
+
+    def enforcer(self, doc_name: str, set_name: str) -> StreamEnforcer:
+        """The document's live enforcement stream (opened on first use).
+
+        A document has at most one stream; naming a different policy for
+        an already-enforced document is a :class:`ServiceError` (close the
+        stream by re-registering the document).
+        """
+        existing = self._enforcers.get(doc_name)
+        if existing is not None:
+            bound_set, enforcer = existing
+            if bound_set != set_name:
+                raise ServiceError(
+                    f"document {doc_name!r} is already enforced under "
+                    f"constraint set {bound_set!r}; a document has one live "
+                    "stream (re-register the document to reset it)")
+            return enforcer
+        self.constraints(set_name)  # validate the name before adopting
+        enforcer = self.session(set_name).open_stream(self.document(doc_name))
+        self._enforcers[doc_name] = (set_name, enforcer)
+        return enforcer
+
+    def __repr__(self) -> str:
+        return (f"DocumentStore({len(self._documents)} documents, "
+                f"{len(self._sets)} constraint sets, "
+                f"{len(self._enforcers)} live streams)")
+
+
+__all__ = ["DocumentStore"]

@@ -96,9 +96,52 @@ StreamOp = Union[UpdateOp, Marker]
 UPDATE_OPS = (AddLeaf, Move, RemoveSubtree)
 MARKERS = (Begin, Commit, Rollback)
 
+
+# ----------------------------------------------------------------------
+# Wire form (the service protocol ships logs as JSON)
+# ----------------------------------------------------------------------
+_OP_TAGS: dict[str, type] = {
+    "add-leaf": AddLeaf,
+    "move": Move,
+    "remove-subtree": RemoveSubtree,
+    "begin": Begin,
+    "commit": Commit,
+    "rollback": Rollback,
+}
+_TAG_OF = {cls: tag for tag, cls in _OP_TAGS.items()}
+
+
+def op_to_dict(op: StreamOp) -> dict:
+    """One operation as a JSON-safe dict (``{"op": tag, ...fields}``)."""
+    try:
+        tag = _TAG_OF[type(op)]
+    except KeyError:
+        raise ValueError(f"unknown stream operation {op!r}") from None
+    data = {"op": tag}
+    for name in type(op).__dataclass_fields__:
+        value = getattr(op, name)
+        if value is not None:
+            data[name] = value
+    return data
+
+
+def op_from_dict(data: dict) -> StreamOp:
+    """Rebuild an operation from its wire dict (inverse of :func:`op_to_dict`)."""
+    fields = dict(data)
+    tag = fields.pop("op", None)
+    cls = _OP_TAGS.get(tag)
+    if cls is None:
+        raise ValueError(f"unknown stream operation tag {tag!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"bad fields for stream op {tag!r}: {exc}") from None
+
+
 __all__ = [
     "AddLeaf", "Move", "RemoveSubtree",
     "Begin", "Commit", "Rollback",
     "UpdateOp", "Marker", "StreamOp",
     "UPDATE_OPS", "MARKERS",
+    "op_to_dict", "op_from_dict",
 ]

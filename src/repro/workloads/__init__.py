@@ -5,6 +5,7 @@ from repro.workloads.generators import (
     random_constraints,
     random_pattern,
     random_pred,
+    random_requests,
     random_tree,
     random_update_stream,
     random_valid_pair,
@@ -16,6 +17,7 @@ __all__ = [
     "random_pattern",
     "random_pred",
     "random_constraints",
+    "random_requests",
     "random_tree",
     "random_update_stream",
     "random_valid_pair",

@@ -210,6 +210,93 @@ def random_update_stream(rng: random.Random, tree: DataTree,
     return log
 
 
+def random_requests(rng: random.Random, labels: list[str], *,
+                    constraint_sets: int = 2, documents: int = 2,
+                    queries: int = 10, tree_size: int = 20,
+                    stream_ops: int = 12, stream_batches: int = 3,
+                    spec: FragmentSpec | None = None,
+                    conclusions_per_query: int = 3,
+                    violation_rate: float = 0.3) -> list:
+    """A seeded request sequence for the service (:mod:`repro.service`).
+
+    Registers ``constraint_sets`` named policies and ``documents`` named
+    documents, then interleaves implication batches, instance batches and
+    enforcement-log slices.  Each document's whole update log is drawn
+    once (enforcement-aware, against a shadow replay — see
+    :func:`random_update_stream`) and split across ``stream_batches``
+    :class:`~repro.service.protocol.StreamSubmit` requests, so every op
+    references nodes that exist at its point in the stream regardless of
+    how the batches interleave with queries.
+
+    The same sequence replayed against any executor must produce the
+    same response stream — the service equivalence suite feeds these to
+    all three executors and compares response checksums.
+    """
+    from repro.service.protocol import (
+        ImplicationQuery,
+        InstanceQuery,
+        RegisterConstraints,
+        RegisterDocument,
+        StreamSubmit,
+    )
+
+    spec = spec or FragmentSpec(predicates=True, descendant=True,
+                                wildcard=False)
+    requests: list = []
+    set_names: list[str] = []
+    for i in range(constraint_sets):
+        name = f"policy{i}"
+        policy = random_constraints(rng, labels, spec,
+                                    count=rng.randint(2, 4), types="mixed",
+                                    spine=2)
+        requests.append(RegisterConstraints(name, tuple(policy)))
+        set_names.append(name)
+    doc_names: list[str] = []
+    pending_batches: list[tuple[str, str, list]] = []
+    for i in range(documents):
+        name = f"doc{i}"
+        tree = random_tree(rng, labels, size=tree_size)
+        requests.append(RegisterDocument(name, tree))
+        doc_names.append(name)
+        # One policy per document (a document has one live stream).
+        policy_name = rng.choice(set_names)
+        policy = next(r.constraints for r in requests
+                      if isinstance(r, RegisterConstraints)
+                      and r.name == policy_name)
+        log = random_update_stream(rng, tree, labels,
+                                   constraints=ConstraintSet(policy),
+                                   ops=stream_ops,
+                                   violation_rate=violation_rate)
+        cut = max(1, len(log) // max(1, stream_batches))
+        for at in range(0, len(log), cut):
+            pending_batches.append((name, policy_name,
+                                    list(log[at:at + cut])))
+    for _ in range(queries):
+        roll = rng.random()
+        if roll < 0.4 and pending_batches:
+            doc, policy_name, batch = pending_batches.pop(0)
+            requests.append(StreamSubmit(doc, policy_name, tuple(batch)))
+            continue
+        conclusions = tuple(
+            UpdateConstraint(
+                random_pattern(rng, labels, spec, spine=rng.randint(1, 2)),
+                rng.choice(list(ConstraintType)))
+            for _ in range(conclusions_per_query))
+        if roll < 0.7:
+            requests.append(ImplicationQuery(
+                rng.choice(set_names), conclusions,
+                fail_fast=rng.random() < 0.3))
+        else:
+            requests.append(InstanceQuery(
+                rng.choice(set_names), rng.choice(doc_names), conclusions,
+                fail_fast=rng.random() < 0.3,
+                max_moves=1, search_budget=60))
+    # Flush leftover log slices so every document's stream settles.
+    for doc, policy_name, batch in pending_batches:
+        requests.append(StreamSubmit(doc, policy_name, tuple(batch)))
+    return requests
+
+
 def scaling_labels(count: int) -> list[str]:
     """A deterministic label alphabet ``l0 .. l<count-1>``."""
     return [f"l{i}" for i in range(count)]

@@ -101,12 +101,19 @@ class BitsetEvaluator(SnapshotEvaluator):
     fast path accepts either.
     """
 
-    __slots__ = ("_pred_masks", "_query_memo")
+    __slots__ = ("_pred_masks", "_query_memo", "_masks_rev")
 
     def __init__(self, snapshot: TreeIndex | DataTree):
         super().__init__(snapshot)
         self._pred_masks = LRUMemo(PRED_MASK_MEMO_SIZE)
         self._query_memo = LRUMemo(QUERY_MEMO_SIZE)
+        # The packed revision side-table: ONE revision stamp for the whole
+        # mask memo instead of a (mask, revision) pair per entry.  Every
+        # cached mask is current at ``_masks_rev``; a revision bump patches
+        # them all in one batch (sharing the deltas and the dirty set), so
+        # the hot read path is a bare dict hit — no tuple allocation per
+        # store, no unpack-and-compare per lookup.
+        self._masks_rev = self._revision
 
     @property
     def memo_entries(self) -> int:
@@ -115,10 +122,10 @@ class BitsetEvaluator(SnapshotEvaluator):
 
     def _drop_revision_memos(self) -> None:
         # Query answers are revision-bound and cheap to rebuild; predicate
-        # masks are *kept* — each entry carries the revision it is valid
-        # at and is delta-patched (or, past the delta log, recomputed)
-        # lazily on its next use.
+        # masks are *kept* — patched in one batch from the edit deltas
+        # (or dropped wholesale when the delta log no longer reaches back).
         self._query_memo.clear()
+        self._patch_all_masks()
 
     # ------------------------------------------------------------------
     # Whole-tree predicate masks (delta-maintained across index edits)
@@ -130,21 +137,13 @@ class BitsetEvaluator(SnapshotEvaluator):
         predicate's own test (label mask ∩ child-predicate masks) are
         lifted to their parents (``/``) or their ancestor closure (``//``,
         with marked-ancestor early exit — O(n) amortised across the whole
-        mask).  A mask left stale by in-place index edits is *patched*
-        from the edit deltas instead (:meth:`_patch_pred_mask`) — per-edit
-        cost proportional to the edit, not the tree.
+        mask).  Cached masks are always current at the evaluator's synced
+        revision (:meth:`_patch_all_masks` repairs them per revision
+        bump), so the hit path is a single dict probe.
         """
-        rev = self._revision
-        entry = self._pred_masks.get(pred, _MISS)
-        if entry is not _MISS:
-            mask, at = entry
-            if at == rev:
-                return mask
-            deltas = self._index.deltas_since(at)
-            if deltas is not None:
-                mask = self._patch_pred_mask(pred, mask, deltas)
-                self._pred_masks.put(pred, (mask, rev))
-                return mask
+        mask = self._pred_masks.get(pred, _MISS)
+        if mask is not _MISS:
+            return mask
         idx = self._index
         target = idx.label_mask(pred.label)
         for sub in pred.children:
@@ -157,11 +156,11 @@ class BitsetEvaluator(SnapshotEvaluator):
             result = idx.parents_mask(target, pred.label)
         else:
             result = idx.ancestors_mask(target, pred.label)
-        self._pred_masks.put(pred, (result, rev))
+        self._pred_masks.put(pred, result)
         return result
 
-    def _patch_pred_mask(self, pred: Pred, mask: int, deltas) -> int:
-        """Repair a stale satisfaction mask from the index's edit deltas.
+    def _patch_all_masks(self) -> None:
+        """Repair every cached satisfaction mask from the index's deltas.
 
         Two facts make this sound: satisfaction of a downward-looking
         predicate travels verbatim with a relocated subtree (its contents
@@ -169,18 +168,53 @@ class BitsetEvaluator(SnapshotEvaluator):
         are exactly the deltas' dirty chains — upward-closed sets, so a
         nested predicate's flips are always covered by the same chains.
         Relocations are replayed in order (chained moves re-use slots);
-        dirty nodes are re-decided once, at the end, against the current
-        structure and the (recursively patched) sub-predicate masks.
+        dirty nodes are re-decided once per predicate, against the current
+        structure and the already-patched sub-predicate masks (nested
+        predicates are patched first, exactly because the re-decision
+        consults them).  Past the delta log's horizon the memo is dropped
+        wholesale and masks rebuild cold on next use.
         """
+        idx = self._index
+        rev = idx.revision
+        deltas = idx.deltas_since(self._masks_rev)
+        self._masks_rev = rev
+        if deltas is None:
+            self._pred_masks.clear()
+            return
+        if not deltas or not len(self._pred_masks):
+            return
         dirty: dict[int, None] = {}
         for delta in deltas:
-            mask = delta.patch_mask(mask)
             dirty.update(dict.fromkeys(delta.dirty))
             dirty.update(dict.fromkeys(delta.added))
-        idx = self._index
         alive = [n for n in dirty if n in idx]
+        memo = self._pred_masks
+        patched: set[Pred] = set()
+
+        def patch(pred: Pred) -> None:
+            if pred in patched:
+                return
+            patched.add(pred)
+            # Recurse through uncached nodes too: a cold recompute deeper
+            # in the tree consults cached sub-masks, which must already be
+            # patched by then.
+            for sub in pred.children:
+                patch(sub)
+            mask = memo.peek(pred, _MISS)
+            if mask is _MISS:
+                return  # uncached predicates rebuild cold on demand
+            for delta in deltas:
+                mask = delta.patch_mask(mask)
+            memo.put(pred, self._redecide(pred, mask, alive))
+
+        for pred in memo.keys():
+            patch(pred)
+
+    def _redecide(self, pred: Pred, mask: int, alive: list[int]) -> int:
+        """Re-decide ``pred`` at the surviving dirty nodes of an edit batch."""
         if not alive:
             return mask
+        idx = self._index
         target = idx.label_mask(pred.label)
         for sub in pred.children:
             if not target:

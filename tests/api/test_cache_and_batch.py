@@ -3,7 +3,7 @@
 import pytest
 
 from repro.api.batch import BatchReport, run_batch
-from repro.api.cache import LRUMemo
+from repro.caching import LRUMemo
 from repro.constraints import no_insert
 from repro.implication.result import implied, not_implied
 from repro.constraints import ConstraintSet
@@ -83,3 +83,14 @@ class TestBatchReport:
         report = run_batch(decide, [no_insert("/a"), no_insert("/b"),
                                     no_insert("/c")], fail_fast=True)
         assert report[1].is_refuted and report[2] is None
+
+
+class TestDeprecatedCacheShim:
+    def test_shim_warns_and_reexports_the_canonical_module(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.api.cache", None)
+        with pytest.warns(DeprecationWarning, match="repro.caching"):
+            shim = importlib.import_module("repro.api.cache")
+        assert shim.LRUMemo is LRUMemo

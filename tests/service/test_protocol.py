@@ -1,0 +1,196 @@
+"""Wire-protocol unit tests: every request/response round-trips.
+
+``request_from_dict(request.to_dict())`` (and the response twin) must
+rebuild an object whose wire form is identical — the property a network
+front end and the process workers rely on.  JSON-serialisability is part
+of the contract: every dict form must survive ``json.dumps``/``loads``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ConstraintService
+from repro.constraints import no_insert, no_remove
+from repro.errors import ServiceError
+from repro.service import (
+    Ack,
+    ErrorResponse,
+    ImplicationQuery,
+    InstanceQuery,
+    QueryAnswers,
+    RegisterConstraints,
+    RegisterDocument,
+    StreamDecisions,
+    StreamSubmit,
+    Verdict,
+    WireDecision,
+    WireViolation,
+    request_from_dict,
+    request_from_json,
+    response_checksum,
+    response_from_dict,
+)
+from repro.stream import AddLeaf, Begin, Commit, Move, RemoveSubtree, Rollback
+from repro.stream.ops import op_from_dict, op_to_dict
+from repro.trees import branch, build
+
+
+def tree():
+    return build(branch("patient", branch("clinicalTrial", nid=11), nid=10))
+
+
+def roundtrip_request(request):
+    wire = json.loads(json.dumps(request.to_dict()))
+    rebuilt = request_from_dict(wire)
+    assert rebuilt.to_dict() == request.to_dict()
+    assert request_from_json(request.to_json()).to_dict() == request.to_dict()
+    return rebuilt
+
+
+def roundtrip_response(response):
+    wire = json.loads(json.dumps(response.to_dict()))
+    rebuilt = response_from_dict(wire)
+    assert rebuilt.to_dict() == response.to_dict()
+    assert response_checksum(rebuilt) == response_checksum(response)
+    return rebuilt
+
+
+class TestRequestRoundTrips:
+    def test_register_constraints(self):
+        req = RegisterConstraints(
+            "policy", (no_insert("/patient[/visit]"),
+                       no_remove("//clinicalTrial")), replace=True)
+        back = roundtrip_request(req)
+        assert back.constraints == req.constraints  # canonical equality
+
+    def test_register_document_preserves_ids(self):
+        req = RegisterDocument("ward", tree())
+        back = roundtrip_request(req)
+        assert back.tree.same_instance(req.tree)
+
+    def test_implication_query(self):
+        roundtrip_request(ImplicationQuery(
+            "policy", (no_insert("/a[/b][//c]"), no_remove("/a")),
+            fail_fast=True, require_decision=True))
+
+    def test_instance_query(self):
+        roundtrip_request(InstanceQuery(
+            "policy", "ward", (no_insert("/a"),), max_moves=3,
+            search_budget=77))
+
+    def test_stream_submit_all_ops(self):
+        req = StreamSubmit("ward", "policy", (
+            Begin("bulk"), AddLeaf(10, "visit", nid=99), Move(11, 10),
+            RemoveSubtree(99), Commit(), Begin(), Rollback()))
+        back = roundtrip_request(req)
+        assert back.ops == req.ops
+
+    def test_unknown_kind_and_malformed_payloads(self):
+        with pytest.raises(ServiceError):
+            request_from_dict({"request": "no-such-kind"})
+        with pytest.raises(ServiceError):
+            request_from_dict({"no": "kind"})
+        with pytest.raises(ServiceError):
+            request_from_dict({"request": "implication"})  # missing fields
+
+
+class TestOpCodec:
+    def test_each_op_round_trips(self):
+        ops = [AddLeaf(1, "x"), AddLeaf(1, "x", nid=7), Move(2, 3),
+               RemoveSubtree(4), Begin(), Begin("named"), Commit(), Rollback()]
+        for op in ops:
+            assert op_from_dict(json.loads(json.dumps(op_to_dict(op)))) == op
+
+    def test_bad_tags_raise(self):
+        with pytest.raises(ValueError):
+            op_from_dict({"op": "explode"})
+        with pytest.raises(ValueError):
+            op_from_dict({"op": "move", "nid": 1})  # missing new_parent
+
+
+class TestResponseRoundTrips:
+    def test_ack(self):
+        roundtrip_response(Ack("document", "ward", 3))
+
+    def test_query_answers_with_skips(self):
+        roundtrip_response(QueryAnswers((
+            Verdict("implied", "same-type-thm41", "reason text"),
+            None,
+            Verdict("not-implied", "cross-type", refuted=True))))
+
+    def test_stream_decisions_with_violations(self):
+        violation = WireViolation(no_remove("/patient"), ((10, "patient"),), ())
+        decision = WireDecision(seq=0, op=RemoveSubtree(10), accepted=False,
+                                violations=(violation,))
+        back = roundtrip_response(StreamDecisions((decision,)))
+        assert back.rejected_count == 1 and back.accepted_count == 0
+
+    def test_error_response(self):
+        roundtrip_response(ErrorResponse("ServiceError", "boom",
+                                         details={"name": "ward"}))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ServiceError):
+            response_from_dict({"response": "no-such-kind"})
+
+
+class TestServiceWireSurface:
+    def test_handle_json_end_to_end(self):
+        svc = ConstraintService()
+        svc.register_constraints("policy", [("/patient[/clinicalTrial]", "up")])
+        svc.register_document("ward", tree())
+        payload = StreamSubmit("ward", "policy",
+                               (RemoveSubtree(11),)).to_json()
+        reply = json.loads(svc.handle_json(payload))
+        assert reply["response"] == "decisions"
+        assert reply["decisions"][0]["accepted"] is False
+
+    def test_handle_json_bad_json_is_an_error_response(self):
+        reply = json.loads(ConstraintService().handle_json("{nope"))
+        assert reply["response"] == "error" and reply["error"] == "ParseError"
+
+    def test_service_errors_become_responses(self):
+        svc = ConstraintService()
+        reply = svc.handle(ImplicationQuery("ghost", (no_insert("/a"),)))
+        assert isinstance(reply, ErrorResponse)
+        assert reply.error == "ServiceError" and "ghost" in reply.message
+
+    def test_duplicate_registration_needs_replace(self):
+        svc = ConstraintService()
+        svc.register_document("ward", tree())
+        reply = svc.handle(RegisterDocument("ward", tree()))
+        assert isinstance(reply, ErrorResponse)
+        ok = svc.handle(RegisterDocument("ward", tree(), replace=True))
+        assert isinstance(ok, Ack)
+
+    def test_replacing_a_constraint_set_resets_its_live_streams(self):
+        # A stream frozen on the old policy must not keep enforcing it
+        # after the set is replaced: the next submission reopens the
+        # stream under the new constraints (fresh baseline).
+        svc = ConstraintService()
+        svc.register_constraints("policy", [("/patient[/clinicalTrial]", "up")])
+        svc.register_document("ward", tree())
+        old = svc.enforcer("ward", "policy")
+        assert old.apply(RemoveSubtree(11)).rejected  # trial is kept
+        svc.register_constraints("policy", [("/patient", "down")],
+                                 replace=True)
+        fresh = svc.enforcer("ward", "policy")
+        assert fresh is not old
+        # Under the new policy removing the trial is legal.
+        decision = svc.handle(StreamSubmit("ward", "policy",
+                                           (RemoveSubtree(11),)))
+        assert decision.decisions[0].accepted
+
+    def test_one_stream_per_document_guard(self):
+        from repro.errors import ServiceError as Err
+
+        svc = ConstraintService()
+        svc.register_constraints("p1", [("/patient", "down")])
+        svc.register_constraints("p2", [("/patient", "up")])
+        svc.register_document("ward", tree())
+        svc.enforcer("ward", "p1")
+        with pytest.raises(Err):
+            svc.enforcer("ward", "p2")
