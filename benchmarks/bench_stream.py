@@ -126,12 +126,18 @@ def bench_enforcement(tree_size: int, ops: int, rounds: int) -> dict:
 
     def incremental():
         incremental_out.clear()
-        stream = StreamEnforcer(constraints, base.copy())
+        # analysis=False: this section isolates the delta-maintained mask
+        # machinery; the independence fast path has its own benchmark
+        # (bench_analysis.py) with a workload shaped to exercise it.
+        stream = StreamEnforcer(constraints, base.copy(), analysis=False)
         incremental_out.extend(stream.submit(log))
 
     def scratch():
         scratch_out.clear()
-        stream = ScratchEnforcer(constraints, base.copy())
+        # analysis=False: the scratch baseline leaves the live snapshot
+        # behind, so the analyzer must not consult it — and an honest
+        # recompute baseline takes no fast path anyway.
+        stream = ScratchEnforcer(constraints, base.copy(), analysis=False)
         scratch_out.extend(stream.submit(log))
 
     incremental_qps = timed(incremental, len(log), rounds)

@@ -80,7 +80,7 @@ async def main() -> None:
         ))
         answers = await svc.submit(query)
         print("\n== batched implication ==")
-        for conclusion, verdict in zip(query.conclusions, answers.verdicts):
+        for conclusion, verdict in zip(query.conclusions, answers.verdicts, strict=True):
             print(f"  {conclusion}: {verdict.answer} [{verdict.engine}]")
 
         # -- the whole exchange is JSON on the wire ---------------------

@@ -34,7 +34,7 @@ class BatchReport:
         return len(self.conclusions)
 
     def __iter__(self) -> Iterator[tuple[UpdateConstraint, ImplicationResult | None]]:
-        return iter(zip(self.conclusions, self.results))
+        return iter(zip(self.conclusions, self.results, strict=True))
 
     def __getitem__(self, index: int) -> ImplicationResult | None:
         return self.results[index]

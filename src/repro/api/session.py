@@ -135,9 +135,7 @@ class Reasoner:
         self._containment: dict[tuple[int, int], bool] | None = None
         self._intersections: dict[tuple[int, int], Pattern | None] | None = None
         if precompile:
-            self.fragment
-            self.labels
-            self.star_length
+            _ = (self.fragment, self.labels, self.star_length)
             self._compile_linear_dfas()
             # The containment/intersection matrices are compile artifacts for
             # callers (schema introspection, future subsumption pruning), not

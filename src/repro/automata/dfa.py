@@ -115,7 +115,7 @@ def product_dfa(dfas: Sequence[DFA]) -> tuple["DFA", list[frozenset[int]]]:
         key = queue.popleft()
         row: dict[str, int] = {}
         for symbol in alphabet:
-            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key, strict=True))
             if nxt not in index:
                 index[nxt] = len(order)
                 order.append(nxt)
@@ -123,7 +123,7 @@ def product_dfa(dfas: Sequence[DFA]) -> tuple["DFA", list[frozenset[int]]]:
             row[symbol] = index[nxt]
         transitions.append(row)
     vectors = [
-        frozenset(i for i, (d, s) in enumerate(zip(dfas, key)) if s in d.accepting)
+        frozenset(i for i, (d, s) in enumerate(zip(dfas, key, strict=True)) if s in d.accepting)
         for key in order
     ]
     accepting = [i for i, vec in enumerate(vectors) if len(vec) == len(dfas)]
@@ -151,13 +151,13 @@ def reachable_vectors(dfas: Sequence[DFA]) -> dict[frozenset[int], tuple[str, ..
     found: dict[frozenset[int], tuple[str, ...]] = {}
 
     def vector_of(key: tuple[int, ...]) -> frozenset[int]:
-        return frozenset(i for i, (d, s) in enumerate(zip(dfas, key)) if s in d.accepting)
+        return frozenset(i for i, (d, s) in enumerate(zip(dfas, key, strict=True)) if s in d.accepting)
 
     found[vector_of(start_key)] = ()
     while queue:
         key, word = queue.popleft()
         for symbol in alphabet:
-            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key, strict=True))
             if nxt in seen:
                 continue
             seen.add(nxt)

@@ -50,9 +50,9 @@ def labelled_vectors(dfas: Sequence[DFA]) -> dict[Vector, tuple[str, ...]]:
     while queue:
         key, word = queue.popleft()
         for symbol in alphabet:
-            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+            nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key, strict=True))
             next_word = word + (symbol,)
-            vec = frozenset(i for i, (d, s) in enumerate(zip(dfas, nxt)) if s in d.accepting)
+            vec = frozenset(i for i, (d, s) in enumerate(zip(dfas, nxt, strict=True)) if s in d.accepting)
             found.setdefault((vec, symbol), next_word)
             if nxt not in seen:
                 seen.add(nxt)

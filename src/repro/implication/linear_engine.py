@@ -87,7 +87,7 @@ class _Product:
             key = queue.popleft()
             row: dict[str, int] = {}
             for symbol in self.alphabet:
-                nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key))
+                nxt = tuple(d.step(s, symbol) for d, s in zip(dfas, key, strict=True))
                 if nxt not in self.index:
                     self.index[nxt] = len(keys)
                     keys.append(nxt)
@@ -95,7 +95,7 @@ class _Product:
                 row[symbol] = self.index[nxt]
             self.delta.append(row)
         self.accepts: list[frozenset[int]] = [
-            frozenset(i for i, (d, s) in enumerate(zip(dfas, key)) if s in d.accepting)
+            frozenset(i for i, (d, s) in enumerate(zip(dfas, key, strict=True)) if s in d.accepting)
             for key in keys
         ]
         self.start = 0

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.pool
 
+from repro.analysis import IndependenceIndex
 from repro.api.session import GENERAL_UNDECIDED, INSTANCE_UNDECIDED
 from repro.constraints.model import ConstraintSet
 from repro.errors import ReproError, ServiceError, UnsupportedProblemError
@@ -78,7 +79,9 @@ class InlineExecutor(Executor):
         if isinstance(request, RegisterConstraints):
             compiled = store.add_constraints(request.name, request.constraints,
                                              replace=request.replace)
-            return Ack("constraints", request.name, len(compiled))
+            stats = tuple(sorted(IndependenceIndex(compiled).stats().items()))
+            return Ack("constraints", request.name, len(compiled),
+                       stats=stats)
         if isinstance(request, RegisterDocument):
             tree = store.add_document(request.name, request.tree,
                                       replace=request.replace)
@@ -148,17 +151,52 @@ def _decide_chunk(decide, conclusions) -> list:
     return out
 
 
+# Per-worker compiled-session cache, pinned by the pool initializer.
+# Compiling a session (DFA products, canonical forms, containment memo
+# shells) is the expensive part of a chunk; consecutive chunks of one
+# query — and consecutive queries against the same registered set — hit
+# the same constraints, so each worker keeps the last few compilations.
+# ``None`` means "no pool initializer ran" (direct in-process calls):
+# the cache is bypassed and behaviour is exactly the old compile-per-chunk.
+_SESSION_CACHE: dict[tuple, object] | None = None
+_SESSION_CACHE_LIMIT = 8
+
+
+def _pin_session_cache(limit: int = 8) -> None:
+    """Pool initializer: give this worker its own compiled-session cache."""
+    global _SESSION_CACHE, _SESSION_CACHE_LIMIT
+    _SESSION_CACHE = {}
+    _SESSION_CACHE_LIMIT = max(1, limit)
+
+
+def _worker_session(constraints: tuple):
+    """The worker's compiled session for ``constraints`` (FIFO-evicted).
+
+    Constraints hash by canonical key, so the pickled wire tuple keys the
+    cache stably across chunks and across requests.
+    """
+    if _SESSION_CACHE is None:
+        return compiled_session(ConstraintSet(constraints))
+    session = _SESSION_CACHE.get(constraints)
+    if session is None:
+        if len(_SESSION_CACHE) >= _SESSION_CACHE_LIMIT:
+            _SESSION_CACHE.pop(next(iter(_SESSION_CACHE)))
+        session = compiled_session(ConstraintSet(constraints))
+        _SESSION_CACHE[constraints] = session
+    return session
+
+
 def _implication_chunk(payload: tuple) -> list:
     """Worker: answer one contiguous chunk of implication conclusions."""
     constraints, conclusions = payload
-    session = compiled_session(ConstraintSet(constraints))
+    session = _worker_session(constraints)
     return _decide_chunk(session.implies, conclusions)
 
 
 def _instance_chunk(payload: tuple) -> list:
     """Worker: answer one contiguous chunk of instance conclusions."""
     constraints, tree_dict, conclusions, max_moves, search_budget = payload
-    session = compiled_session(ConstraintSet(constraints))
+    session = _worker_session(constraints)
     bound = bind_session(session, from_dict(tree_dict))
 
     def decide(conclusion):
@@ -192,10 +230,17 @@ class ProcessExecutor(Executor):
     conclusions, instead parallelise **inside** the search: every worker
     owns a scratch tree and an incremental snapshot and validates one
     stride of the shared candidate enumeration.
+
+    The pool initializer pins a small per-worker compiled-session cache
+    (``session_cache`` entries, FIFO), so repeated chunks against the
+    same registered constraint set recompile nothing after the first
+    touch in each worker.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None,
+                 session_cache: int = 8):
         self._workers = workers or (multiprocessing.cpu_count() or 2)
+        self._session_cache = max(1, session_cache)
         self._pool: multiprocessing.pool.Pool | None = None
         self._inline = InlineExecutor()
 
@@ -205,7 +250,10 @@ class ProcessExecutor(Executor):
 
     def _get_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
-            self._pool = multiprocessing.Pool(processes=self._workers)
+            self._pool = multiprocessing.Pool(
+                processes=self._workers,
+                initializer=_pin_session_cache,
+                initargs=(self._session_cache,))
         return self._pool
 
     def close(self) -> None:

@@ -252,22 +252,36 @@ class Response:
 
 @dataclass(frozen=True)
 class Ack(Response):
-    """A registration took effect (``size`` = constraints or nodes)."""
+    """A registration took effect (``size`` = constraints or nodes).
+
+    Constraint-set acks carry ``stats``: sorted ``(name, value)`` pairs
+    from the static analyzer's :meth:`~repro.analysis.IndependenceIndex.
+    stats` — how many impact signatures the set compiled to, how many
+    (kind, label) keys they index under, and how many are wildcard (⊤).
+    Omitted from the wire form when empty, so document acks (and older
+    recorded responses) keep their exact wire shape.
+    """
 
     kind = "ack"
 
     registered: str
     name: str
     size: int
+    stats: tuple[tuple[str, int], ...] = ()
 
     def to_dict(self) -> dict:
-        return {"response": self.kind, "registered": self.registered,
+        data = {"response": self.kind, "registered": self.registered,
                 "name": self.name, "size": self.size}
+        if self.stats:
+            data["stats"] = [list(pair) for pair in self.stats]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Ack":
         return cls(registered=data["registered"], name=data["name"],
-                   size=int(data["size"]))
+                   size=int(data["size"]),
+                   stats=tuple((str(k), int(v))
+                               for k, v in data.get("stats", ())))
 
 
 @dataclass(frozen=True)
@@ -359,7 +373,13 @@ class WireViolation:
 
 @dataclass(frozen=True)
 class WireDecision:
-    """One enforcement decision, flattened for the wire."""
+    """One enforcement decision, flattened for the wire.
+
+    ``independent`` mirrors the engine's zero-work-fast-path witness
+    (:attr:`~repro.stream.log.Decision.independent`); it travels only
+    when set, so non-fast-path decision streams keep their exact wire
+    shape (and checksums) from before the analyzer existed.
+    """
 
     seq: int
     op: StreamOp
@@ -368,19 +388,24 @@ class WireDecision:
     txn: int | None = None
     note: str = ""
     violations: tuple[WireViolation, ...] = ()
+    independent: bool = False
 
     @staticmethod
     def of(decision: Decision) -> "WireDecision":
         return WireDecision(
             seq=decision.seq, op=decision.op, accepted=decision.accepted,
             pending=decision.pending, txn=decision.txn, note=decision.note,
-            violations=tuple(WireViolation.of(v) for v in decision.violations))
+            violations=tuple(WireViolation.of(v) for v in decision.violations),
+            independent=decision.independent)
 
     def to_dict(self) -> dict:
-        return {"seq": self.seq, "op": op_to_dict(self.op),
+        data = {"seq": self.seq, "op": op_to_dict(self.op),
                 "accepted": self.accepted, "pending": self.pending,
                 "txn": self.txn, "note": self.note,
                 "violations": [v.to_dict() for v in self.violations]}
+        if self.independent:
+            data["independent"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WireDecision":
@@ -389,7 +414,8 @@ class WireDecision:
                    pending=bool(data.get("pending", False)),
                    txn=data.get("txn"), note=data.get("note", ""),
                    violations=tuple(WireViolation.from_dict(v)
-                                    for v in data.get("violations", ())))
+                                    for v in data.get("violations", ())),
+                   independent=bool(data.get("independent", False)))
 
 
 @dataclass(frozen=True)
@@ -407,6 +433,11 @@ class StreamDecisions(Response):
     @property
     def rejected_count(self) -> int:
         return sum(1 for d in self.decisions if not d.accepted and not d.pending)
+
+    @property
+    def independent_count(self) -> int:
+        """Decisions taken on the analyzer's zero-work fast path."""
+        return sum(1 for d in self.decisions if d.independent)
 
     def to_dict(self) -> dict:
         return {"response": self.kind,

@@ -31,9 +31,12 @@ from repro.stream.ops import (
     Rollback,
 )
 from repro.stream.shard import (
+    DocumentPartition,
     StreamJob,
     StreamReport,
     decision_checksum,
+    partition_document,
+    run_partitioned,
     run_sharded,
     run_stream,
 )
@@ -44,4 +47,5 @@ __all__ = [
     "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",
     "StreamJob", "StreamReport", "run_stream", "run_sharded",
     "decision_checksum",
+    "DocumentPartition", "partition_document", "run_partitioned",
 ]

@@ -33,7 +33,11 @@ append-only :class:`~repro.stream.log.AuditTrail`, with per-constraint
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 from collections.abc import Iterable, Sequence
+
+if TYPE_CHECKING:  # imported lazily at runtime (see _build_analyzer)
+    from repro.analysis.independence import IndependenceAnalyzer
 
 from repro.constraints.model import (
     ConstraintSet,
@@ -64,6 +68,17 @@ _UNDO_UNADD = "unadd"    # (tag, nid)
 _UNDO_REVIVE = "revive"  # (tag, ((nid, parent, label), ...) preorder)
 
 
+def _build_analyzer(constraints: ConstraintSet, tree_index
+                    ) -> "IndependenceAnalyzer":
+    # Imported lazily: repro.analysis consumes the stream-op algebra, so a
+    # top-level import here would cycle through the package __init__.
+    from repro.analysis.independence import (
+        IndependenceAnalyzer,
+        IndependenceIndex,
+    )
+    return IndependenceAnalyzer(IndependenceIndex(constraints), tree_index)
+
+
 @dataclass(frozen=True)
 class StreamStats:
     """Counters of a stream's life so far (all final, non-pending)."""
@@ -76,10 +91,12 @@ class StreamStats:
     committed: int          # brackets committed successfully
     rolled_back: int        # brackets undone (failed commit or rollback)
     revision: int           # snapshot revision (applied edits, incl. undos)
+    independent: int = 0    # ops accepted with zero mask work (fast path)
 
     def __str__(self) -> str:
         return (f"{self.ops} ops ({self.accepted} accepted, "
-                f"{self.rejected} rejected), {self.transactions} txns "
+                f"{self.rejected} rejected, {self.independent} independent), "
+                f"{self.transactions} txns "
                 f"({self.committed} committed, {self.rolled_back} rolled "
                 f"back), rev {self.revision}")
 
@@ -212,13 +229,21 @@ class StreamEnforcer:
         engine: evaluation substrate for the per-op re-checks —
             ``"bitset"`` (default, delta-maintained predicate masks) or
             ``"indexed"`` (node-at-a-time; masks rebuilt per revision).
+        analysis: enable the static independence fast path (default).
+            An op no constraint's impact signature intersects is accepted
+            with zero mask work — still journaled for rollback, audited
+            with an ``independent=True`` witness, and bit-identical in
+            verdict to full checking (:mod:`repro.analysis`).  Subclasses
+            that bypass the live snapshot (recompute-from-scratch
+            baselines) must pass ``analysis=False``.
     """
 
     ENGINES = ("bitset", "indexed")
 
     def __init__(self,
                  constraints: ConstraintSet | Iterable[UpdateConstraint],
-                 tree: DataTree, *, engine: str = "bitset"):
+                 tree: DataTree, *, engine: str = "bitset",
+                 analysis: bool = True):
         if not isinstance(constraints, ConstraintSet):
             constraints = constraint_set(*constraints)
         constraints.require_concrete()
@@ -238,6 +263,11 @@ class StreamEnforcer:
         # indexed engine re-checks through the generic node-set diff.
         self._masked = (_MaskedBaseline(self._checker, self._ctx)
                         if engine == "bitset" else None)
+        self._analyzer = (_build_analyzer(constraints, self._ctx.index)
+                          if analysis else None)
+        # Violations standing after the last full check — the fast path's
+        # gate: independence verdicts assume a currently-valid pair.
+        self._standing: tuple[Violation, ...] = ()
         self._audit = AuditTrail()
         self._journal: list[tuple] | None = None  # open txn's undo journal
         self._txn_id: int | None = None
@@ -247,6 +277,7 @@ class StreamEnforcer:
         self._rejected = 0
         self._committed = 0
         self._rolled_back = 0
+        self._independent = 0
 
     # ------------------------------------------------------------------
     # State surface
@@ -278,13 +309,19 @@ class StreamEnforcer:
         return self._journal is not None
 
     @property
+    def analyzer(self) -> "IndependenceAnalyzer | None":
+        """The static independence analyzer (``None`` when disabled)."""
+        return self._analyzer
+
+    @property
     def stats(self) -> StreamStats:
         return StreamStats(
             entries=len(self._audit), ops=self._ops,
             accepted=self._accepted, rejected=self._rejected,
             transactions=self._txn_count, committed=self._committed,
             rolled_back=self._rolled_back,
-            revision=self._ctx.index.revision)
+            revision=self._ctx.index.revision,
+            independent=self._independent)
 
     def baseline_answers(self) -> dict[UpdateConstraint, frozenset[Node]]:
         """``{c: q_c(I₀)}`` as frozen when the stream opened."""
@@ -347,6 +384,13 @@ class StreamEnforcer:
     # ------------------------------------------------------------------
     def _apply_update(self, op: StreamOp) -> Decision:
         self._ops += 1
+        # The zero-work fast path: decided on the *pre-edit* snapshot,
+        # only meaningful when no violations are standing (the analyzer's
+        # verdicts assume a currently-valid cumulative pair — see
+        # repro.analysis).  Outside a bracket the pair is always valid
+        # here; inside one, `_standing` carries the last full check.
+        fast = (self._analyzer is not None and not self._standing
+                and self._analyzer.independent(op))
         try:
             undo = self._perform(op)
         except TreeError as err:
@@ -354,20 +398,26 @@ class StreamEnforcer:
             self._rejected += 1
             return self._record(op, accepted=False, txn=self._txn_id,
                                 note=f"structural error: {err}")
-        violations = self._current_violations()
+        if fast:
+            self._independent += 1
+            violations: tuple[Violation, ...] = ()
+        else:
+            violations = self._current_violations()
+            self._standing = violations
         if self._journal is not None:
             # Inside a bracket: the edit stands until commit decides; the
             # verdict recorded here is the provisional cumulative one.
             self._journal.append(undo)
             return self._record(op, accepted=not violations,
                                 violations=violations, txn=self._txn_id,
-                                pending=True)
+                                pending=True, independent=fast)
         if violations:
             self._undo([undo])
+            self._standing = ()  # the undo restored the last valid state
             self._rejected += 1
             return self._record(op, accepted=False, violations=violations)
         self._accepted += 1
-        return self._record(op, accepted=True)
+        return self._record(op, accepted=True, independent=fast)
 
     def _perform(self, op: StreamOp) -> tuple:
         """Apply one edit through the live snapshot; return its inverse."""
@@ -437,6 +487,7 @@ class StreamEnforcer:
                                     note=f"{applied} op(s) committed")
         self._journal = None
         self._txn_id = None
+        self._standing = ()  # committed-valid or rolled back to valid
         return decision
 
     def _rollback(self, op: Rollback) -> Decision:
@@ -448,6 +499,7 @@ class StreamEnforcer:
         self._rejected += applied
         self._journal = None
         self._txn_id = None
+        self._standing = ()  # rolled back to the pre-bracket valid state
         return self._record(op, accepted=True, txn=txn,
                             note=f"{applied} op(s) rolled back")
 
@@ -459,10 +511,10 @@ class StreamEnforcer:
     def _record(self, op: StreamOp, accepted: bool,
                 violations: tuple[Violation, ...] = (),
                 txn: int | None = None, pending: bool = False,
-                note: str = "") -> Decision:
+                note: str = "", independent: bool = False) -> Decision:
         decision = Decision(seq=len(self._audit), op=op, accepted=accepted,
                             violations=violations, txn=txn, pending=pending,
-                            note=note)
+                            note=note, independent=independent)
         self._audit.append(decision)
         return decision
 

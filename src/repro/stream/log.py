@@ -29,6 +29,10 @@ class Decision:
     failing commit (or an explicit rollback) undoes the whole bracket.
     ``violations`` carries the witnesses that justified a rejection (or,
     for pending entries, the violations currently standing).
+    ``independent=True`` is the static analyzer's witness: the op was
+    accepted with zero mask work because no constraint's impact signature
+    intersects it (:mod:`repro.analysis`) — the verdict itself is
+    bit-identical to what a full check would have produced.
     """
 
     seq: int
@@ -38,6 +42,7 @@ class Decision:
     txn: int | None = None
     pending: bool = False
     note: str = ""
+    independent: bool = False
 
     @property
     def rejected(self) -> bool:
@@ -53,6 +58,8 @@ class Decision:
             tail = " | " + "; ".join(str(v) for v in self.violations)
         elif self.note:
             tail = f" | {self.note}"
+        elif self.independent:
+            tail = " | independent"
         return f"#{self.seq:<4} {self.op}{txn}: {verdict}{tail}"
 
 

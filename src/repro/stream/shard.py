@@ -14,6 +14,21 @@ Trees travel in their nested-``dict`` interchange form
 dataclasses, so a job pickles cheaply and rebuilds identically in the
 worker.  ``workers <= 1`` (or a single job) runs inline — the sequential
 twin used by tests and small batches.
+
+A second, finer granularity lives below the document level:
+:func:`partition_document` statically plans an *intra-document* sharding
+of one log over one document.  Each child of the root anchors a shard
+(its preorder interval is a :class:`ShardRegion`); a shadow replay tags
+every operation with the shard whose subtree wholly contains its
+footprint and with the independence verdict of the static analyzer
+(:mod:`repro.analysis`), and maximal runs of shard-local independent
+operations become reorderable *batches* — within a batch, operations on
+distinct shards commute, so :func:`run_partitioned` may apply them in
+any shard order and still produce decisions and a final document
+bit-identical to the sequential stream (intra-shard order is always
+preserved; everything else — markers, cross-shard moves, dependent or
+rejected ops — is a *boundary* that flushes the current batch and runs
+in log position).
 """
 
 from __future__ import annotations
@@ -21,13 +36,20 @@ from __future__ import annotations
 import multiprocessing
 import os
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 from collections.abc import Iterable, Sequence
 
 from repro.constraints.model import ConstraintSet, UpdateConstraint
 from repro.stream.engine import StreamEnforcer
-from repro.stream.ops import StreamOp
+from repro.stream.log import Decision
+from repro.stream.ops import (
+    UPDATE_OPS,
+    AddLeaf,
+    Move,
+    RemoveSubtree,
+    StreamOp,
+)
 from repro.trees.serialize import from_dict, to_dict, to_literal
 from repro.trees.tree import DataTree
 
@@ -128,5 +150,259 @@ def run_sharded(jobs: Sequence[StreamJob],
         return pool.map(run_stream, jobs, chunksize=chunksize)
 
 
+# ----------------------------------------------------------------------
+# Intra-document sharding (static partition of one log over one tree)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardRegion:
+    """One shard: a root child and its subtree, as seen by the planner.
+
+    ``interval`` is the anchor's preorder ``(pre, post)`` interval and
+    ``mask`` its subtree slot mask at the shadow revision where the shard
+    first hosted an operation — descriptive metadata for reports and
+    ordering heuristics; the correctness of a partition rests on the
+    per-op shard tags, not on these snapshots.
+    """
+
+    anchor: int
+    interval: tuple[int, int]
+    mask: int
+
+    def __str__(self) -> str:
+        pre, post = self.interval
+        return f"shard@#{self.anchor} [{pre}, {post}]"
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """The planner's verdict on one log entry.
+
+    ``shard`` names the root child whose subtree wholly contains the
+    operation's footprint — ``None`` marks a *boundary* (marker,
+    cross-shard or root-touching edit, dependent or rejected op, or an
+    unpinned :class:`~repro.stream.ops.AddLeaf`, whose fresh-id draw is
+    order-sensitive).  ``independent`` echoes the static analyzer's
+    witness from the shadow replay.
+    """
+
+    seq: int
+    op: StreamOp
+    shard: int | None
+    independent: bool
+
+
+@dataclass(frozen=True)
+class DocumentPartition:
+    """A static schedule of one update log over one document.
+
+    ``batches`` are maximal runs of consecutive shard-local independent
+    operations (log seqs, in order); ``boundaries`` are the remaining
+    seqs, each its own segment.  :meth:`schedule` interleaves both back
+    into log order.
+    """
+
+    regions: tuple[ShardRegion, ...]
+    plans: tuple[OpPlan, ...]
+    batches: tuple[tuple[int, ...], ...]
+    boundaries: tuple[int, ...]
+
+    @property
+    def ops(self) -> int:
+        return len(self.plans)
+
+    @property
+    def shard_local(self) -> int:
+        """Operations the planner proved reorderable across shards."""
+        return sum(1 for p in self.plans if p.shard is not None)
+
+    def schedule(self) -> tuple[tuple[int, ...], ...]:
+        """Batches and boundaries merged back into log order."""
+        segments = list(self.batches)
+        segments.extend((seq,) for seq in self.boundaries)
+        segments.sort(key=lambda seg: seg[0])
+        return tuple(segments)
+
+    def __str__(self) -> str:
+        return (f"DocumentPartition({self.ops} ops, "
+                f"{self.shard_local} shard-local across "
+                f"{len(self.regions)} shards, "
+                f"{len(self.batches)} batches, "
+                f"{len(self.boundaries)} boundaries)")
+
+
+def _root_shard(tree: DataTree, nid: int) -> int | None:
+    """The root child whose subtree contains ``nid`` (None for the root)."""
+    root = tree.root
+    while True:
+        parent = tree.parent(nid)
+        if parent is None:
+            return None
+        if parent == root:
+            return nid
+        nid = parent
+
+
+def _shard_of(tree: DataTree, op: StreamOp) -> int | None:
+    """Pre-edit shard of ``op``'s whole footprint, or None (boundary).
+
+    Conservative by construction: any edit that touches the root's child
+    list (adding, moving or removing a root child) would create or
+    destroy a shard mid-batch, so it is a boundary even when the
+    analyzer finds it independent.
+    """
+    root = tree.root
+    if isinstance(op, AddLeaf):
+        if op.nid is None:  # fresh-id draw depends on application order
+            return None
+        if op.parent == root or op.parent not in tree:
+            return None
+        return _root_shard(tree, op.parent)
+    if isinstance(op, Move):
+        if op.nid not in tree or op.new_parent not in tree:
+            return None
+        if op.nid == root or op.new_parent == root:
+            return None
+        if tree.parent(op.nid) == root:  # relocating a whole shard
+            return None
+        source = _root_shard(tree, op.nid)
+        target = _root_shard(tree, op.new_parent)
+        return source if source == target else None
+    if isinstance(op, RemoveSubtree):
+        if op.nid not in tree or op.nid == root:
+            return None
+        if tree.parent(op.nid) == root:  # deleting a whole shard
+            return None
+        return _root_shard(tree, op.nid)
+    return None  # markers
+
+
+def partition_document(
+        constraints: ConstraintSet | Iterable[UpdateConstraint],
+        tree: DataTree, ops: Sequence[StreamOp], *,
+        engine: str = "bitset") -> DocumentPartition:
+    """Statically plan an intra-document sharding of ``ops`` over ``tree``.
+
+    The planner replays the log on a *shadow copy* through a real
+    :class:`StreamEnforcer` (analysis on), so every per-op verdict —
+    shard membership, independence, acceptance — is ground truth for the
+    exact state the operation will see.  An operation joins a batch only
+    when it is analyzer-independent, accepted, and its whole footprint
+    (pre-edit) lives inside one root child's subtree; batches flush at
+    every boundary and whenever a pinned leaf id repeats (two adds
+    pinning the same id must keep their order — the first to apply wins).
+
+    ``tree`` is not modified.
+    """
+    ops = tuple(ops)
+    shadow = tree.copy()
+    enforcer = StreamEnforcer(constraints, shadow, engine=engine)
+    index = enforcer.context.index
+    plans: list[OpPlan] = []
+    regions: dict[int, ShardRegion] = {}
+    for seq, op in enumerate(ops):
+        shard = (_shard_of(shadow, op)
+                 if isinstance(op, UPDATE_OPS) else None)
+        decision = enforcer.apply(op)
+        if shard is not None and not (decision.independent
+                                      and decision.accepted):
+            shard = None
+        if shard is not None and shard not in regions and shard in index:
+            regions[shard] = ShardRegion(
+                anchor=shard, interval=index.interval(shard),
+                mask=index.subtree_mask(shard, include_self=True))
+        plans.append(OpPlan(seq=seq, op=op, shard=shard,
+                            independent=decision.independent))
+    batches: list[tuple[int, ...]] = []
+    boundaries: list[int] = []
+    current: list[int] = []
+    pinned: set[int] = set()
+
+    def flush() -> None:
+        if current:
+            batches.append(tuple(current))
+            current.clear()
+            pinned.clear()
+
+    for plan in plans:
+        if plan.shard is None:
+            flush()
+            boundaries.append(plan.seq)
+            continue
+        op = plan.op
+        if isinstance(op, AddLeaf) and op.nid is not None:
+            if op.nid in pinned:
+                flush()
+            pinned.add(op.nid)
+        current.append(plan.seq)
+    flush()
+    return DocumentPartition(
+        regions=tuple(sorted(regions.values(),
+                             key=lambda r: r.interval)),
+        plans=tuple(plans), batches=tuple(batches),
+        boundaries=tuple(boundaries))
+
+
+SHARD_ORDERS = ("log", "interval", "reversed")
+
+
+def run_partitioned(
+        constraints: ConstraintSet | Iterable[UpdateConstraint],
+        tree: DataTree, ops: Sequence[StreamOp], *,
+        partition: DocumentPartition | None = None,
+        engine: str = "bitset",
+        shard_order: str = "log") -> list[Decision]:
+    """Enforce ``ops`` over ``tree`` batch-wise, shards possibly reordered.
+
+    Within each batch, operations are grouped by shard (intra-shard order
+    preserved) and the groups applied in ``shard_order``: ``"log"``
+    (first-appearance order — the identity schedule), ``"interval"``
+    (ascending preorder interval of the shard region) or ``"reversed"``.
+    Because batch operations are independent and confined to disjoint
+    subtrees, every order yields decisions and a final document
+    bit-identical to the plain sequential stream; decisions come back
+    renumbered to the original log seqs, in log order.
+
+    ``tree`` is adopted and mutated in place, exactly like handing it to
+    a :class:`StreamEnforcer` directly.
+    """
+    ops = tuple(ops)
+    if shard_order not in SHARD_ORDERS:
+        raise ValueError(f"unknown shard order {shard_order!r}; "
+                         f"expected one of {SHARD_ORDERS}")
+    if partition is None:
+        partition = partition_document(constraints, tree, ops,
+                                       engine=engine)
+    if len(partition.plans) != len(ops):
+        raise ValueError(
+            f"partition plans {len(partition.plans)} ops, got {len(ops)}")
+    enforcer = StreamEnforcer(constraints, tree, engine=engine)
+    plans = partition.plans
+    interval_of = {r.anchor: r.interval for r in partition.regions}
+    taken: list[tuple[int, Decision]] = []
+    for segment in partition.schedule():
+        if len(segment) == 1:
+            seq = segment[0]
+            taken.append((seq, enforcer.apply(plans[seq].op)))
+            continue
+        groups: dict[int, list[int]] = {}
+        for seq in segment:
+            shard = plans[seq].shard
+            assert shard is not None  # batches hold only shard-local ops
+            groups.setdefault(shard, []).append(seq)
+        anchors = list(groups)
+        if shard_order == "reversed":
+            anchors.reverse()
+        elif shard_order == "interval":
+            anchors.sort(key=lambda a: interval_of.get(a, (a, a)))
+        for anchor in anchors:
+            for seq in groups[anchor]:
+                taken.append((seq, enforcer.apply(plans[seq].op)))
+    taken.sort(key=lambda pair: pair[0])
+    return [replace(decision, seq=seq) for seq, decision in taken]
+
+
 __all__ = ["StreamJob", "StreamReport", "run_stream", "run_sharded",
-           "decision_checksum"]
+           "decision_checksum",
+           "ShardRegion", "OpPlan", "DocumentPartition",
+           "partition_document", "run_partitioned", "SHARD_ORDERS"]

@@ -708,7 +708,7 @@ class TreeIndex:
         slot_of = self._slot
         kids_masks = self._kids_masks
         fresh_by_label: dict[str, list[int]] = {}
-        for n, s in zip(order, new_slots):
+        for n, s in zip(order, new_slots, strict=True):
             slot_of[n] = s
             node_at[s] = n
             kids_masks.pop(n, None)
@@ -791,7 +791,7 @@ class TreeIndex:
         depth = self._depth
         parent_d = self._parent
         fresh_by_label: dict[str, list[int]] = {}
-        for n, s in zip(detached, new_slots):
+        for n, s in zip(detached, new_slots, strict=True):
             slot_of[n] = s
             node_at[s] = n
             kids_masks.pop(n, None)

@@ -205,9 +205,9 @@ class DataTree:
             raise TreeError(f"parent {parent} not in tree")
         if nid is None:
             nid = fresh_id()
-        elif nid in self._labels:
-            raise TreeError(f"node id {nid} already present")
         else:
+            if nid in self._labels:
+                raise TreeError(f"node id {nid} already present")
             GLOBAL_IDS.reserve_above(nid)
         self._labels[nid] = label
         self._parent[nid] = parent

@@ -2,6 +2,7 @@
 
 from repro.workloads.generators import (
     FragmentSpec,
+    mostly_irrelevant_stream,
     random_constraints,
     random_pattern,
     random_pred,
@@ -14,6 +15,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "FragmentSpec",
+    "mostly_irrelevant_stream",
     "random_pattern",
     "random_pred",
     "random_constraints",

@@ -210,6 +210,79 @@ def random_update_stream(rng: random.Random, tree: DataTree,
     return log
 
 
+def mostly_irrelevant_stream(rng: random.Random, tree: DataTree,
+                             labels: list[str], *,
+                             constraints: ConstraintSet,
+                             ops: int = 200,
+                             irrelevant_rate: float = 0.95,
+                             noise_labels: list[str] | None = None) -> list:
+    """A seeded log where most traffic cannot affect any constraint.
+
+    The workload the static analyzer's zero-work fast path is built for
+    (:mod:`repro.analysis`): a fraction ``irrelevant_rate`` of the ops
+    edit *noise* subtrees — leaves carrying ``noise_labels``, disjoint
+    from every constraint's label alphabet, added, shuffled and removed
+    among themselves — while the remainder aim at the constraint ranges'
+    baseline answers exactly like :func:`random_update_stream`'s
+    adversarial draws.  Generation replays against a shadow enforcer, so
+    every op references a node that exists at its point in the log and
+    leaf inserts pin fresh ids (deterministic replay).
+
+    The target rate is only achievable when the constraint patterns use
+    concrete labels (a wildcard first step makes every edit relevant);
+    callers can confirm the achieved rate from
+    :attr:`~repro.stream.engine.StreamStats.independent` after replay.
+    """
+    from repro.stream.engine import StreamEnforcer
+    from repro.stream.ops import AddLeaf, Move, RemoveSubtree
+    from repro.trees.node import fresh_id
+
+    if noise_labels is None:
+        noise_labels = [f"noise{i}" for i in range(4)]
+    shadow = StreamEnforcer(constraints, tree.copy())
+    targets = sorted({node.nid for answers in shadow.baseline_answers().values()
+                      for node in answers})
+    log: list = []
+    noise_nodes: list[int] = []
+
+    def emit(op) -> None:
+        log.append(op)
+        shadow.apply(op)
+
+    for _ in range(ops):
+        current = shadow.tree
+        live_noise = [n for n in noise_nodes if n in current]
+        if rng.random() < irrelevant_rate:
+            roll = rng.random()
+            if roll < 0.6 or not live_noise:
+                # Fresh noise leaf; hosts include earlier noise nodes, so
+                # noise grows little subtrees of its own.
+                host = rng.choice(list(current.node_ids()))
+                nid = fresh_id()
+                emit(AddLeaf(host, rng.choice(noise_labels), nid=nid))
+                noise_nodes.append(nid)
+            elif roll < 0.8:
+                victim = rng.choice(live_noise)
+                inside = set(current.descendants(victim, include_self=True))
+                hosts = [n for n in current.node_ids() if n not in inside]
+                emit(Move(victim, rng.choice(hosts)))
+            else:
+                victim = rng.choice(live_noise)
+                emit(RemoveSubtree(victim))
+        else:
+            live_targets = [n for n in targets if n in current]
+            if live_targets and rng.random() < 0.6:
+                victim = rng.choice(live_targets)
+                if victim != current.root and rng.random() < 0.6:
+                    emit(RemoveSubtree(victim))
+                else:
+                    emit(AddLeaf(victim, rng.choice(labels), nid=fresh_id()))
+            else:
+                emit(AddLeaf(rng.choice(list(current.node_ids())),
+                             rng.choice(labels), nid=fresh_id()))
+    return log
+
+
 def random_requests(rng: random.Random, labels: list[str], *,
                     constraint_sets: int = 2, documents: int = 2,
                     queries: int = 10, tree_size: int = 20,

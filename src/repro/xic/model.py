@@ -111,7 +111,7 @@ def _bindings(universe: Universe, variables: Sequence[str],
     options = universe.candidates()
     for values in product(options, repeat=len(variables)):
         binding = dict(fixed)
-        binding.update(zip(variables, values))
+        binding.update(zip(variables, values, strict=True))
         yield binding
 
 

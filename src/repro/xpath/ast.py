@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from functools import cached_property
+from collections.abc import Iterable, Iterator
 
 
 class Axis(Enum):
@@ -42,6 +43,9 @@ class Axis(Enum):
 
 
 WILDCARD: None = None  # readable alias for the wildcard label
+
+# Recursive structural key of a predicate tree (see Pred.sort_key).
+SortKey = tuple[str, str, tuple["SortKey", ...]]
 
 
 @dataclass(frozen=True)
@@ -61,13 +65,13 @@ class Pred:
     def __hash__(self) -> int:
         # Structural hashing is O(subtree) — memo tables key on predicate
         # nodes constantly, so compute it once per object.
-        h = self.__dict__.get("_hash")
+        h: int | None = self.__dict__.get("_hash")
         if h is None:
             h = hash((self.axis, self.label, self.children))
             object.__setattr__(self, "_hash", h)
         return h
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> "SortKey":
         """Deterministic structural key used to canonicalise sibling order."""
         return (
             self.axis.value,
@@ -95,7 +99,7 @@ class Step:
     preds: tuple[Pred, ...] = field(default=())
 
     def __hash__(self) -> int:
-        h = self.__dict__.get("_hash")
+        h: int | None = self.__dict__.get("_hash")
         if h is None:
             h = hash((self.axis, self.label, self.preds))
             object.__setattr__(self, "_hash", h)
@@ -122,7 +126,7 @@ class Pattern:
             raise ValueError("a pattern needs at least one step")
 
     def __hash__(self) -> int:
-        h = self.__dict__.get("_hash")
+        h: int | None = self.__dict__.get("_hash")
         if h is None:
             h = hash(self.steps)
             object.__setattr__(self, "_hash", h)
@@ -196,7 +200,7 @@ def normalize(pattern: Pattern) -> Pattern:
     return Pattern(steps)
 
 
-def make_path(*specs: tuple[Axis, str | None] | tuple[Axis, str | None, tuple[Pred, ...]]
+def make_path(*specs: tuple[Axis, str | None] | tuple[Axis, str | None, Iterable[Pred]]
               ) -> Pattern:
     """Programmatic construction helper.
 
@@ -204,9 +208,42 @@ def make_path(*specs: tuple[Axis, str | None] | tuple[Axis, str | None, tuple[Pr
     >>> str(p)
     '/a//b'
     """
-    steps = []
+    steps: list[Step] = []
     for spec in specs:
-        axis, label = spec[0], spec[1]
-        preds = spec[2] if len(spec) > 2 else ()
+        if len(spec) == 2:
+            axis, label = spec
+            preds: Iterable[Pred] = ()
+        else:
+            axis, label, preds = spec
         steps.append(Step(axis, label, normalize_preds(tuple(preds))))
     return Pattern(tuple(steps))
+
+
+def iter_labels(pattern: Pattern) -> Iterator[str | None]:
+    """Label of every pattern node — spine and predicate trees alike."""
+    stack: list[Pred] = []
+    for step in pattern.steps:
+        yield step.label
+        stack.extend(step.preds)
+    while stack:
+        pred = stack.pop()
+        yield pred.label
+        stack.extend(pred.children)
+
+
+def label_alphabet(pattern: Pattern) -> frozenset[str] | None:
+    """The pattern's label alphabet, or ``None`` for ⊤ (wildcard present).
+
+    Every node of a match embeds some pattern node, so it must carry a
+    label from this alphabet — unless the pattern contains a wildcard,
+    which matches any label and widens the alphabet to ⊤.  This is the
+    label dimension of the impact signatures in :mod:`repro.analysis`: an
+    edit that introduces, relocates or deletes only nodes labelled outside
+    the alphabet can neither create nor destroy matches.
+    """
+    labels: set[str] = set()
+    for label in iter_labels(pattern):
+        if label is None:
+            return None
+        labels.add(label)
+    return frozenset(labels)

@@ -92,6 +92,20 @@ def byte_view(mask: int) -> bytes:
     return mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
 
 
+def region_mask(index: TreeIndex, anchors) -> int:
+    """Occupied-slot mask of the subtrees rooted at ``anchors`` (selves
+    included) — the bitset form of a preorder-interval region.
+
+    The independence analyzer and the intra-document shard planner both
+    describe tree regions as anchor frontiers; this folds a frontier into
+    one mask comparable against answer and baseline masks.
+    """
+    mask = 0
+    for nid in index.minimal_cover(anchors):
+        mask |= index.subtree_mask(nid, include_self=True)
+    return mask & index.all_mask()
+
+
 class BitsetEvaluator(SnapshotEvaluator):
     """A set-at-a-time evaluation session over one tree snapshot.
 

@@ -41,6 +41,22 @@ def canonical_pattern(pattern: Pattern) -> Pattern:
     return normalize(pattern)
 
 
+@lru_cache(maxsize=65536)
+def spine_anchor(pattern: Pattern) -> tuple[Axis, str | None]:
+    """``(axis, label)`` of the canonical pattern's first spine step.
+
+    Every match of a pattern is contained in the subtree of the node its
+    first step maps to — a child (``/``) or descendant (``//``) of the
+    root passing the step's label test.  The nodes passing that test are
+    therefore the *anchor frontier* of the pattern: the preorder intervals
+    below them are the only tree regions where the pattern's answer can
+    change (:mod:`repro.analysis` derives its region signatures from this,
+    against the live :class:`~repro.trees.index.TreeIndex`).
+    """
+    first = canonical_pattern(pattern).steps[0]
+    return (first.axis, first.label)
+
+
 class CanonicalModel:
     """A ground instantiation of a pattern.
 

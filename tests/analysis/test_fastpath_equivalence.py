@@ -1,0 +1,106 @@
+"""Hypothesis equivalence: the fast path never changes a decision.
+
+The acceptance contract of the static analyzer: for any seeded update
+log — rejections, transaction brackets, failing commits and rollbacks
+included — the decision stream of an analyzed :class:`StreamEnforcer` is
+bit-identical to the same engine with the analyzer off, up to the
+``independent`` witness itself; checksums and final documents agree too.
+The fast path may only relabel work as zero-work, never alter a verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.stream import StreamEnforcer, decision_checksum
+from repro.trees.serialize import to_literal
+from repro.workloads import (
+    FragmentSpec,
+    mostly_irrelevant_stream,
+    random_constraints,
+    random_tree,
+    random_update_stream,
+)
+
+LABELS = ["a", "b", "c"]
+SPECS = [
+    FragmentSpec(False, False, False),
+    FragmentSpec(True, False, False),
+    FragmentSpec(True, True, False),
+    FragmentSpec(True, True, True),
+]
+
+RELAXED = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def strip(decisions):
+    """Decisions with the fast-path witness normalised away."""
+    return [replace(d, independent=False) for d in decisions]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       idx=st.integers(min_value=0, max_value=len(SPECS) - 1))
+@RELAXED
+def test_fastpath_decisions_bit_identical_to_full_checking(seed, idx):
+    rng = random.Random(seed)
+    base = random_tree(rng, LABELS, size=rng.randint(2, 18))
+    constraints = random_constraints(rng, LABELS, SPECS[idx],
+                                     count=rng.randint(1, 4),
+                                     types="mixed", spine=2)
+    ops = random_update_stream(rng, base, LABELS, constraints=constraints,
+                               ops=rng.randint(5, 20),
+                               violation_rate=rng.choice([0.0, 0.3, 0.6]),
+                               txn_prob=0.25)
+    fast_tree, full_tree = base.copy(), base.copy()
+    fast = StreamEnforcer(constraints, fast_tree)
+    full = StreamEnforcer(constraints, full_tree, analysis=False)
+    fast_out = fast.submit(ops)
+    full_out = full.submit(ops)
+
+    # Same verdicts, witnesses, txn brackets and notes, entry for entry.
+    assert strip(fast_out) == strip(full_out)
+    # Same audit trails and checksums (the checksum ignores the witness).
+    assert strip(fast.audit.entries) == strip(full.audit.entries)
+    assert decision_checksum(fast_out) == decision_checksum(full_out)
+    # Same final document, node ids included.
+    assert to_literal(fast_tree, with_ids=True) == \
+        to_literal(full_tree, with_ids=True)
+    # Counters agree; only the analyzed run may claim zero-work ops.
+    assert (fast.stats.accepted, fast.stats.rejected) == \
+        (full.stats.accepted, full.stats.rejected)
+    assert full.stats.independent == 0
+    assert fast.stats.independent == sum(1 for d in fast_out if d.independent)
+    # The witness is only ever raised on accepted, violation-free entries.
+    assert all(d.accepted and not d.violations
+               for d in fast_out if d.independent)
+
+
+def test_mostly_irrelevant_traffic_actually_takes_the_fast_path():
+    rng = random.Random(20070611)
+    base = random_tree(rng, LABELS, size=60)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    constraints = random_constraints(rng, LABELS, spec, count=4,
+                                     types="mixed", spine=2)
+    log = mostly_irrelevant_stream(rng, base, LABELS,
+                                   constraints=constraints,
+                                   ops=80, irrelevant_rate=0.95)
+    fast_tree = base.copy()
+    fast = StreamEnforcer(constraints, fast_tree)
+    decisions = fast.submit(log)
+
+    independent = [d for d in decisions if d.independent]
+    assert len(independent) >= len(log) // 2  # the path is exercised
+    assert fast.stats.independent == len(independent)
+
+    full_tree = base.copy()
+    full_out = StreamEnforcer(constraints, full_tree,
+                              analysis=False).submit(log)
+    assert strip(decisions) == strip(full_out)
+    assert decision_checksum(decisions) == decision_checksum(full_out)
+    assert to_literal(fast_tree, with_ids=True) == \
+        to_literal(full_tree, with_ids=True)

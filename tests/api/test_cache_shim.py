@@ -1,0 +1,49 @@
+"""The ``repro.api.cache`` deprecation shim: warns once, re-exports alike."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import repro.caching as caching
+
+SHIM = "repro.api.cache"
+
+
+def fresh_import():
+    """Import the shim as if for the first time, recording every warning."""
+    sys.modules.pop(SHIM, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module(SHIM)
+    return module, caught
+
+
+def test_import_warns_deprecation_exactly_once():
+    _, caught = fresh_import()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "repro.api.cache is deprecated" in message
+    assert "repro.caching" in message
+
+
+def test_cached_reimport_does_not_warn_again():
+    module, _ = fresh_import()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        again = importlib.import_module(SHIM)
+    assert again is module
+    assert [w for w in caught
+            if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_shim_reexports_the_canonical_objects():
+    module, _ = fresh_import()
+    assert module.LRUMemo is caching.LRUMemo
+    assert module.CacheStats is caching.CacheStats
+    assert module.DEFAULT_MEMO_SIZE == caching.DEFAULT_MEMO_SIZE
+    assert sorted(module.__all__) == \
+        ["CacheStats", "DEFAULT_MEMO_SIZE", "LRUMemo"]

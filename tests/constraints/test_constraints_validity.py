@@ -172,6 +172,6 @@ class TestRelative:
     def test_example_62_stepwise_validity_gap(self):
         """Example 6.2: consecutive pairs valid, overall pair invalid."""
         constraint, sequence = example_62()
-        for one, two in zip(sequence, sequence[1:]):
+        for one, two in zip(sequence, sequence[1:], strict=False):
             assert satisfies_relative(one, two, constraint)
         assert not satisfies_relative(sequence[0], sequence[-1], constraint)

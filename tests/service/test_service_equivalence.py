@@ -22,6 +22,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import AsyncService, ConstraintService, Reasoner
+from repro.analysis import IndependenceIndex
 from repro.constraints import ConstraintSet
 from repro.service import (
     Ack,
@@ -75,8 +76,10 @@ def direct_replay(requests):
         if isinstance(request, RegisterConstraints):
             sets[request.name] = ConstraintSet(request.constraints)
             sessions[request.name] = Reasoner(sets[request.name])
+            stats = tuple(sorted(
+                IndependenceIndex(sets[request.name]).stats().items()))
             out.append(Ack("constraints", request.name,
-                           len(sets[request.name])))
+                           len(sets[request.name]), stats=stats))
         elif isinstance(request, RegisterDocument):
             docs[request.name] = request.tree
             out.append(Ack("document", request.name, request.tree.size))

@@ -1,0 +1,90 @@
+"""The per-worker compiled-session cache behind :class:`ProcessExecutor`.
+
+The cache is pinned by the pool initializer, so these tests drive the
+worker-side functions directly (they run in-process here — the functions
+are ordinary module-level callables) and then check that a pooled replay
+still matches the inline reference bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ConstraintService
+from repro.constraints import no_insert, no_remove
+from repro.service import ProcessExecutor, response_checksum
+from repro.service.executors import (
+    _implication_chunk,
+    _pin_session_cache,
+    _worker_session,
+)
+from repro.workloads import random_requests
+
+import repro.service.executors as executors
+
+LABELS = ["a", "b", "c"]
+
+
+def teardown_function(_fn):
+    # Tests below pin the module-level cache; restore the bypass default.
+    executors._SESSION_CACHE = None
+
+
+def test_unpinned_worker_compiles_per_call():
+    executors._SESSION_CACHE = None
+    wire = (no_remove("/a/b"),)
+    assert _worker_session(wire) is not _worker_session(wire)
+
+
+def test_pinned_worker_reuses_the_compiled_session():
+    _pin_session_cache()
+    wire = (no_remove("/a/b"), no_insert("/b/c"))
+    session = _worker_session(wire)
+    assert _worker_session(wire) is session
+    # A fresh pickle-equivalent tuple hits the same entry (canonical keys).
+    assert _worker_session((no_remove("/a/b"), no_insert("/b/c"))) is session
+
+
+def test_cache_evicts_fifo_at_its_limit():
+    _pin_session_cache(limit=2)
+    first = _worker_session((no_remove("/a"),))
+    second = _worker_session((no_remove("/b"),))
+    assert _worker_session((no_remove("/a"),)) is first
+    _worker_session((no_remove("/c"),))  # evicts the oldest entry
+    assert len(executors._SESSION_CACHE) == 2
+    assert _worker_session((no_remove("/b"),)) is second  # survivor kept
+
+
+def test_chunks_answer_identically_with_and_without_the_cache():
+    wire = (no_remove("/a/b"), no_insert("/b/c"))
+    conclusions = (no_remove("/a/b"), no_remove("/c"), no_insert("/b/c"))
+    executors._SESSION_CACHE = None
+    cold = _implication_chunk((wire, conclusions))
+    _pin_session_cache()
+    warm_miss = _implication_chunk((wire, conclusions))
+    warm_hit = _implication_chunk((wire, conclusions))
+    as_dicts = [[v.to_dict() for v in out]
+                for out in (cold, warm_miss, warm_hit)]
+    assert as_dicts[0] == as_dicts[1] == as_dicts[2]
+
+
+def test_pooled_replay_still_matches_inline_reference():
+    import json
+
+    from repro.service import request_from_dict
+
+    rng = random.Random(20070611)
+    requests = random_requests(rng, LABELS, constraint_sets=2, documents=1,
+                               queries=6, tree_size=10, stream_ops=5)
+
+    def reload():
+        # Services adopt registered documents — each replay needs its own.
+        return [request_from_dict(json.loads(json.dumps(r.to_dict())))
+                for r in requests]
+
+    inline_svc = ConstraintService()
+    inline = [response_checksum(inline_svc.handle(r)) for r in reload()]
+    with ProcessExecutor(workers=2, session_cache=2) as executor:
+        svc = ConstraintService(executor=executor)
+        pooled = [response_checksum(svc.handle(r)) for r in reload()]
+    assert pooled == inline

@@ -1,0 +1,153 @@
+"""The intra-document planner: every shard order replays bit-identically.
+
+:func:`partition_document` may only promote an op into a reorderable
+batch when the static analyzer proved it independent, it was accepted,
+and its whole pre-edit footprint lives inside one root child's subtree —
+so replaying the plan through :func:`run_partitioned` in *any* shard
+order must reproduce the sequential decision stream and final document
+exactly, node ids and ``independent`` witnesses included.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import no_remove
+from repro.stream import (
+    AddLeaf,
+    Begin,
+    Commit,
+    StreamEnforcer,
+    partition_document,
+    run_partitioned,
+)
+from repro.stream.ops import MARKERS
+from repro.stream.shard import SHARD_ORDERS
+from repro.trees import DataTree
+from repro.trees.node import fresh_id
+from repro.trees.serialize import to_literal
+from repro.workloads import (
+    FragmentSpec,
+    mostly_irrelevant_stream,
+    random_constraints,
+    random_tree,
+    random_update_stream,
+)
+
+LABELS = ["a", "b", "c"]
+
+
+def make_workload(seed, *, size=40, ops=40, irrelevant=True):
+    rng = random.Random(seed)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    base = random_tree(rng, LABELS, size=size)
+    constraints = random_constraints(rng, LABELS, spec, count=3,
+                                     types="mixed", spine=2)
+    if irrelevant:
+        log = mostly_irrelevant_stream(rng, base, LABELS,
+                                       constraints=constraints,
+                                       ops=ops, irrelevant_rate=0.9)
+    else:
+        log = random_update_stream(rng, base, LABELS,
+                                   constraints=constraints, ops=ops,
+                                   violation_rate=0.3, txn_prob=0.2)
+    return base, constraints, log
+
+
+def test_partition_covers_the_whole_log_exactly_once():
+    base, constraints, log = make_workload(20070611)
+    part = partition_document(constraints, base, log)
+    batched = [seq for batch in part.batches for seq in batch]
+    assert sorted(batched + list(part.boundaries)) == list(range(len(log)))
+    assert part.ops == len(log)
+    assert part.shard_local == len(batched)
+    for batch in part.batches:
+        assert list(batch) == sorted(batch)  # intra-batch log order kept
+        for seq in batch:
+            assert part.plans[seq].shard is not None
+            assert part.plans[seq].independent
+    for seq in part.boundaries:
+        assert part.plans[seq].shard is None
+    schedule = part.schedule()
+    assert sorted(seq for seg in schedule for seq in seg) == \
+        list(range(len(log)))
+    firsts = [seg[0] for seg in schedule]
+    assert firsts == sorted(firsts)  # segments interleave back in log order
+
+
+def test_planning_does_not_touch_the_document():
+    base, constraints, log = make_workload(7)
+    before = to_literal(base, with_ids=True)
+    partition_document(constraints, base, log)
+    assert to_literal(base, with_ids=True) == before
+
+
+def test_every_shard_order_reproduces_the_sequential_stream():
+    base, constraints, log = make_workload(20070611)
+    seq_tree = base.copy()
+    sequential = StreamEnforcer(constraints, seq_tree).submit(log)
+    doc = to_literal(seq_tree, with_ids=True)
+    part = partition_document(constraints, base, log)
+    assert part.shard_local > 0  # the reordering path is actually exercised
+    for order in SHARD_ORDERS:
+        tree = base.copy()
+        decisions = run_partitioned(constraints, tree, log,
+                                    partition=part, shard_order=order)
+        assert decisions == sequential
+        assert to_literal(tree, with_ids=True) == doc
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_partitioned_replay_matches_sequential_on_random_logs(seed):
+    base, constraints, log = make_workload(seed, size=14, ops=12,
+                                           irrelevant=bool(seed % 2))
+    seq_tree = base.copy()
+    sequential = StreamEnforcer(constraints, seq_tree).submit(log)
+    doc = to_literal(seq_tree, with_ids=True)
+    for order in SHARD_ORDERS:
+        tree = base.copy()
+        decisions = run_partitioned(constraints, tree, log,
+                                    shard_order=order)
+        assert decisions == sequential
+        assert to_literal(tree, with_ids=True) == doc
+
+
+def test_markers_and_dependent_ops_are_boundaries():
+    base, constraints, log = make_workload(3, irrelevant=False)
+    part = partition_document(constraints, base, log)
+    for plan in part.plans:
+        if isinstance(plan.op, MARKERS):
+            assert plan.shard is None
+        if not plan.independent:
+            assert plan.shard is None
+
+
+def test_txn_brackets_split_batches():
+    tree = DataTree()
+    h1 = tree.add_child(tree.root, "h")
+    h2 = tree.add_child(tree.root, "h")
+    constraints = [no_remove("/q")]
+    log = [AddLeaf(parent=h1, label="n", nid=fresh_id()),
+           Begin(),
+           AddLeaf(parent=h2, label="n", nid=fresh_id()),
+           Commit(),
+           AddLeaf(parent=h1, label="n", nid=fresh_id())]
+    part = partition_document(constraints, tree, log)
+    assert part.boundaries == (1, 3)
+    assert part.batches == ((0,), (2,), (4,))
+    assert part.schedule() == ((0,), (1,), (2,), (3,), (4,))
+
+
+def test_run_partitioned_validates_its_inputs():
+    base, constraints, log = make_workload(11)
+    with pytest.raises(ValueError):
+        run_partitioned(constraints, base.copy(), log, shard_order="spiral")
+    part = partition_document(constraints, base, log)
+    with pytest.raises(ValueError):
+        run_partitioned(constraints, base.copy(), log[:-1], partition=part)

@@ -125,7 +125,7 @@ class TestDeltaLogHorizon:
     def test_deltas_since_past_the_horizon_returns_none(self):
         index = TreeIndex(hospital())
         start = index.revision
-        for i in range(DELTA_LOG_CAP + 5):
+        for _ in range(DELTA_LOG_CAP + 5):
             index.apply_add_leaf(9000, "visit")
         assert index.deltas_since(start) is None
         assert index.deltas_since(index.revision) == []

@@ -175,7 +175,7 @@ class TestExamples6x:
         from repro.constraints import example_62
 
         constraint, sequence = example_62()
-        for one, two in zip(sequence, sequence[1:]):
+        for one, two in zip(sequence, sequence[1:], strict=False):
             assert satisfies_relative(one, two, constraint)
         assert not satisfies_relative(sequence[0], sequence[-1], constraint)
 

@@ -1,0 +1,92 @@
+"""The edit-delta log: cap semantics and dirty-chain shape.
+
+``deltas_since`` is the contract delta-maintained consumers (the stream
+engine's mask patcher, notably) rebuild-or-patch on: an empty list means
+"already current", ``None`` means "the log no longer reaches back —
+recompute from scratch", and anything else is the exact oldest-first
+suffix.  The dirty sets must be upward closed and anchor-first, which is
+what makes patching nested predicates sound.
+"""
+
+from __future__ import annotations
+
+from repro.trees import DataTree, TreeIndex
+from repro.trees.index import DELTA_LOG_CAP
+
+
+def build_line():
+    """root -> a(b(c)), d — one deep chain plus a sibling host."""
+    tree = DataTree()
+    a = tree.add_child(tree.root, "a")
+    b = tree.add_child(a, "b")
+    c = tree.add_child(b, "c")
+    d = tree.add_child(tree.root, "d")
+    return tree, a, b, c, d
+
+
+def test_deltas_since_at_the_cap_boundary():
+    tree, a, b, c, d = build_line()
+    index = TreeIndex(tree)
+    rev0 = index.revision
+    assert index.deltas_since(rev0) == []          # already current
+    assert index.deltas_since(rev0 + 1) is None    # the future
+
+    for i in range(DELTA_LOG_CAP - 1):             # cap - 1 edits
+        index.apply_add_leaf(d, f"x{i}")
+    deltas = index.deltas_since(rev0)
+    assert deltas is not None and len(deltas) == DELTA_LOG_CAP - 1
+
+    index.apply_add_leaf(d, "x-at-cap")            # exactly cap edits
+    deltas = index.deltas_since(rev0)
+    assert deltas is not None and len(deltas) == DELTA_LOG_CAP
+    assert [delta.revision for delta in deltas] == \
+        list(range(rev0 + 1, rev0 + DELTA_LOG_CAP + 1))
+
+    index.apply_add_leaf(d, "x-over-cap")          # cap + 1: rev0 falls off
+    assert index.deltas_since(rev0) is None
+    tail = index.deltas_since(rev0 + 1)
+    assert tail is not None and len(tail) == DELTA_LOG_CAP
+    assert tail[-1].revision == index.revision
+    assert index.deltas_since(index.revision) == []
+    assert index.deltas_since(index.revision + 1) is None
+
+
+def test_add_leaf_delta_lists_the_leaf_before_its_chain():
+    tree, a, b, c, d = build_line()
+    index = TreeIndex(tree)
+    rev0 = index.revision
+    nid = index.apply_add_leaf(c, "x")
+    (delta,) = index.deltas_since(rev0)
+    assert delta.added == (nid,)
+    assert delta.vanished == ()
+    # Fresh node first, then the attachment chain bottom-up to the root.
+    assert tuple(delta.dirty) == (nid, c, b, a, tree.root)
+
+
+def test_move_then_remove_dirty_chains_are_upward_closed_and_ordered():
+    tree, a, b, c, d = build_line()
+    index = TreeIndex(tree)
+    rev0 = index.revision
+    root = tree.root
+
+    index.apply_move(b, d)          # b (with c below) leaves a, lands on d
+    index.apply_remove_subtree(b)   # then the relocated subtree dies
+
+    move_delta, remove_delta = index.deltas_since(rev0)
+
+    # The move dirties both attachment chains: old anchor first, each
+    # chain bottom-up, the shared root recorded once at first visit.
+    assert move_delta.added == () and move_delta.vanished == ()
+    assert tuple(move_delta.dirty) == (a, root, d)
+
+    # The remove dirties the (post-move) parent chain and records every
+    # node of the dead subtree with the slot it last held.
+    assert tuple(remove_delta.dirty) == (d, root)
+    assert {nid for nid, _ in remove_delta.vanished} == {b, c}
+    assert all(old_slot >= 0 for _, old_slot in remove_delta.vanished)
+
+    # Both dirty sets are upward closed under the post-edit parent map.
+    for delta in (move_delta, remove_delta):
+        for nid in delta.dirty:
+            parent = index.parent(nid)
+            assert parent is None or parent in delta.dirty

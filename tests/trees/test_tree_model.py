@@ -270,7 +270,8 @@ class TestCachesAndVersioning:
         a = next(n.nid for n in tree.nodes() if n.label == "a")
         b = next(n.nid for n in tree.nodes() if n.label == "b")
         c = next(n.nid for n in tree.nodes() if n.label == "c")
-        tree.children(a), tree.children(c)
+        tree.children(a)
+        tree.children(c)
         tree.move(b, c)
         assert tree.children(a) == ()
         assert tree.children(c) == (b,)

@@ -63,7 +63,7 @@ def test_warm_masks_stay_exact_across_edit_chains(seed):
     # ...then edit and require patched answers to match naive, per node.
     for _ in range(5):
         random_edit(rng, snapshot)
-        for pattern, pred in zip(patterns, preds):
+        for pattern, pred in zip(patterns, preds, strict=True):
             assert evaluator.evaluate_ids(pattern) == evaluate_ids(pattern, tree)
             for nid in tree.node_ids():
                 assert (evaluator.matches_at(pred, nid)
