@@ -138,6 +138,30 @@ class BaselineValidity:
             for c in self._constraints
         }
 
+    @classmethod
+    def from_answers(cls, constraints: ConstraintSet | Iterable[UpdateConstraint],
+                     answers: Sequence[Iterable[Node]]) -> "BaselineValidity":
+        """Rebuild a checker from *already-evaluated* baseline answer sets.
+
+        ``answers`` aligns positionally with ``constraints`` — the shape
+        :meth:`repro.stream.engine.StreamEnforcer.state_dict` captures, so
+        a recovered stream keeps checking against the instance it *opened*
+        on rather than rebasing to the snapshot it restored from (rebasing
+        would silently extend no-remove protection to nodes added since
+        the stream opened).
+        """
+        checker = cls.__new__(cls)
+        checker._constraints = list(constraints)
+        if len(answers) != len(checker._constraints):
+            raise ValueError(
+                f"{len(answers)} baseline answer set(s) for "
+                f"{len(checker._constraints)} constraint(s)")
+        checker._baseline = {
+            c: frozenset(nodes)
+            for c, nodes in zip(checker._constraints, answers, strict=True)
+        }
+        return checker
+
     @property
     def constraints(self) -> tuple[UpdateConstraint, ...]:
         return tuple(self._constraints)

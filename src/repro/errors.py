@@ -62,6 +62,31 @@ class ServiceError(ReproError):
     malformed wire-level request."""
 
 
+class ServerError(ReproError):
+    """Raised on failures of the durable socket front end
+    (:mod:`repro.server`): handshake/protocol-version mismatches, frames
+    that exceed the wire limit, or submissions to a closed server."""
+
+
+class JournalError(ServerError):
+    """Raised when a durability journal cannot be written or replayed."""
+
+
+class JournalCorruptError(JournalError):
+    """Raised when recovery meets checksum-corrupt journal *history*.
+
+    A torn tail (an interrupted final append) is expected after a crash
+    and is silently truncated; a CRC mismatch on a complete record means
+    the bytes on disk are not the bytes that were written — recovery
+    refuses loudly rather than rebuild a silently wrong document.
+    """
+
+    def __init__(self, message: str, path: str = "", offset: int = 0):
+        self.path = path
+        self.offset = offset
+        super().__init__(message)
+
+
 class UnsupportedProblemError(ReproError):
     """Raised when no exact engine covers a problem instance and the caller
     asked for a definite answer (``require_decision=True``)."""

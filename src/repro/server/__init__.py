@@ -1,0 +1,43 @@
+"""The durable socket server over the constraint service.
+
+Everything the multi-layer service stack can do — registration,
+implication and instance queries, online update-stream enforcement — made
+available to out-of-process clients over a length-prefixed socket
+protocol, and made *durable*: with a journal attached, every acknowledged
+operation survives ``kill -9`` and is reconstructed bit-for-bit on
+restart.
+
+Layers (each its own module):
+
+* :mod:`~repro.server.framing` — CRC-framed records: the on-disk journal
+  format and the wire frame are the same bytes;
+* :mod:`~repro.server.journal` — :class:`ServerJournal`: per-document
+  append-only journals (fsync'd before acknowledgement), periodic
+  checkpoint snapshots of live enforcement streams, log compaction, and
+  lsn-ordered crash recovery (torn tails truncated, corrupt history
+  refused);
+* :mod:`~repro.server.server` — :class:`ReproServer`: the asyncio accept
+  loop with handshake, per-request timeouts, bounded backpressure and
+  graceful-vs-abrupt shutdown;
+* :mod:`~repro.server.client` — :class:`ReproClient`: the pipelining
+  client;
+* :mod:`~repro.server.faults` — deterministic crash/corruption injection
+  for the recovery test suite.
+
+Run one from the command line::
+
+    python -m repro.server --journal /var/lib/repro --port 7407
+"""
+
+from repro.server.client import ReproClient
+from repro.server.faults import CrashSchedule, SimulatedCrash, flip_byte, tear_tail
+from repro.server.framing import MAX_PAYLOAD, encode_record, scan_records
+from repro.server.journal import RecoveryReport, ServerJournal
+from repro.server.server import ReproServer
+
+__all__ = [
+    "ReproServer", "ReproClient",
+    "ServerJournal", "RecoveryReport",
+    "CrashSchedule", "SimulatedCrash", "tear_tail", "flip_byte",
+    "MAX_PAYLOAD", "encode_record", "scan_records",
+]

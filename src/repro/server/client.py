@@ -1,0 +1,208 @@
+"""The asyncio client of a :class:`~repro.server.server.ReproServer`.
+
+A :class:`ReproClient` speaks the CRC-framed envelope protocol: one
+handshake frame, then ``{"id": n, "body": ...}`` envelopes with
+client-chosen ids.  A background reader task resolves pending futures as
+response frames arrive, so a client can pipeline requests (submit many,
+``await asyncio.gather``) and still match every response to its request
+even when the server answers out of order (different documents
+interleave; same-document order is preserved server-side).
+
+>>> import asyncio
+>>> from repro import DataTree
+>>> from repro.server import ReproServer, ReproClient
+>>> async def main():
+...     async with ReproServer() as server:
+...         host, port = server.address
+...         client = await ReproClient.connect(host, port)
+...         doc = DataTree()
+...         _ = doc.add_child(doc.root, "patient")
+...         ack = await client.register_document("ward", doc)
+...         await client.close()
+...         return ack.to_dict()["size"]
+>>> asyncio.run(main())
+2
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterable, Sequence
+
+from repro.constraints.model import ConstraintSet, UpdateConstraint
+from repro.errors import ServerError
+from repro.server.framing import read_frame, write_frame
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ImplicationQuery,
+    InstanceQuery,
+    RegisterConstraints,
+    RegisterDocument,
+    Request,
+    Response,
+    StreamStatus,
+    StreamSubmit,
+    response_from_dict,
+)
+from repro.stream.ops import StreamOp
+from repro.trees.tree import DataTree
+
+
+class ReproClient:
+    """One connection to a repro server; safe to pipeline from one task."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 1
+        self._pending: dict[int, asyncio.Future] = {}
+        self._lock = asyncio.Lock()  # request frames must not interleave
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ReproClient":
+        """Dial, handshake, and start the response reader."""
+        reader, writer = await asyncio.open_connection(host, port)
+        await write_frame(writer, {"hello": {"protocol": PROTOCOL_VERSION}})
+        frame = await read_frame(reader)
+        if frame is None:
+            writer.close()
+            raise ServerError("the server hung up during the handshake")
+        if "hello" not in frame:
+            writer.close()
+            error = frame.get("error", {})
+            raise ServerError(error.get("message",
+                                        f"handshake refused: {frame!r}"))
+        client = cls(reader, writer)
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_responses())
+        return client
+
+    async def _read_responses(self) -> None:
+        """Resolve pending futures as response envelopes arrive."""
+        error: BaseException | None = None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    error = ServerError("the server closed the connection")
+                    break
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response_from_dict(frame["body"]))
+        except asyncio.CancelledError:
+            error = ServerError("the client is closed")
+        except Exception as err:
+            error = err
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error if error is not None
+                                     else ServerError("connection lost"))
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(self, request: Request) -> Response:
+        """Send one request and await its (id-matched) response."""
+        future = await self.submit(request)
+        return await future
+
+    async def submit(self, request: Request) -> "asyncio.Future[Response]":
+        """Send one request; the future resolves when its response lands.
+
+        Unlike :meth:`request` this returns as soon as the frame is on
+        the wire, so a caller can pipeline a batch and gather the
+        futures.
+        """
+        if self._closed:
+            raise ServerError("the client is closed")
+        envelope_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future[Response] = (
+            asyncio.get_running_loop().create_future())
+        self._pending[envelope_id] = future
+        try:
+            async with self._lock:
+                await write_frame(self._writer,
+                                  {"id": envelope_id,
+                                   "body": request.to_dict()})
+        except (ConnectionError, RuntimeError) as err:
+            self._pending.pop(envelope_id, None)
+            raise ServerError(f"the connection is gone: {err}") from None
+        return future
+
+    # ------------------------------------------------------------------
+    # Conveniences (one protocol request each)
+    # ------------------------------------------------------------------
+    async def register_document(self, name: str, tree: DataTree, *,
+                                replace: bool = False) -> Response:
+        return await self.request(RegisterDocument(name, tree,
+                                                   replace=replace))
+
+    async def register_constraints(self, name: str,
+                                   constraints: ConstraintSet | Iterable, *,
+                                   replace: bool = False) -> Response:
+        if not isinstance(constraints, ConstraintSet):
+            from repro.constraints.model import constraint_set
+            constraints = constraint_set(*constraints)
+        return await self.request(RegisterConstraints(
+            name, tuple(constraints), replace=replace))
+
+    async def enforce(self, document: str, constraints: str,
+                      ops: Sequence[StreamOp]) -> Response:
+        return await self.request(StreamSubmit(document, constraints,
+                                               tuple(ops)))
+
+    async def status(self, document: str) -> Response:
+        """Where the document's stream stands (reconnect reconciliation)."""
+        return await self.request(StreamStatus(document))
+
+    async def implies(self, constraints: str,
+                      conclusions: Sequence[UpdateConstraint], *,
+                      fail_fast: bool = False,
+                      require_decision: bool = False) -> Response:
+        return await self.request(ImplicationQuery(
+            constraints, tuple(conclusions), fail_fast=fail_fast,
+            require_decision=require_decision))
+
+    async def implies_on(self, constraints: str, document: str,
+                         conclusions: Sequence[UpdateConstraint],
+                         **kwargs) -> Response:
+        return await self.request(InstanceQuery(
+            constraints, document, tuple(conclusions), **kwargs))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Hang up; outstanding futures fail with :class:`ServerError`."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def __aenter__(self) -> "ReproClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "connected"
+        return f"ReproClient({state}, {len(self._pending)} pending)"
+
+
+__all__ = ["ReproClient"]

@@ -1,0 +1,113 @@
+"""Deterministic fault injection for the durability layer.
+
+Crash-recovery code is only as trustworthy as the crashes it has been
+tested against, so every failure mode the journal claims to survive is
+injected *deterministically* here and pinned by ``tests/server`` (the
+``faults`` pytest marker):
+
+* :class:`CrashSchedule` kills the "process" at an exact durability
+  point — the k-th journal write before its fsync, the k-th fsync after
+  it, mid-checkpoint — by raising :class:`SimulatedCrash` from the
+  journal's fault hook; combined with
+  :meth:`~repro.server.journal.ServerJournal.simulate_power_loss` this
+  models the kill-between-fsync window exactly (un-fsync'd bytes
+  vanish);
+* :func:`tear_tail` chops bytes off a journal's final record — the torn
+  tail an interrupted append leaves — which recovery must truncate and
+  survive;
+* :func:`flip_byte` corrupts one byte of committed history — which
+  recovery must *refuse* with
+  :class:`~repro.errors.JournalCorruptError`, never silently replay.
+
+Nothing here is random: every injection is an explicit (point, count) or
+(path, offset), so a failing fault test replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Deliberately a :class:`BaseException`: the layers under test catch
+    :class:`~repro.errors.ReproError` (and service code catches
+    ``Exception``) to turn failures into responses — a *crash* must tear
+    through all of that exactly as ``kill -9`` would.
+    """
+
+    def __init__(self, point: str, count: int):
+        self.point = point
+        self.count = count
+        super().__init__(f"simulated crash at {point} #{count}")
+
+
+class CrashSchedule:
+    """Raise :class:`SimulatedCrash` at the k-th hit of one fault point.
+
+    The journal consults ``hit(point)`` at every durability point; known
+    points are ``journal-write`` (record written, **not yet** fsync'd),
+    ``journal-fsync`` (record durable, response not yet sent),
+    ``checkpoint-write`` (snapshot bytes written to the temp file),
+    ``checkpoint-rename`` (snapshot atomically in place) and ``compact``
+    (journal rewritten).  ``seen`` records every hit in order, so a test
+    can also assert *where* a run passed before the crash.
+    """
+
+    def __init__(self, point: str, at: int = 1):
+        if at < 1:
+            raise ValueError(f"crash ordinal must be >= 1, got {at}")
+        self.point = point
+        self.at = at
+        self.seen: list[str] = []
+        self._count = 0
+        self.fired = False
+
+    def hit(self, point: str) -> None:
+        self.seen.append(point)
+        if point != self.point or self.fired:
+            return
+        self._count += 1
+        if self._count >= self.at:
+            self.fired = True
+            raise SimulatedCrash(point, self._count)
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else f"{self._count}/{self.at}"
+        return f"CrashSchedule({self.point!r}, at={self.at}, {state})"
+
+
+def tear_tail(path: str | Path, drop: int) -> int:
+    """Chop ``drop`` bytes off the file's end (an interrupted append).
+
+    Returns the new size.  Dropping fewer bytes than the final record's
+    length leaves a torn record — header promising more payload than the
+    file holds — which is precisely the state a crash mid-``write`` (or a
+    power cut before the data blocks hit disk) leaves behind.
+    """
+    size = os.path.getsize(path)
+    keep = max(0, size - max(0, drop))
+    with open(path, "ab") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def flip_byte(path: str | Path, offset: int, mask: int = 0xFF) -> None:
+    """XOR one byte of the file — committed history silently rotting.
+
+    Unlike a torn tail this is *not* survivable: the CRC no longer
+    matches bytes that claim to be a complete record, and recovery must
+    refuse rather than replay a silently different document.
+    """
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        if not byte:
+            raise ValueError(f"offset {offset} is past the end of {path}")
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ (mask & 0xFF)]))
+
+
+__all__ = ["SimulatedCrash", "CrashSchedule", "tear_tail", "flip_byte"]

@@ -1,0 +1,323 @@
+"""The durable socket front end: a length-prefixed wire over AsyncService.
+
+A :class:`ReproServer` listens on a TCP socket and serves the whole
+request protocol of :mod:`repro.service.protocol` over CRC-framed JSON
+frames (:mod:`repro.server.framing`).  Each connection starts with a
+one-frame handshake (``{"hello": {"protocol": N}}`` both ways; a version
+mismatch is answered and the connection closed), then carries envelopes::
+
+    {"id": 7, "body": {"request": "stream-submit", ...}}
+    {"id": 7, "body": {"response": "decisions", ...}}
+
+Envelope ids are chosen by the client and echoed back, so a client may
+pipeline requests and match responses out of order — the server preserves
+the per-document ordering of :class:`~repro.service.async_service.
+AsyncService` (same-document requests resolve in submission order) while
+different documents interleave freely.
+
+Robustness contract, pinned by ``tests/server``:
+
+* **per-request timeout** — a request that does not complete within
+  ``request_timeout`` is answered with a typed
+  :class:`~repro.service.protocol.ErrorResponse` (the work itself is
+  shielded, not cancelled: a mutating submission must never be torn);
+* **bounded backpressure** — at most ``max_inflight`` requests execute
+  at once; excess requests are refused immediately with an
+  ``ErrorResponse`` rather than queued without bound;
+* **graceful shutdown** — :meth:`close` stops accepting, lets every
+  in-flight request finish (draining the per-document queues), flushes
+  the journal and only then closes the transports; :meth:`abort` is the
+  opposite on purpose — it drops everything on the floor, simulating
+  ``kill -9`` for the crash-recovery tests;
+* **durability** — with a :class:`~repro.server.journal.ServerJournal`
+  attached (:meth:`durable`), every acknowledged registration and
+  stream submission is journaled and fsync'd *before* its response
+  frame is written, so an acknowledged op survives any later crash and
+  :meth:`durable` on the same directory reconverges on the exact
+  pre-crash state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from repro.errors import ReproError, ServerError
+from repro.server.framing import read_frame, write_frame
+from repro.server.journal import RecoveryReport, ServerJournal
+from repro.service.async_service import AsyncService
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ErrorResponse,
+    request_from_dict,
+)
+from repro.service.service import ConstraintService
+from repro.service.store import DocumentStore
+
+
+class ReproServer:
+    """One listening socket in front of an :class:`AsyncService`."""
+
+    def __init__(self, service: AsyncService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 journal: ServerJournal | None = None,
+                 request_timeout: float | None = 30.0,
+                 max_inflight: int = 256):
+        self._service = service if service is not None else AsyncService()
+        self._host = host
+        self._port = port
+        self._journal = journal
+        self.request_timeout = request_timeout
+        self.max_inflight = max(1, max_inflight)
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        self._requests: set[asyncio.Task] = set()
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._closing = False
+        self.recovery: RecoveryReport | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def durable(cls, journal_root: str | Path, *,
+                fsync: bool = True, checkpoint_every: int = 256,
+                faults=None, **kwargs) -> "ReproServer":
+        """A server whose whole state lives under ``journal_root``.
+
+        Recovers whatever a previous process left there (journals are
+        replayed, checkpoints restored, torn tails truncated — see
+        :meth:`~repro.server.journal.ServerJournal.recover`), attaches
+        the journal for write-through, and reports what it found in
+        :attr:`recovery`.
+        """
+        store = DocumentStore()
+        journal = ServerJournal(journal_root, fsync=fsync,
+                                checkpoint_every=checkpoint_every,
+                                faults=faults)
+        report = journal.recover(store)
+        store.attach_journal(journal)
+        service = AsyncService(ConstraintService(store=store))
+        server = cls(service, journal=journal, **kwargs)
+        server.recovery = report
+        return server
+
+    @property
+    def service(self) -> AsyncService:
+        return self._service
+
+    @property
+    def journal(self) -> ServerJournal | None:
+        return self._journal
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (the OS picks the port when 0)."""
+        if self._server is None:
+            raise ServerError("the server is not listening (call start())")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing (the backpressure gauge)."""
+        return self._inflight
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        if self._server is not None:
+            raise ServerError("the server is already listening")
+        self._closing = False
+        self._server = await asyncio.start_server(
+            self._on_connect, self._host, self._port)
+        return self.address
+
+    async def close(self) -> None:
+        """Graceful shutdown: drain in-flight work, flush, then close.
+
+        New connections are refused and connection readers stop, but
+        every request already submitted runs to completion (its response
+        is still written when the transport survives), the per-document
+        queues drain, and the journal is flushed and closed — the
+        on-disk state is clean, with no torn tail.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._requests:
+            await asyncio.gather(*self._requests, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        await self._service.close()
+        if self._journal is not None:
+            self._journal.close()
+
+    async def abort(self) -> None:
+        """Simulated ``kill -9``: drop connections and in-flight work.
+
+        Nothing is drained, responded to, flushed or checkpointed — the
+        journal is left exactly as the last fsync left it.  The
+        recovery tests restart from the same directory and must
+        reconverge on every acknowledged operation.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections) + list(self._requests):
+            task.cancel()
+        await asyncio.gather(*self._connections, *self._requests,
+                             return_exceptions=True)
+        for writer in list(self._writers):
+            writer.transport.abort()
+        self._writers.clear()
+        # Deliberately neither service.close() (would drain queues) nor
+        # journal.close() (would flush): the process just "died".
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self._writers.add(writer)
+        lock = asyncio.Lock()  # response frames must not interleave
+        try:
+            if not await self._handshake(reader, writer):
+                return
+            while not self._closing:
+                try:
+                    frame = await read_frame(reader)
+                except ServerError as err:
+                    # Desynchronised stream: one best-effort error frame,
+                    # then drop the connection (no id to echo).
+                    await self._send(writer, lock, None, ErrorResponse(
+                        error="ServerError", message=str(err)))
+                    break
+                if frame is None:
+                    break  # clean EOF, or the peer vanished mid-frame
+                envelope_id = frame.get("id")
+                body = frame.get("body")
+                if not isinstance(body, dict):
+                    await self._send(writer, lock, envelope_id, ErrorResponse(
+                        error="ServerError",
+                        message="envelope must carry a 'body' object"))
+                    continue
+                if self._inflight >= self.max_inflight:
+                    await self._send(writer, lock, envelope_id, ErrorResponse(
+                        error="ServerError",
+                        message=f"server overloaded: {self._inflight} "
+                                f"request(s) in flight (limit "
+                                f"{self.max_inflight}); retry later",
+                        details={"inflight": self._inflight,
+                                 "limit": self.max_inflight}))
+                    continue
+                try:
+                    request = request_from_dict(body)
+                except ReproError as err:
+                    await self._send(writer, lock, envelope_id, ErrorResponse(
+                        error=type(err).__name__, message=str(err)))
+                    continue
+                self._inflight += 1
+                serve = asyncio.get_running_loop().create_task(
+                    self._serve(envelope_id, request, writer, lock))
+                self._requests.add(serve)
+                serve.add_done_callback(self._requests.discard)
+        except asyncio.CancelledError:
+            pass  # close()/abort() cancelled the reader
+        except ConnectionError:
+            pass
+        finally:
+            self._connections.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handshake(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        try:
+            frame = await read_frame(reader)
+        except ServerError:
+            return False
+        if frame is None:
+            return False
+        hello = frame.get("hello")
+        version = hello.get("protocol") if isinstance(hello, dict) else None
+        if version != PROTOCOL_VERSION:
+            try:
+                await write_frame(writer, {"error": {
+                    "error": "ServerError",
+                    "message": f"protocol version mismatch: server speaks "
+                               f"{PROTOCOL_VERSION}, client sent "
+                               f"{version!r}"}})
+            except ConnectionError:
+                pass
+            return False
+        try:
+            await write_frame(writer, {"hello": {
+                "protocol": PROTOCOL_VERSION, "server": "repro"}})
+        except ConnectionError:
+            return False
+        return True
+
+    async def _serve(self, envelope_id, request, writer, lock) -> None:
+        """Execute one request and write its response envelope."""
+        try:
+            try:
+                future = self._service.submit(request)
+                if self.request_timeout is None:
+                    response = await future
+                else:
+                    # shield(): a timed-out mutating request must finish
+                    # server-side (it may already be journaled); only the
+                    # *wait* is bounded, and the client learns it timed out.
+                    response = await asyncio.wait_for(
+                        asyncio.shield(future), self.request_timeout)
+            except asyncio.TimeoutError:
+                response = ErrorResponse(
+                    error="TimeoutError",
+                    message=f"request did not complete within "
+                            f"{self.request_timeout}s (it keeps executing "
+                            f"server-side; reconcile with stream-status)")
+            except ReproError as err:
+                response = ErrorResponse(error=type(err).__name__,
+                                         message=str(err))
+        finally:
+            self._inflight -= 1
+        await self._send(writer, lock, envelope_id, response)
+
+    async def _send(self, writer, lock, envelope_id, response) -> None:
+        envelope = {"id": envelope_id, "body": response.to_dict()}
+        try:
+            async with lock:
+                await write_frame(writer, envelope)
+        except (ConnectionError, RuntimeError):
+            pass  # the peer is gone; the work (and journal) still stand
+
+    def __repr__(self) -> str:
+        state = "listening" if self._server is not None else "stopped"
+        durable = ", durable" if self._journal is not None else ""
+        return (f"ReproServer({state}, {self._inflight} in flight"
+                f"{durable})")
+
+
+__all__ = ["ReproServer"]

@@ -42,7 +42,9 @@ from repro.service.protocol import (
     RegisterDocument,
     Request,
     Response,
+    PROTOCOL_VERSION,
     StreamDecisions,
+    StreamStatus,
     StreamSubmit,
     Verdict,
     WireDecision,
@@ -60,7 +62,8 @@ __all__ = [
     "ConstraintService", "DocumentStore", "AsyncService",
     "Executor", "InlineExecutor", "ProcessExecutor",
     "Request", "RegisterConstraints", "RegisterDocument",
-    "ImplicationQuery", "InstanceQuery", "StreamSubmit",
+    "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
+    "PROTOCOL_VERSION",
     "Response", "Ack", "Verdict", "QueryAnswers",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
     "request_from_dict", "request_from_json",

@@ -50,6 +50,7 @@ from repro.service.protocol import (
     Request,
     Response,
     StreamDecisions,
+    StreamStatus,
     StreamSubmit,
     WireDecision,
 )
@@ -65,7 +66,7 @@ def _route_key(request: Request) -> str | None:
     """The serialisation domain of a request: its document, or control."""
     if isinstance(request, (RegisterDocument,)):
         return request.name
-    if isinstance(request, (InstanceQuery, StreamSubmit)):
+    if isinstance(request, (InstanceQuery, StreamSubmit, StreamStatus)):
         return request.document
     return _CONTROL
 
@@ -225,6 +226,10 @@ class AsyncService:
         """Submit a log slice; resolves to its :class:`StreamDecisions`."""
         return await self.submit(StreamSubmit(document, constraints,
                                               tuple(ops)))
+
+    async def status(self, document: str) -> Response:
+        """Where the document's stream stands (ordered after its edits)."""
+        return await self.submit(StreamStatus(document))
 
     async def apply(self, document: str, constraints: str,
                     op: StreamOp) -> WireDecision:

@@ -45,6 +45,7 @@ from repro.service.protocol import (
     RegisterDocument,
     Request,
     Response,
+    StreamStatus,
     StreamSubmit,
     QueryAnswers,
     StreamDecisions,
@@ -92,6 +93,8 @@ class InlineExecutor(Executor):
             return self._instance(request, store)
         if isinstance(request, StreamSubmit):
             return self._stream(request, store)
+        if isinstance(request, StreamStatus):
+            return self._stream_status(request, store)
         raise ServiceError(f"unhandled request type {type(request).__name__}")
 
     # -- query handlers -------------------------------------------------
@@ -118,8 +121,46 @@ class InlineExecutor(Executor):
     def _stream(self, request: StreamSubmit,
                 store: DocumentStore) -> StreamDecisions:
         enforcer = store.enforcer(request.document, request.constraints)
-        decisions = enforcer.submit(request.ops)
+        # Pin fresh-leaf ids at the durable boundary (no-op when the store
+        # has no journal): what is applied is exactly what is journaled,
+        # so replay reallocates the same ids.
+        ops = store.prepare_stream_ops(request.document, request.ops)
+        decisions: list = []
+        error: ReproError | None = None
+        try:
+            for op in ops:
+                decisions.append(enforcer.apply(op))
+        except ReproError as err:
+            # A protocol-misuse op (nested begin, commit outside a
+            # bracket, mutated-behind) aborts the submission mid-log;
+            # the prefix already took effect and must still be journaled
+            # or a recovered replica would silently lack those edits.
+            error = err
+        store.commit_stream_ops(request.document, request.constraints,
+                                ops[:len(decisions)], enforcer)
+        if error is not None:
+            raise error
         return StreamDecisions(tuple(WireDecision.of(d) for d in decisions))
+
+    def _stream_status(self, request: StreamStatus,
+                       store: DocumentStore) -> Ack:
+        store.document(request.document)  # unknown name -> ServiceError
+        live = store.live_stream(request.document)
+        if live is None:
+            return Ack("stream", request.document, 0)
+        _, enforcer = live
+        stats = enforcer.stats
+        # ``revision`` is a snapshot-internal counter that legitimately
+        # differs between a live stream and its checkpoint-restored twin;
+        # everything else is part of the recovery-equivalence contract.
+        pairs = {"entries": stats.entries, "ops": stats.ops,
+                 "accepted": stats.accepted, "rejected": stats.rejected,
+                 "transactions": stats.transactions,
+                 "committed": stats.committed,
+                 "rolled_back": stats.rolled_back,
+                 "independent": stats.independent}
+        return Ack("stream", request.document, stats.entries,
+                   stats=tuple(sorted(pairs.items())))
 
 
 # ----------------------------------------------------------------------

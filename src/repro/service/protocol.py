@@ -37,6 +37,12 @@ from repro.trees import serialize
 from repro.trees.tree import DataTree
 from repro.xpath.parser import parse
 
+#: Version of the request/response wire protocol.  The socket front end
+#: (:mod:`repro.server`) sends it in its hello frame and rejects clients
+#: that expect a different one; bump on any incompatible change to the
+#: dict forms below.
+PROTOCOL_VERSION = 1
+
 
 # ----------------------------------------------------------------------
 # Constraint wire form
@@ -202,10 +208,35 @@ class StreamSubmit(Request):
                    ops=tuple(op_from_dict(d) for d in data["ops"]))
 
 
+@dataclass(frozen=True)
+class StreamStatus(Request):
+    """Where does a document's enforcement stream stand?
+
+    Answered with an :class:`Ack` (``registered="stream"``) whose ``size``
+    is the stream's decision count and whose ``stats`` carry the
+    :class:`~repro.stream.engine.StreamStats` counters (minus the
+    snapshot-internal ``revision``).  A reconnecting client of the durable
+    server compares the decision count against what it saw acknowledged to
+    learn whether its last in-flight submission survived the crash —
+    journaling is at-most-once per submission, never silently partial.
+    """
+
+    kind = "stream-status"
+
+    document: str
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "document": self.document}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamStatus":
+        return cls(document=data["document"])
+
+
 _REQUEST_KINDS: dict[str, type[Request]] = {
     cls.kind: cls
     for cls in (RegisterConstraints, RegisterDocument, ImplicationQuery,
-                InstanceQuery, StreamSubmit)
+                InstanceQuery, StreamSubmit, StreamStatus)
 }
 
 
@@ -216,13 +247,17 @@ def request_from_dict(data: dict) -> Request:
     except (TypeError, KeyError):
         raise ServiceError(f"malformed request payload {data!r}: "
                            "missing 'request' kind") from None
-    cls = _REQUEST_KINDS.get(kind)
+    cls = _REQUEST_KINDS.get(kind) if isinstance(kind, str) else None
     if cls is None:
         raise ServiceError(f"unknown request kind {kind!r}; expected one of "
                            f"{sorted(_REQUEST_KINDS)}")
     try:
         return cls.from_dict(data)
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
+        # ValueError covers payloads that are shaped right but carry bad
+        # values (an op dict with an unknown kind, a non-integer id): a
+        # malformed frame must surface as ServiceError -> ErrorResponse,
+        # never as a raw exception out of ``handle``.
         raise ServiceError(f"malformed {kind!r} request: {exc}") from None
 
 
@@ -486,13 +521,13 @@ def response_from_dict(data: dict) -> Response:
     except (TypeError, KeyError):
         raise ServiceError(f"malformed response payload {data!r}: "
                            "missing 'response' kind") from None
-    cls = _RESPONSE_KINDS.get(kind)
+    cls = _RESPONSE_KINDS.get(kind) if isinstance(kind, str) else None
     if cls is None:
         raise ServiceError(f"unknown response kind {kind!r}; expected one of "
                            f"{sorted(_RESPONSE_KINDS)}")
     try:
         return cls.from_dict(data)
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed {kind!r} response: {exc}") from None
 
 
@@ -511,8 +546,9 @@ def response_checksum(response: Response) -> int:
 
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "Request", "RegisterConstraints", "RegisterDocument",
-    "ImplicationQuery", "InstanceQuery", "StreamSubmit",
+    "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
     "Response", "Ack", "Verdict", "QueryAnswers",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
     "request_from_dict", "request_from_json",

@@ -39,7 +39,8 @@ from repro.trees.tree import DataTree
 class DocumentStore:
     """The named-object registry behind a constraint service."""
 
-    __slots__ = ("_documents", "_sets", "_sessions", "_enforcers", "_bindings")
+    __slots__ = ("_documents", "_sets", "_sessions", "_enforcers", "_bindings",
+                 "_journal")
 
     def __init__(self) -> None:
         self._documents: dict[str, DataTree] = {}
@@ -49,6 +50,7 @@ class DocumentStore:
         self._enforcers: dict[str, tuple[str, StreamEnforcer]] = {}
         # (set name, doc name) -> (tree version, binding)
         self._bindings: dict[tuple[str, str], tuple[int, BoundReasoner]] = {}
+        self._journal = None  # optional ServerJournal (repro.server)
 
     # ------------------------------------------------------------------
     # Registration
@@ -64,6 +66,8 @@ class DocumentStore:
         self._documents[name] = tree
         self._enforcers.pop(name, None)
         self._drop_bindings(document=name)
+        if self._journal is not None:
+            self._journal.document_registered(name, tree, replace)
         return tree
 
     def add_constraints(self, name: str,
@@ -84,6 +88,8 @@ class DocumentStore:
         for doc in [d for d, (bound_set, _) in self._enforcers.items()
                     if bound_set == name]:
             del self._enforcers[doc]
+        if self._journal is not None:
+            self._journal.constraints_registered(name, constraints, replace)
         return constraints
 
     def _drop_bindings(self, document: str | None = None,
@@ -163,6 +169,61 @@ class DocumentStore:
         enforcer = self.session(set_name).open_stream(self.document(doc_name))
         self._enforcers[doc_name] = (set_name, enforcer)
         return enforcer
+
+    # ------------------------------------------------------------------
+    # Durability (optional journal; see :mod:`repro.server.journal`)
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """The attached :class:`~repro.server.journal.ServerJournal`, if any."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Record every later mutation of this store in ``journal``.
+
+        Attach *after* :meth:`~repro.server.journal.ServerJournal.recover`
+        has rebuilt the store — an attached journal writes through on
+        every registration and submission, so recovering into an attached
+        store would journal its own replay.
+        """
+        self._journal = journal
+
+    def prepare_stream_ops(self, doc_name: str, ops):
+        """Pin fresh-leaf ids at the durable boundary (no-op without a
+        journal): the ops actually applied — and journaled — carry
+        explicit ids, so a recovered process replays to identical trees."""
+        if self._journal is None:
+            return tuple(ops)
+        return self._journal.prepare_ops(doc_name, tuple(ops))
+
+    def commit_stream_ops(self, doc_name: str, set_name: str, ops,
+                          enforcer: StreamEnforcer) -> None:
+        """Journal (and fsync) the applied prefix of a submission."""
+        if self._journal is not None and ops:
+            self._journal.stream_submitted(doc_name, set_name,
+                                           tuple(ops), enforcer)
+
+    def adopt_stream(self, doc_name: str, set_name: str,
+                     enforcer: StreamEnforcer) -> None:
+        """Install a recovered enforcement stream (checkpoint restore).
+
+        The stream's tree *becomes* the stored document — exactly the
+        adoption relationship :meth:`enforcer` establishes on first use —
+        and any stale bindings on the old tree are dropped.
+        """
+        self.constraints(set_name)  # validate before adopting
+        self._documents[doc_name] = enforcer.tree
+        self._enforcers[doc_name] = (set_name, enforcer)
+        self._drop_bindings(document=doc_name)
+
+    def live_stream(self, doc_name: str) -> tuple[str, StreamEnforcer] | None:
+        """``(set name, enforcer)`` if the document has an open stream."""
+        return self._enforcers.get(doc_name)
+
+    def live_streams(self) -> list[tuple[str, str, StreamEnforcer]]:
+        """Every open stream as ``(document, set, enforcer)``, name-sorted."""
+        return [(doc, bound_set, enforcer)
+                for doc, (bound_set, enforcer) in sorted(self._enforcers.items())]
 
     def __repr__(self) -> str:
         return (f"DocumentStore({len(self._documents)} documents, "

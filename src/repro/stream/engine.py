@@ -57,6 +57,7 @@ from repro.stream.ops import (
     Rollback,
     StreamOp,
 )
+from repro.trees import serialize
 from repro.trees.node import Node
 from repro.trees.tree import DataTree
 from repro.xpath.bitset import BitsetEvaluator, slots_of
@@ -135,10 +136,17 @@ class _MaskedBaseline:
         for constraint in checker.constraints:
             answers = base_answers[constraint]
             labels = {node.nid: node.label for node in answers}
+            # A freshly opened stream has every baseline node present; a
+            # *restored* one may not — no-insert baseline nodes removed
+            # since the stream opened start life in the missing ledger.
             mask = 0
+            missing: set[int] = set()
             for node in answers:
-                mask |= 1 << idx.pre(node.nid)
-            self._entries.append([constraint, labels, mask, set()])
+                if node.nid in idx and idx.label(node.nid) == node.label:
+                    mask |= 1 << idx.pre(node.nid)
+                else:
+                    missing.add(node.nid)
+            self._entries.append([constraint, labels, mask, missing])
 
     def _sync(self) -> None:
         idx = self._ctx.index
@@ -259,11 +267,15 @@ class StreamEnforcer:
         else:
             self._ctx = IndexedEvaluator.for_tree(tree)
         self._checker = BaselineValidity(constraints, tree, context=self._ctx)
+        self._finish_init(analysis)
+
+    def _finish_init(self, analysis: bool) -> None:
+        """State shared by a fresh open and a checkpoint restore."""
         # The bitset engine compares whole answer masks per op; the
         # indexed engine re-checks through the generic node-set diff.
         self._masked = (_MaskedBaseline(self._checker, self._ctx)
-                        if engine == "bitset" else None)
-        self._analyzer = (_build_analyzer(constraints, self._ctx.index)
+                        if self._engine == "bitset" else None)
+        self._analyzer = (_build_analyzer(self._constraints, self._ctx.index)
                           if analysis else None)
         # Violations standing after the last full check — the fast path's
         # gate: independence verdicts assume a currently-valid pair.
@@ -369,6 +381,112 @@ class StreamEnforcer:
     def submit(self, ops: Sequence[StreamOp]) -> list[Decision]:
         """Ingest a whole log, in order; one decision per entry."""
         return [self.apply(op) for op in ops]
+
+    def replay(self, ops: Sequence[StreamOp]) -> list[Decision]:
+        """The journal-recovery entry: re-ingest a previously accepted log.
+
+        Enforcement is deterministic, so replaying the ops a durable
+        journal recorded (with leaf ids pinned) through a fresh — or
+        checkpoint-:meth:`restore`-d — enforcer reproduces the original
+        decisions bit for bit: same verdicts, same sequence numbers, same
+        counters, same final document.  It *is* :meth:`submit`; the alias
+        marks call sites that rebuild state rather than serve traffic.
+        """
+        return self.submit(ops)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the durable server's snapshot boundary)
+    # ------------------------------------------------------------------
+    #: Bumped when the checkpoint shape changes; ``restore`` refuses
+    #: snapshots written by a different shape.
+    STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """The stream's durable state as one JSON-safe dict.
+
+        Captures everything a :meth:`restore` needs to continue the
+        stream *exactly* where it stands: the live document, the frozen
+        baseline answer sets (``q_c(I₀)`` — **not** re-derivable from the
+        snapshot: rebasing the baseline onto the current document would
+        extend no-remove protection to nodes added since open), and the
+        decision counters that keep sequence numbers monotonic.  Only
+        defined at a transaction boundary — an open bracket's undo
+        journal holds live node references that do not serialise.
+        """
+        if self._journal is not None:
+            raise StreamError("cannot checkpoint inside an open "
+                              "transaction: commit or roll back first")
+        base = self._checker.baseline_answers()
+        return {
+            "version": self.STATE_VERSION,
+            "engine": self._engine,
+            "analysis": self._analyzer is not None,
+            "tree": serialize.to_dict(self._tree),
+            "baseline": [sorted([n.nid, n.label] for n in base[c])
+                         for c in self._checker.constraints],
+            "counters": {
+                "entries": len(self._audit),
+                "ops": self._ops,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+                "transactions": self._txn_count,
+                "committed": self._committed,
+                "rolled_back": self._rolled_back,
+                "independent": self._independent,
+            },
+        }
+
+    @classmethod
+    def restore(cls, constraints: ConstraintSet | Iterable[UpdateConstraint],
+                state: dict) -> "StreamEnforcer":
+        """Rebuild a stream from a :meth:`state_dict` checkpoint.
+
+        The restored enforcer adopts a fresh tree decoded from the
+        snapshot, keeps checking against the *original* opening baseline,
+        and continues sequence numbering where the checkpoint left off
+        (the audit trail's compacted prefix counts toward ``len`` but is
+        not retained).  Replaying the journal suffix after the checkpoint
+        then reconverges with the uninterrupted stream.
+        """
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise StreamError(f"cannot restore a stream checkpoint of "
+                              f"version {version!r} (expected "
+                              f"{cls.STATE_VERSION})")
+        if not isinstance(constraints, ConstraintSet):
+            constraints = constraint_set(*constraints)
+        constraints.require_concrete()
+        engine = state["engine"]
+        if engine not in cls.ENGINES:
+            raise StreamError(f"unknown evaluation engine {engine!r} in "
+                              f"stream checkpoint")
+        stream = cls.__new__(cls)
+        stream._constraints = constraints
+        stream._tree = serialize.from_dict(state["tree"])
+        stream._engine = engine
+        if engine == "bitset":
+            stream._ctx = BitsetEvaluator.for_tree(stream._tree)
+        else:
+            stream._ctx = IndexedEvaluator.for_tree(stream._tree)
+        answers = [frozenset(Node(int(nid), label) for nid, label in entry)
+                   for entry in state["baseline"]]
+        try:
+            stream._checker = BaselineValidity.from_answers(constraints,
+                                                            answers)
+        except ValueError as err:
+            raise StreamError(f"stream checkpoint does not match the "
+                              f"constraint set: {err}") from None
+        stream._finish_init(bool(state.get("analysis", True)))
+        counters = state["counters"]
+        stream._audit.dropped = int(counters["entries"])
+        stream._ops = int(counters["ops"])
+        stream._accepted = int(counters["accepted"])
+        stream._rejected = int(counters["rejected"])
+        stream._txn_count = int(counters["transactions"])
+        stream._committed = int(counters["committed"])
+        stream._rolled_back = int(counters["rolled_back"])
+        stream._independent = int(counters["independent"])
+        return stream
 
     def begin(self, name: str | None = None) -> Decision:
         return self.apply(Begin(name))

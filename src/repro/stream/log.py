@@ -65,15 +65,35 @@ class Decision:
 
 @dataclass
 class AuditTrail:
-    """Append-only log of every decision a stream has taken."""
+    """Append-only log of every decision a stream has taken.
+
+    ``dropped`` counts entries compacted away (a durable server that
+    checkpointed a stream keeps the trail's *length* — sequence numbers
+    keep growing monotonically — without keeping every early decision in
+    memory); ``len(trail)`` is always the total number of decisions ever
+    taken, and indexing/iteration cover only the retained suffix.
+    """
 
     entries: list[Decision] = field(default_factory=list)
+    dropped: int = 0
 
     def append(self, decision: Decision) -> None:
         self.entries.append(decision)
 
+    def compact(self, keep_last: int = 0) -> int:
+        """Forget all but the last ``keep_last`` retained decisions.
+
+        Sequence numbering is unaffected (the forgotten prefix still
+        counts toward ``len``); returns how many entries were dropped.
+        """
+        cut = max(0, len(self.entries) - max(0, keep_last))
+        if cut:
+            self.dropped += cut
+            del self.entries[:cut]
+        return cut
+
     def __len__(self) -> int:
-        return len(self.entries)
+        return self.dropped + len(self.entries)
 
     def __iter__(self) -> Iterator[Decision]:
         return iter(self.entries)
@@ -92,8 +112,9 @@ class AuditTrail:
     def __str__(self) -> str:
         accepted = sum(1 for d in self.entries if d.accepted and not d.pending)
         rejected = sum(1 for d in self.entries if d.rejected and not d.pending)
-        return (f"AuditTrail({len(self.entries)} entries, "
-                f"{accepted} accepted, {rejected} rejected)")
+        compacted = f", {self.dropped} compacted" if self.dropped else ""
+        return (f"AuditTrail({len(self)} entries, "
+                f"{accepted} accepted, {rejected} rejected{compacted})")
 
 
 __all__ = ["Decision", "AuditTrail"]

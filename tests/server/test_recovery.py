@@ -1,0 +1,268 @@
+"""Crash recovery reconverges on the live state — the core contract.
+
+The durable server's promise: restart from the journal directory and the
+recovered fleet is *indistinguishable* from the live one — same response
+checksums for any continuation workload, same final documents, same
+stream counters.  These tests run a seeded multi-document workload, cut
+it at arbitrary points, recover into a fresh store, and drive the live
+and recovered services with the identical continuation, comparing
+response checksums pairwise (the same equivalence oracle the executor
+suite uses).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constraints import constraint_set
+from repro.errors import JournalCorruptError, JournalError
+from repro.server.journal import ServerJournal
+from repro.service.protocol import (
+    RegisterConstraints,
+    RegisterDocument,
+    StreamStatus,
+    StreamSubmit,
+    response_checksum,
+)
+from repro.service.service import ConstraintService
+from repro.service.store import DocumentStore
+from repro.stream.ops import AddLeaf, Begin, Commit, Move, RemoveSubtree, Rollback
+from repro.trees import serialize
+
+POLICY = constraint_set(
+    ("/patient[/clinicalTrial]", "up"),
+    ("/patient[/clinicalTrial]", "down"),
+    ("/patient[/visit]", "down"),
+)
+
+DOCS = ("ward", "clinic")
+
+
+def durable_service(root, **journal_opts):
+    store = DocumentStore()
+    journal = ServerJournal(root, **journal_opts)
+    report = journal.recover(store)
+    store.attach_journal(journal)
+    return ConstraintService(store=store), journal, report
+
+
+def fresh_doc():
+    """Every id pinned (root included): two calls build *identical* trees,
+    so cross-service checksum comparisons see the same node ids."""
+    from repro.trees.tree import DataTree
+    doc = DataTree(root_id=1)
+    doc.add_child(1, "patient", nid=5)
+    doc.add_child(5, "visit", nid=7)
+    doc.add_child(5, "clinicalTrial", nid=8)
+    return doc
+
+
+def register_all(svc):
+    svc.handle(RegisterConstraints("policy", tuple(POLICY)))
+    for doc in DOCS:
+        svc.handle(RegisterDocument(doc, fresh_doc()))
+
+
+def workload(seed: int, length: int):
+    """A seeded request stream over both documents (ops + transactions)."""
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(length):
+        doc = rng.choice(DOCS)
+        roll = rng.random()
+        if roll < 0.45:
+            ops = (AddLeaf(5, rng.choice(["note", "visit", "clinicalTrial"])),)
+        elif roll < 0.6:
+            ops = (RemoveSubtree(rng.choice([7, 8])),)
+        elif roll < 0.7:
+            ops = (Move(7, 5),)
+        elif roll < 0.85:
+            ops = (Begin(), AddLeaf(5, "note"), AddLeaf(5, "visit"), Commit())
+        else:
+            ops = (Begin(), AddLeaf(5, "note"), Rollback())
+        requests.append(StreamSubmit(doc, "policy", ops))
+    return requests
+
+
+def drive(svc, requests):
+    """Serve a request list; returns the response checksum stream."""
+    return [response_checksum(svc.handle(r)) for r in requests]
+
+
+def fingerprint(svc):
+    """Everything observable: per-document status + serialized trees."""
+    state = {}
+    for doc in DOCS:
+        state[doc] = (svc.handle(StreamStatus(doc)).to_dict(),
+                      serialize.to_dict(svc.store.document(doc)))
+    return state
+
+
+class TestRecoveryEquivalence:
+    @pytest.mark.parametrize("cut", [0, 1, 13, 29, 50])
+    @pytest.mark.parametrize("checkpoint_every", [4, 1000])
+    def test_recovered_equals_live_at_any_cut(self, tmp_path, cut,
+                                              checkpoint_every):
+        """Cut the workload anywhere; recovery must reconverge exactly.
+
+        ``checkpoint_every=4`` exercises snapshot+replay recovery,
+        ``1000`` pure journal replay — both must be invisible.
+        """
+        live, journal, _ = durable_service(
+            tmp_path, checkpoint_every=checkpoint_every)
+        register_all(live)
+        requests = workload(seed=0xD1CE + cut, length=50)
+        drive(live, requests[:cut])
+
+        # fsync=True means every record is on disk the moment its request
+        # was answered — recovery needs no clean shutdown (that is the
+        # point); the live service carries on with its own journal.
+        recovered, journal2, report = durable_service(
+            tmp_path, checkpoint_every=checkpoint_every)
+        assert sorted(report.documents) == sorted(DOCS)
+        assert fingerprint(recovered) == fingerprint(live)
+
+        # ...and the futures agree too: the identical continuation yields
+        # bit-identical response streams on both fleets.
+        continuation = requests[cut:]
+        assert drive(recovered, continuation) == drive(live, continuation)
+        assert fingerprint(recovered) == fingerprint(live)
+        journal.close()
+        journal2.close()
+
+    def test_checkpoint_and_full_replay_agree(self, tmp_path):
+        """The same history through snapshots and through pure replay."""
+        a_root = tmp_path / "a"
+        b_root = tmp_path / "b"
+        requests = workload(seed=0xFACE, length=40)
+        svc_a, ja, _ = durable_service(a_root, checkpoint_every=5)
+        svc_b, jb, _ = durable_service(b_root, checkpoint_every=10 ** 6)
+        register_all(svc_a)
+        register_all(svc_b)
+        assert drive(svc_a, requests) == drive(svc_b, requests)
+        ja.close()
+        jb.close()
+        rec_a, ja2, rep_a = durable_service(a_root, checkpoint_every=5)
+        rec_b, jb2, rep_b = durable_service(b_root, checkpoint_every=10 ** 6)
+        assert rep_a.checkpoints_used and not rep_b.checkpoints_used
+        assert fingerprint(rec_a) == fingerprint(rec_b) == fingerprint(svc_a)
+        ja2.close()
+        jb2.close()
+
+    def test_recover_recover_is_idempotent(self, tmp_path):
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=3)
+        register_all(live)
+        drive(live, workload(seed=7, length=20))
+        journal.close()
+        once, j1, _ = durable_service(tmp_path, checkpoint_every=3)
+        j1.close()
+        twice, j2, _ = durable_service(tmp_path, checkpoint_every=3)
+        assert fingerprint(once) == fingerprint(twice) == fingerprint(live)
+        j2.close()
+
+    def test_recovery_replays_decisions_bit_for_bit(self, tmp_path):
+        """Sequence numbers, rejections and fast-path flags all survive."""
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=1000)
+        register_all(live)
+        drive(live, workload(seed=3, length=25))
+        _, live_enf = live.store.live_stream("ward")
+        live_trail = [str(d) for d in live_enf.audit]
+        journal.close()
+        recovered, j2, _ = durable_service(tmp_path, checkpoint_every=1000)
+        _, rec_enf = recovered.store.live_stream("ward")
+        assert [str(d) for d in rec_enf.audit] == live_trail
+        j2.close()
+
+    def test_replaced_set_interleaving_recovers_in_order(self, tmp_path):
+        """A set replacement between submissions lands at the right lsn.
+
+        Replacing a constraint set drops the live streams enforcing it;
+        submissions after the replacement open a *fresh* stream with a
+        fresh baseline.  Only the global lsn order reconstructs that
+        correctly — per-file replay would reopen the stream against the
+        wrong policy epoch.
+        """
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=1000)
+        register_all(live)
+        first = [StreamSubmit("ward", "policy", (AddLeaf(5, "note"),)),
+                 StreamSubmit("ward", "policy", (RemoveSubtree(7),))]
+        drive(live, first)
+        live.handle(RegisterConstraints(
+            "policy", tuple(constraint_set(("/patient[/note]", "down"))),
+            replace=True))
+        second = [StreamSubmit("ward", "policy", (AddLeaf(5, "note"),)),
+                  StreamSubmit("ward", "policy", (AddLeaf(5, "visit"),))]
+        drive(live, second)
+
+        recovered, j2, _ = durable_service(tmp_path, checkpoint_every=1000)
+        assert fingerprint(recovered) == fingerprint(live)
+        # the post-replacement policy epoch governs both fleets alike:
+        # notes are now frozen (rejected), visits free (accepted) — on the
+        # clinic document, untouched so far, with identical checksums.
+        tail = [StreamSubmit("clinic", "policy", (AddLeaf(5, "note"),)),
+                StreamSubmit("clinic", "policy", (AddLeaf(5, "visit"),))]
+        assert drive(recovered, tail) == drive(live, tail)
+        note, visit = (recovered.store.live_stream("clinic")[1]
+                       .audit.entries[-2:])
+        assert note.rejected and visit.accepted
+        journal.close()
+        j2.close()
+
+
+class TestRecoveryRefusals:
+    def test_corrupt_history_refuses_loudly(self, tmp_path):
+        from repro.server.faults import flip_byte
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=1000)
+        register_all(live)
+        drive(live, workload(seed=1, length=5))
+        journal.close()
+        flip_byte(journal.doc_journal_path("ward"), offset=20)
+        with pytest.raises(JournalCorruptError):
+            durable_service(tmp_path, checkpoint_every=1000)
+
+    def test_submissions_without_registration_refuse(self, tmp_path):
+        from repro.server.framing import encode_record
+        doc_dir = tmp_path / "docs" / "doc-ghost"
+        doc_dir.mkdir(parents=True)
+        (doc_dir / "journal").write_bytes(encode_record(
+            {"kind": "submit", "lsn": 1, "set": "policy", "ops": []}))
+        with pytest.raises(JournalError):
+            durable_service(tmp_path)
+
+    def test_unknown_record_kind_refuses(self, tmp_path):
+        from repro.server.framing import encode_record
+        doc_dir = tmp_path / "docs" / "doc-ghost"
+        doc_dir.mkdir(parents=True)
+        (doc_dir / "journal").write_bytes(
+            encode_record({"kind": "document", "lsn": 1, "name": "ghost",
+                           "tree": serialize.to_dict(fresh_doc())}) +
+            encode_record({"kind": "mystery", "lsn": 2}))
+        with pytest.raises(JournalError):
+            durable_service(tmp_path)
+
+    def test_checkpoint_naming_unregistered_set_refuses(self, tmp_path):
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=1)
+        register_all(live)
+        drive(live, workload(seed=2, length=3))
+        journal.close()
+        journal.sets_journal_path.write_bytes(b"")  # lose the registrations
+        with pytest.raises(JournalError):
+            durable_service(tmp_path, checkpoint_every=1)
+
+
+class TestDocumentNames:
+    @pytest.mark.parametrize("name", ["plain", "with space", "slash/y",
+                                      "dots..", "unicode-ä", "%41%2F"])
+    def test_names_round_trip_through_the_filesystem(self, tmp_path, name):
+        live, journal, _ = durable_service(tmp_path)
+        live.handle(RegisterConstraints("policy", tuple(POLICY)))
+        live.handle(RegisterDocument(name, fresh_doc()))
+        live.handle(StreamSubmit(name, "policy", (AddLeaf(5, "note"),)))
+        journal.close()
+        recovered, j2, report = durable_service(tmp_path)
+        assert report.documents == [name]
+        status = recovered.handle(StreamStatus(name)).to_dict()
+        assert status["size"] == 1
+        j2.close()

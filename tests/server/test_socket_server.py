@@ -1,0 +1,369 @@
+"""The socket front end: handshake, envelopes, robustness, durability.
+
+The acceptance test of the server PR lives here: multiple concurrent
+clients over a real socket, a ``kill -9`` (transport-level abort, journal
+left exactly as the last fsync left it), and a restart that reconverges
+on every acknowledged operation.  Around it, the wire-level robustness
+contract — version-checked handshake, typed errors for malformed frames
+and unknown kinds, per-request timeouts, bounded backpressure, graceful
+shutdown draining in-flight work.
+
+No ``pytest-asyncio`` in the toolchain: each test drives its own loop
+with ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.constraints import constraint_set
+from repro.server import ReproClient, ReproServer
+from repro.server.framing import encode_record, read_frame, write_frame
+from repro.service.async_service import AsyncService
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ErrorResponse,
+    ImplicationQuery,
+    StreamSubmit,
+    response_checksum,
+)
+from repro.stream.ops import AddLeaf, Begin, Commit, RemoveSubtree, Rollback
+from repro.trees.tree import DataTree
+
+POLICY = constraint_set(("/patient[/clinicalTrial]", "up"),
+                        ("/patient[/visit]", "down"))
+
+
+def fresh_doc() -> DataTree:
+    doc = DataTree(root_id=1)
+    doc.add_child(1, "patient", nid=5)
+    doc.add_child(5, "clinicalTrial", nid=8)
+    return doc
+
+
+async def dial_raw(server):
+    host, port = server.address
+    return await asyncio.open_connection(host, port)
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+class TestHandshake:
+    def test_version_mismatch_is_refused(self):
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer, {"hello": {"protocol": 999}})
+                reply = await read_frame(reader)
+                eof = await read_frame(reader)
+                writer.close()
+                return reply, eof
+
+        reply, eof = asyncio.run(run())
+        assert "error" in reply
+        assert "protocol version mismatch" in reply["error"]["message"]
+        assert eof is None  # the server hung up
+
+    def test_missing_hello_is_refused(self):
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer, {"id": 1, "body": {"request": "x"}})
+                reply = await read_frame(reader)
+                eof = await read_frame(reader)
+                writer.close()
+                return reply, eof
+
+        reply, eof = asyncio.run(run())
+        assert "error" in reply  # a frame that is not a hello is refused
+        assert eof is None
+
+    def test_matching_hello_is_answered(self):
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer,
+                                  {"hello": {"protocol": PROTOCOL_VERSION}})
+                reply = await read_frame(reader)
+                writer.close()
+                return reply
+
+        reply = asyncio.run(run())
+        assert reply["hello"]["protocol"] == PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# Malformed traffic -> typed errors, never a dead server
+# ----------------------------------------------------------------------
+class TestWireRobustness:
+    def test_unknown_request_kind_gets_error_response(self):
+        async def run():
+            async with ReproServer() as server:
+                host, port = server.address
+                client = await ReproClient.connect(host, port)
+                reader, writer = client._reader, client._writer
+                await write_frame(writer, {"id": 9,
+                                           "body": {"request": "no-such"}})
+                # bypass the client plumbing: read the raw envelope
+                client._reader_task.cancel()
+                try:
+                    await client._reader_task
+                except asyncio.CancelledError:
+                    pass
+                frame = await read_frame(reader)
+                await client.close()
+                return frame
+
+        frame = asyncio.run(run())
+        assert frame["id"] == 9
+        assert frame["body"]["response"] == "error"
+        assert frame["body"]["error"] == "ServiceError"
+
+    def test_envelope_without_body_gets_error_response(self):
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer,
+                                  {"hello": {"protocol": PROTOCOL_VERSION}})
+                await read_frame(reader)
+                await write_frame(writer, {"id": 3})
+                frame = await read_frame(reader)
+                writer.close()
+                return frame
+
+        frame = asyncio.run(run())
+        assert frame["id"] == 3
+        assert frame["body"]["error"] == "ServerError"
+        assert "body" in frame["body"]["message"]
+
+    def test_non_object_frame_payload_drops_the_connection(self):
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer,
+                                  {"hello": {"protocol": PROTOCOL_VERSION}})
+                await read_frame(reader)
+                payload = json.dumps([1, 2, 3]).encode()
+                import zlib
+                from repro.server.framing import HEADER
+                writer.write(HEADER.pack(len(payload), zlib.crc32(payload))
+                             + payload)
+                await writer.drain()
+                error = await read_frame(reader)
+                eof = await read_frame(reader)
+                writer.close()
+                return error, eof
+
+        error, eof = asyncio.run(run())
+        assert error["body"]["error"] == "ServerError"
+        assert eof is None
+
+    def test_server_survives_a_dropped_connection_mid_frame(self):
+        """The fault harness's mid-request drop: half a frame, then gone."""
+        async def run():
+            async with ReproServer() as server:
+                reader, writer = await dial_raw(server)
+                await write_frame(writer,
+                                  {"hello": {"protocol": PROTOCOL_VERSION}})
+                await read_frame(reader)
+                blob = encode_record({"id": 1, "body": {"request": "x"}})
+                writer.write(blob[:len(blob) // 2])
+                await writer.drain()
+                writer.close()  # vanish mid-frame
+                await asyncio.sleep(0.05)
+                # the server is still alive and serves a fresh client
+                host, port = server.address
+                client = await ReproClient.connect(host, port)
+                ack = await client.register_constraints("p", tuple(POLICY))
+                await client.close()
+                return ack.to_dict()
+
+        assert asyncio.run(run())["registered"] == "constraints"
+
+
+# ----------------------------------------------------------------------
+# Timeout and backpressure
+# ----------------------------------------------------------------------
+class _StallingService(AsyncService):
+    """Implication queries never resolve — a deterministic slow request."""
+
+    def submit(self, request):
+        if isinstance(request, ImplicationQuery):
+            return asyncio.get_running_loop().create_future()
+        return super().submit(request)
+
+
+class TestTimeouts:
+    def test_slow_request_times_out_with_typed_error(self):
+        async def run():
+            service = _StallingService()
+            async with ReproServer(service, request_timeout=0.05) as server:
+                host, port = server.address
+                client = await ReproClient.connect(host, port)
+                await client.register_constraints("p", tuple(POLICY))
+                reply = await client.request(ImplicationQuery("p", ()))
+                # the connection is still perfectly usable afterwards
+                again = await client.register_constraints(
+                    "p", tuple(POLICY), replace=True)
+                await client.close()
+                return reply, again
+
+        reply, again = asyncio.run(run())
+        assert isinstance(reply, ErrorResponse)
+        assert reply.error == "TimeoutError"
+        assert again.to_dict()["registered"] == "constraints"
+
+
+class TestBackpressure:
+    def test_overload_is_refused_not_queued(self):
+        async def run():
+            service = _StallingService()
+            server = ReproServer(service, request_timeout=None,
+                                 max_inflight=2)
+            await server.start()
+            try:
+                host, port = server.address
+                client = await ReproClient.connect(host, port)
+                stuck = [await client.submit(ImplicationQuery("p", ()))
+                         for _ in range(2)]
+                # the gauge is full: the next request is refused at once
+                refused = await client.request(ImplicationQuery("p", ()))
+                assert server.inflight == 2
+                for future in stuck:
+                    future.cancel()
+                await client.close()
+                return refused
+            finally:
+                # graceful close would wait forever on the stalled pair
+                await server.abort()
+
+        refused = asyncio.run(run())
+        assert isinstance(refused, ErrorResponse)
+        assert "overloaded" in refused.message
+        assert refused.details == {"inflight": 2, "limit": 2}
+
+
+# ----------------------------------------------------------------------
+# Ordering and shutdown
+# ----------------------------------------------------------------------
+class TestOrderingAndShutdown:
+    def test_pipelined_same_document_requests_keep_order(self):
+        async def run():
+            async with ReproServer() as server:
+                host, port = server.address
+                client = await ReproClient.connect(host, port)
+                await client.register_constraints("p", tuple(POLICY))
+                await client.register_document("ward", fresh_doc())
+                futures = [await client.submit(
+                    StreamSubmit("ward", "p", (AddLeaf(5, "note"),)))
+                    for _ in range(8)]
+                replies = await asyncio.gather(*futures)
+                await client.close()
+                return [r.decisions[0].seq for r in replies]
+
+        assert asyncio.run(run()) == list(range(8))
+
+    def test_graceful_close_drains_in_flight_requests(self):
+        async def run():
+            server = ReproServer()
+            await server.start()
+            host, port = server.address
+            client = await ReproClient.connect(host, port)
+            await client.register_constraints("p", tuple(POLICY))
+            await client.register_document("ward", fresh_doc())
+            futures = [await client.submit(
+                StreamSubmit("ward", "p", (AddLeaf(5, "note"),)))
+                for _ in range(6)]
+            await asyncio.sleep(0.05)  # let the reader ingest the frames
+            await server.close()
+            replies = await asyncio.gather(*futures)
+            await client.close()
+            return [r.to_dict()["response"] for r in replies]
+
+        assert asyncio.run(run()) == ["decisions"] * 6
+
+
+# ----------------------------------------------------------------------
+# The acceptance test: multi-client, kill -9, recovery over the socket
+# ----------------------------------------------------------------------
+class TestDurableAcceptance:
+    def test_two_clients_kill_dash_nine_recover(self, tmp_path):
+        async def run():
+            server = ReproServer.durable(tmp_path, checkpoint_every=6)
+            await server.start()
+            host, port = server.address
+            alice = await ReproClient.connect(host, port)
+            bob = await ReproClient.connect(host, port)
+            await alice.register_constraints("policy", tuple(POLICY))
+            await alice.register_document("ward", fresh_doc())
+            await bob.register_document("clinic", fresh_doc())
+
+            # interleaved acknowledged traffic from both clients
+            checksums = []
+            for i in range(9):
+                ops = ((Begin(), AddLeaf(5, "note"), Commit()) if i % 3 == 0
+                       else (Begin(), AddLeaf(5, "note"), Rollback())
+                       if i % 3 == 1 else (AddLeaf(5, "note"),))
+                a = await alice.enforce("ward", "policy", ops)
+                b = await bob.enforce("clinic", "policy",
+                                      (AddLeaf(5, "visit"),))
+                checksums += [response_checksum(a), response_checksum(b)]
+            rejected = await bob.enforce("clinic", "policy",
+                                         (RemoveSubtree(8),))
+            checksums.append(response_checksum(rejected))
+            ward = (await alice.status("ward")).to_dict()
+            clinic = (await bob.status("clinic")).to_dict()
+
+            await server.abort()  # kill -9: no drain, no flush, no goodbye
+            await alice.close()
+            await bob.close()
+
+            revived = ReproServer.durable(tmp_path, checkpoint_every=6)
+            await revived.start()
+            host, port = revived.address
+            carol = await ReproClient.connect(host, port)
+            ward2 = (await carol.status("ward")).to_dict()
+            clinic2 = (await carol.status("clinic")).to_dict()
+            # the recovered fleet keeps serving: same policy, same stream
+            more = await carol.enforce("ward", "policy",
+                                       (AddLeaf(5, "note"),))
+            await carol.close()
+            await revived.close()
+            return (ward, clinic, ward2, clinic2, revived.recovery,
+                    more.decisions[0].seq, ward["size"])
+
+        (ward, clinic, ward2, clinic2, recovery,
+         next_seq, entries) = asyncio.run(run())
+        assert ward2 == ward
+        assert clinic2 == clinic
+        assert sorted(recovery.documents) == ["clinic", "ward"]
+        assert recovery.checkpoints_used  # checkpoint_every=6 kicked in
+        assert next_seq == entries  # decisions continue exactly where cut
+
+    def test_restart_from_clean_close_also_reconverges(self, tmp_path):
+        async def run():
+            server = ReproServer.durable(tmp_path)
+            await server.start()
+            host, port = server.address
+            client = await ReproClient.connect(host, port)
+            await client.register_constraints("policy", tuple(POLICY))
+            await client.register_document("ward", fresh_doc())
+            await client.enforce("ward", "policy", (AddLeaf(5, "note"),))
+            before = (await client.status("ward")).to_dict()
+            await client.close()
+            await server.close()  # graceful: flushed, no torn tail
+
+            revived = ReproServer.durable(tmp_path)
+            await revived.start()
+            host, port = revived.address
+            client = await ReproClient.connect(host, port)
+            after = (await client.status("ward")).to_dict()
+            await client.close()
+            await revived.close()
+            return before, after, revived.recovery.torn_tails
+
+        before, after, torn = asyncio.run(run())
+        assert after == before
+        assert torn == []
