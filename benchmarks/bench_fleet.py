@@ -1,0 +1,219 @@
+"""Fleet-scale constraint checking: the numpy mask backend vs big-int.
+
+One workload, two backends, identical decisions.  A fleet of ~1000
+small documents is adopted under one shared constraint set
+(:class:`~repro.masks.FleetEvaluator`), driven through a few write
+epochs, and then served batched validity checks:
+
+* **check** (gated) — the steady-state cost of one whole-fleet validity
+  check: every constraint range swept across all documents, baselines
+  packed into backend rows, per-constraint compares row-wise.  This is
+  the phase the numpy backend vectorizes — the acceptance floor is a
+  ≥3x speedup over the big-int reference at 1000 documents.
+* **epochs** (reported, not gated) — end-to-end epoch throughput:
+  apply per-document edits, one batched check, roll back violators.
+  Dominated by the shared per-operation tree/journal work, so the ratio
+  is informative but sits well under the check-phase speedup.
+
+Decisions are pinned: both backends must produce bit-identical epoch
+outcomes, the same running decision checksum and the same check
+checksum — the cross-backend property CI's backend matrix relies on.
+Without numpy the script still runs (big-int only), emits the
+checksums, and omits the speedup entries; ``compare_reports`` treats
+the absent ratios as informational, so a numpy-less environment can
+still gate against the committed baseline's checksums.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fleet.py [output.json]
+          [--smoke] [--compare BASELINE.json] [--tolerance 0.2]
+
+Emits ``BENCH_fleet.json`` at the repo root by default.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from bench_helpers import compare_reports
+from repro.masks import FleetEvaluator, available_backends, numpy_available
+from repro.stream import AddLeaf, Move, RemoveSubtree
+from repro.trees.node import fresh_id
+from repro.workloads import FragmentSpec, random_constraints, random_tree
+
+SEED = 20070611  # PODS 2007
+LABELS = [f"l{i}" for i in range(8)]
+
+
+def build_workload(docs: int, tree_size: int, n_constraints: int,
+                   n_epochs: int, edit_fraction: float):
+    """A seeded fleet plus its epoch traffic (identical for every backend).
+
+    Epoch operations are drawn against the *base* trees, not a live
+    replay: some will hit nodes an earlier epoch removed or reference a
+    leaf a rejected epoch never created, which is exactly the
+    structural-error traffic the fleet's per-document rollback handles.
+    """
+    rng = random.Random(SEED)
+    spec = FragmentSpec(predicates=True, descendant=True, wildcard=False)
+    constraints = random_constraints(rng, LABELS, spec, count=n_constraints,
+                                     types="mixed", spine=2)
+    trees = [random_tree(rng, LABELS, size=tree_size) for _ in range(docs)]
+    epochs = []
+    for _ in range(n_epochs):
+        batch = {}
+        for d in rng.sample(range(docs), int(docs * edit_fraction)):
+            tree = trees[d]
+            nodes = list(tree.node_ids())
+            nonroot = [n for n in nodes if n != tree.root]
+            ops = []
+            for _ in range(rng.randint(1, 2)):
+                roll = rng.random()
+                if roll < 0.55 or not nonroot:
+                    ops.append(AddLeaf(rng.choice(nodes), rng.choice(LABELS),
+                                       nid=fresh_id()))
+                elif roll < 0.8:
+                    ops.append(Move(rng.choice(nonroot), rng.choice(nodes)))
+                else:
+                    ops.append(RemoveSubtree(rng.choice(nonroot)))
+            batch[d] = ops
+        epochs.append(batch)
+    return constraints, trees, epochs
+
+
+def run_backend(backend: str, constraints, trees, epochs,
+                rounds: int) -> dict:
+    """Best-of-``rounds`` timings for one backend on the shared workload."""
+    best_epochs = best_check = float("inf")
+    decision_checksum = check_checksum = None
+    for _ in range(rounds):
+        fleet = FleetEvaluator(constraints, [t.copy() for t in trees],
+                               backend=backend)
+        fleet.check()  # settle baselines before the clock starts
+        start = time.perf_counter()
+        for batch in epochs:
+            fleet.submit_epoch(batch)
+        best_epochs = min(best_epochs, time.perf_counter() - start)
+        for _ in range(3):
+            start = time.perf_counter()
+            report = fleet.check(force=True)
+            best_check = min(best_check, time.perf_counter() - start)
+        decision_checksum = fleet.checksum
+        check_checksum = report.checksum
+    return {"epochs_s": best_epochs, "check_s": best_check,
+            "decision_checksum": decision_checksum,
+            "check_checksum": check_checksum}
+
+
+def bench_fleet(docs: int, tree_size: int, n_constraints: int,
+                n_epochs: int, edit_fraction: float, rounds: int) -> dict:
+    constraints, trees, epochs = build_workload(
+        docs, tree_size, n_constraints, n_epochs, edit_fraction)
+    edits = sum(len(ops) for batch in epochs for ops in batch.values())
+    runs = {backend: run_backend(backend, constraints, trees, epochs, rounds)
+            for backend in available_backends()}
+    bigint = runs["bigint"]
+    out = {
+        "docs": docs,
+        "tree_size": tree_size,
+        "constraints": len(constraints),
+        "epochs": n_epochs,
+        "edits": edits,
+        "backends": sorted(runs),
+        "bigint_checks_per_sec": round(1.0 / bigint["check_s"], 1),
+        "bigint_epoch_eps": round(edits / bigint["epochs_s"], 1),
+        "decision_checksum": bigint["decision_checksum"],
+        "check_checksum": bigint["check_checksum"],
+    }
+    numpy_run = runs.get("numpy")
+    if numpy_run is not None:
+        out.update({
+            "numpy_checks_per_sec": round(1.0 / numpy_run["check_s"], 1),
+            "numpy_epoch_eps": round(edits / numpy_run["epochs_s"], 1),
+            # The gated ratio: the vectorized whole-fleet check.
+            "speedup": round(bigint["check_s"] / numpy_run["check_s"], 2),
+            # Reported only: shared per-op work dominates epoch latency.
+            "epoch_ratio": round(bigint["epochs_s"] / numpy_run["epochs_s"],
+                                 2),
+            "decisions_match": (
+                numpy_run["decision_checksum"] == bigint["decision_checksum"]
+                and numpy_run["check_checksum"] == bigint["check_checksum"]),
+        })
+    return out
+
+
+def main() -> None:
+    args = list(sys.argv[1:])
+    smoke = "--smoke" in args
+    if smoke:
+        args.remove("--smoke")
+    baseline_path = None
+    if "--compare" in args:
+        at = args.index("--compare")
+        baseline_path = Path(args[at + 1])
+        del args[at:at + 2]
+    tolerance = 0.20
+    if "--tolerance" in args:
+        at = args.index("--tolerance")
+        tolerance = float(args[at + 1])
+        del args[at:at + 2]
+    out_path = (Path(args[0]) if args
+                else Path(__file__).resolve().parent.parent / "BENCH_fleet.json")
+
+    if smoke:
+        fleet = bench_fleet(docs=120, tree_size=12, n_constraints=4,
+                            n_epochs=2, edit_fraction=0.5, rounds=1)
+        floors = {"fleet": 0.7}
+    else:
+        fleet = bench_fleet(docs=1000, tree_size=30, n_constraints=10,
+                            n_epochs=4, edit_fraction=0.3, rounds=2)
+        floors = {"fleet": 3.0}
+
+    report = {
+        "benchmark": "fleet mask backends: vectorized numpy vs big-int",
+        "seed": SEED,
+        "mode": "smoke" if smoke else "full",
+        "numpy_available": numpy_available(),
+        "fleet": fleet,
+        "floors": floors,
+    }
+    out_path.write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
+    print(f"fleet   : {fleet['docs']} docs x {fleet['constraints']} "
+          f"constraints, {fleet['epochs']} epochs / {fleet['edits']} edits")
+    print(f"check   : bigint {fleet['bigint_checks_per_sec']:>7} /s | "
+          f"numpy {fleet.get('numpy_checks_per_sec', '   n/a'):>9} /s | "
+          f"x{fleet.get('speedup', '-')}")
+    print(f"epochs  : bigint {fleet['bigint_epoch_eps']:>7} op/s | "
+          f"numpy {fleet.get('numpy_epoch_eps', '   n/a'):>9} op/s | "
+          f"x{fleet.get('epoch_ratio', '-')} (not gated)")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if "speedup" in fleet:
+        if not fleet["decisions_match"]:
+            failures.append("fleet decisions diverged between the numpy and "
+                            "big-int backends")
+        if fleet["speedup"] < floors["fleet"]:
+            failures.append(f"fleet check speedup {fleet['speedup']} "
+                            f"< floor {floors['fleet']}")
+    else:
+        print("numpy unavailable: speedup gate skipped (big-int checksums "
+              "still compared)")
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("mode") != report["mode"]:
+            failures.append(f"--compare mode mismatch: baseline is "
+                            f"{baseline.get('mode')!r}, this run is "
+                            f"{report['mode']!r}")
+        else:
+            failures.extend(compare_reports(report, baseline, tolerance))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -35,12 +35,20 @@ constraint sets once and answers a JSON-serialisable request protocol
 — inline, process-pooled, or the ``AsyncService`` asyncio front end with
 per-document ordering.
 
+Thousands of *small* documents under one shared policy check fastest as
+one batch: ``FleetEvaluator`` (:mod:`repro.masks`) evaluates every
+constraint range for the whole fleet per write *epoch* through a
+pluggable mask backend — exact big-int semantics always, vectorized
+numpy rows when numpy is installed (``REPRO_MASK_BACKEND`` selects;
+decisions are checksum-identical across backends).
+
 Sub-packages: ``service`` (the multi-document front door), ``api``
 (compiled reasoning sessions), ``trees`` (data model), ``xpath`` (the
 fragment, containment, intersections), ``automata`` (linear-path
 machinery), ``constraints`` (update constraints + validity),
 ``implication`` (Table 1 engines), ``instance`` (Table 2 engines),
-``stream`` (online update-log enforcement + shard runner), ``reductions``
+``stream`` (online update-log enforcement + shard runner), ``masks``
+(pluggable mask backends + the fleet evaluator), ``reductions``
 (hardness constructions), ``keys`` / ``xic`` (the related formalisms of
 Section 3), ``bruteforce`` (ground-truth oracles) and ``workloads``
 (benchmark generators).
@@ -72,6 +80,12 @@ from repro.implication import (
     implies_single,
 )
 from repro.instance import implies_on
+from repro.masks import (
+    FleetEvaluator,
+    available_backends,
+    get_backend,
+    numpy_available,
+)
 from repro.service import (
     AsyncService,
     ConstraintService,
@@ -88,9 +102,12 @@ from repro.stream import (
     Move,
     RemoveSubtree,
     Rollback,
+    FleetJob,
+    FleetRunReport,
     StreamEnforcer,
     StreamJob,
     StreamReport,
+    run_fleet,
     run_sharded,
 )
 from repro.trees import DataTree, Node, TreeIndex, branch, build, leaf, parse_tree
@@ -127,6 +144,9 @@ __all__ = [
     "StreamEnforcer", "AuditTrail", "Decision",
     "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",
     "StreamJob", "StreamReport", "run_sharded",
+    # fleet / mask backends
+    "FleetEvaluator", "FleetJob", "FleetRunReport", "run_fleet",
+    "get_backend", "available_backends", "numpy_available",
     # implication
     "implies", "implies_single", "implies_on",
     "Answer", "ImplicationResult", "Counterexample",

@@ -1,0 +1,107 @@
+"""The pluggable mask-backend interface of the fleet evaluator.
+
+A *mask backend* owns one representation of "a slot mask per document"
+— a matrix of bit rows, one row per document of a fleet — and the small
+algebra the constraint check needs over it: pack Python big-int masks
+into rows, compare row-wise, diff row-wise, and find the rows where
+anything survived.  Two implementations ship:
+
+* :class:`repro.masks.bigint.BigIntBackend` — rows *are* Python ints,
+  every operation a per-row loop; bit-identical to the single-document
+  :class:`~repro.xpath.bitset.BitsetEvaluator` path because it is that
+  path.
+* :class:`repro.masks.np_backend.NumpyBackend` — rows are ``uint64``
+  words of one 2-D array; the whole fleet's compares run as a handful
+  of vectorized kernels.  Optional: importing it raises
+  :class:`ImportError` when numpy is absent (see
+  :func:`repro.masks.get_backend` for guarded selection).
+
+A backend also builds the :class:`FleetKernel` that evaluates one tree
+pattern against *every* document of a fleet at once, returning a mask
+matrix in the backend's own representation.  Decisions must be
+checksum-identical across backends — the Hypothesis cross-backend suite
+pins masks, verdicts and response checksums against each other.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Sequence
+
+from repro.xpath.ast import Pattern
+
+#: A backend-owned matrix of per-document slot-mask rows.  ``list[int]``
+#: for the big-int backend, a 2-D ``uint64`` ndarray for numpy — opaque
+#: to callers, who go through the backend's algebra.
+MaskMatrix = Any
+
+
+class FleetKernel(ABC):
+    """Evaluates tree patterns against every document of one fleet.
+
+    Built by :meth:`MaskBackend.kernel` over the fleet's per-document
+    evaluation contexts (duck-typed ``BitsetEvaluator`` objects — the
+    kernel module must not import the bitset module, which imports this
+    package).  ``invalidate`` marks one document's structure dirty; the
+    kernel refreshes whatever it caches on the next evaluation.
+    """
+
+    @abstractmethod
+    def evaluate(self, pattern: Pattern) -> MaskMatrix:
+        """``q(root, J_d)`` for every document ``d``, as one mask matrix."""
+
+    @abstractmethod
+    def invalidate(self, doc: int) -> None:
+        """Document ``doc``'s structure changed since the last evaluate."""
+
+    @property
+    @abstractmethod
+    def words(self) -> int:
+        """Row width in 64-bit words after the last refresh (0 = unbounded
+        rows, i.e. the big-int backend)."""
+
+
+class MaskBackend(ABC):
+    """One representation of per-document mask rows plus its algebra."""
+
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def kernel(self, contexts: Sequence[Any]) -> FleetKernel:
+        """A fleet kernel over per-document evaluator contexts."""
+
+    # -- row-matrix algebra -------------------------------------------
+    @abstractmethod
+    def pack_rows(self, rows: Sequence[int], words: int) -> MaskMatrix:
+        """Big-int masks, one per document, as a backend matrix.
+
+        ``words`` is the row width in 64-bit words (ignored by unbounded
+        representations); a mask that does not fit the width is a caller
+        bug and raises ``OverflowError``.
+        """
+
+    @abstractmethod
+    def unpack_rows(self, matrix: MaskMatrix) -> list[int]:
+        """Every row back as a Python big-int mask (the test oracle)."""
+
+    @abstractmethod
+    def row_int(self, matrix: MaskMatrix, row: int) -> int:
+        """One row as a big-int mask (witness decoding on a diff)."""
+
+    @abstractmethod
+    def and_not(self, a: MaskMatrix, b: MaskMatrix) -> MaskMatrix:
+        """Row-wise ``a & ~b`` — the lost/extra diff of the check."""
+
+    @abstractmethod
+    def nonzero_rows(self, matrix: MaskMatrix) -> list[int]:
+        """Indices of rows with any bit set, ascending."""
+
+    @abstractmethod
+    def popcount_rows(self, matrix: MaskMatrix) -> list[int]:
+        """Per-row set-bit counts (reports and sanity checks)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["MaskBackend", "FleetKernel", "MaskMatrix"]

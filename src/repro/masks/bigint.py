@@ -1,0 +1,121 @@
+"""The big-int mask backend: rows are Python ints, loops are per-row.
+
+This module also owns the shared big-int mask *helpers* — slot decoding
+through a per-byte table, byte views for O(1) membership tests — that
+the single-document :class:`~repro.xpath.bitset.BitsetEvaluator` hot
+paths use (re-exported there for compatibility).  The backend itself is
+the reference semantics of the fleet check: its kernel simply runs each
+document's own bitset sweep, so a numpy-backend discrepancy is always a
+numpy bug, never an open question.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.masks.base import FleetKernel, MaskBackend
+from repro.xpath.ast import Pattern
+
+_BIT = tuple(1 << b for b in range(8))
+
+
+# Per-byte decode table: byte value -> bit positions set in it.  One
+# ``int.to_bytes`` conversion turns slot extraction into a C-level byte
+# scan with table lookups — O(words + answers) instead of the bit-kernel
+# loop's O(answers * words) repeated big-int ``mask & -mask`` arithmetic.
+_BYTE_SLOTS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(b for b in range(8) if byte >> b & 1) for byte in range(256))
+
+
+def iter_slots(mask: int) -> Iterator[int]:
+    """Slots (bit positions) of a mask, ascending — document order.
+
+    Batch-decoded through :data:`_BYTE_SLOTS`; on >10k-node documents this
+    is what keeps whole-mask extraction off the profile (see the
+    ``decoder`` row of ``benchmarks/bench_stream.py``).
+    """
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            for b in _BYTE_SLOTS[byte]:
+                yield offset + b
+        offset += 8
+
+
+def slots_of(mask: int) -> list[int]:
+    """All slots of a mask as a list (the loop-free twin of
+    :func:`iter_slots` for callers that consume the whole answer)."""
+    out: list[int] = []
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            out += [offset + b for b in _BYTE_SLOTS[byte]]
+        offset += 8
+    return out
+
+
+def byte_view(mask: int) -> bytes:
+    """The mask as bytes: O(1) per-slot membership tests against big masks
+    (``view[s >> 3] & _BIT[s & 7]``) instead of an O(words) shift each."""
+    return mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+
+
+class _BigIntKernel(FleetKernel):
+    """Per-document sweeps through each context's own bitset evaluator.
+
+    There is nothing to cache fleet-side: every context delta-maintains
+    its predicate masks itself, so ``invalidate`` is a no-op and an
+    evaluation is one ``evaluate_mask`` call per document.
+    """
+
+    __slots__ = ("_contexts",)
+
+    def __init__(self, contexts: Sequence[Any]):
+        self._contexts = list(contexts)
+
+    def evaluate(self, pattern: Pattern) -> list[int]:
+        return [ctx.evaluate_mask(pattern) for ctx in self._contexts]
+
+    def invalidate(self, doc: int) -> None:
+        pass
+
+    @property
+    def words(self) -> int:
+        return 0
+
+
+class BigIntBackend(MaskBackend):
+    """Rows are Python big-ints; the exact single-document semantics."""
+
+    name = "bigint"
+
+    def kernel(self, contexts: Sequence[Any]) -> FleetKernel:
+        return _BigIntKernel(contexts)
+
+    def pack_rows(self, rows: Sequence[int], words: int) -> list[int]:
+        if words:
+            limit = 1 << (words * 64)
+            for row in rows:
+                if row >= limit:
+                    raise OverflowError(
+                        f"mask of {row.bit_length()} bits exceeds the "
+                        f"{words}-word row width")
+        return list(rows)
+
+    def unpack_rows(self, matrix: list[int]) -> list[int]:
+        return list(matrix)
+
+    def row_int(self, matrix: list[int], row: int) -> int:
+        return matrix[row]
+
+    def and_not(self, a: list[int], b: list[int]) -> list[int]:
+        return [x & ~y for x, y in zip(a, b)]
+
+    def nonzero_rows(self, matrix: list[int]) -> list[int]:
+        return [i for i, row in enumerate(matrix) if row]
+
+    def popcount_rows(self, matrix: list[int]) -> list[int]:
+        return [row.bit_count() for row in matrix]
+
+
+__all__ = ["BigIntBackend", "iter_slots", "slots_of", "byte_view"]

@@ -1,0 +1,256 @@
+"""The numpy mask backend: the whole fleet as one 2-D ``uint64`` array.
+
+Importing this module requires numpy (and a little-endian host — the
+packed rows are read back as ``int.from_bytes(..., "little")``); go
+through :func:`repro.masks.get_backend` for guarded selection with
+automatic big-int fallback.
+
+The kernel flattens every document of the fleet into one concatenated
+preorder node table — per node its gapped slot, interned label code,
+parent position and subtree-end position (:meth:`~repro.trees.index.
+TreeIndex.mask_export`) — and evaluates a canonical tree pattern for
+*all* documents at once:
+
+* a ``/`` predicate ("has a matching child") is one scatter of the
+  matching nodes' parent positions;
+* a ``//`` predicate ("has a matching strict descendant") is one cumsum
+  over the match flags compared at subtree ends;
+* a ``/`` pattern step is one gather of the frontier through the parent
+  array;
+* a ``//`` pattern step is one running maximum over frontier subtree
+  ends — interval nesting makes "some earlier frontier interval still
+  covers me" exactly strict-descendant-of-the-frontier, and document
+  segments cannot leak into each other because a subtree end never
+  crosses its document's boundary.
+
+The resulting frontier flags scatter into per-document bit rows
+(``np.packbits`` with little-endian bit order matches the big-int slot
+numbering), so the per-constraint baseline compares of the fleet check
+run as row-wise array ops.  Documents are re-extracted only when their
+snapshot revision moved; pattern/predicate flag arrays are cached until
+any document changes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.masks.base import FleetKernel, MaskBackend
+from repro.xpath.ast import Axis, Pattern, Pred, normalize_preds
+
+if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+    raise ImportError("the numpy mask backend packs rows little-endian and "
+                      "requires a little-endian host")
+
+_NDArray = Any  # numpy's own annotations stay loose; so do ours
+
+
+def _row_bytes(row: _NDArray) -> bytes:
+    return bytes(row.tobytes())
+
+
+class _NumpyKernel(FleetKernel):
+    """Concatenated-fleet pattern evaluation (see the module docstring)."""
+
+    __slots__ = ("_contexts", "_revs", "_docs", "_dirty", "_codes",
+                 "_ndocs", "_words", "_starts", "_doc_sizes",
+                 "_g_pre", "_g_code", "_g_par", "_g_send", "_g_rowbit",
+                 "_par_valid", "_label_flags", "_pred_flags", "_stale")
+
+    def __init__(self, contexts: Sequence[Any]):
+        self._contexts = list(contexts)
+        self._ndocs = len(self._contexts)
+        self._revs: list[int | None] = [None] * self._ndocs
+        # Per doc: (pres, posts, codes, parent_pos) int64 arrays.
+        self._docs: list[tuple[_NDArray, _NDArray, _NDArray, _NDArray] | None]
+        self._docs = [None] * self._ndocs
+        self._dirty: set[int] = set(range(self._ndocs))
+        self._codes: dict[str, int] = {}
+        self._words = 0
+        self._stale = True
+        self._label_flags: dict[str | None, _NDArray] = {}
+        self._pred_flags: dict[Pred, _NDArray] = {}
+
+    # -- structure maintenance ----------------------------------------
+    def invalidate(self, doc: int) -> None:
+        self._dirty.add(doc)
+        self._stale = True
+
+    @property
+    def words(self) -> int:
+        return self._words
+
+    def _code(self, label: str) -> int:
+        code = self._codes.get(label)
+        if code is None:
+            code = len(self._codes)
+            self._codes[label] = code
+        return code
+
+    def _extract(self, doc: int) -> None:
+        idx = self._contexts[doc].index
+        pres, posts, labels, parent_pos = idx.mask_export()
+        codes = np.fromiter((self._code(lab) for lab in labels),
+                            dtype=np.int64, count=len(labels))
+        self._docs[doc] = (np.asarray(pres, dtype=np.int64),
+                           np.asarray(posts, dtype=np.int64),
+                           codes,
+                           np.asarray(parent_pos, dtype=np.int64))
+        self._revs[doc] = idx.revision
+
+    def _refresh(self) -> None:
+        changed = False
+        for doc, ctx in enumerate(self._contexts):
+            if (doc in self._dirty or self._docs[doc] is None
+                    or self._revs[doc] != ctx.index.revision):
+                self._extract(doc)
+                changed = True
+        self._dirty.clear()
+        if not changed and not self._stale:
+            return
+        self._stale = False
+        self._label_flags.clear()
+        self._pred_flags.clear()
+        docs = [d for d in self._docs if d is not None]
+        sizes = np.asarray([len(d[0]) for d in docs], dtype=np.int64)
+        self._doc_sizes = sizes
+        starts = np.zeros(self._ndocs, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        self._starts = starts
+        self._g_pre = np.concatenate([d[0] for d in docs])
+        self._g_code = np.concatenate([d[2] for d in docs])
+        self._g_par = np.concatenate(
+            [np.where(d[3] >= 0, d[3] + off, -1)
+             for d, off in zip(docs, starts)])
+        # Subtree end = position of the last node whose slot is <= post;
+        # slots ascend in preorder, so this is one searchsorted per doc.
+        self._g_send = np.concatenate(
+            [np.searchsorted(d[0], d[1], side="right") - 1 + off
+             for d, off in zip(docs, starts)])
+        self._par_valid = self._g_par >= 0
+        bits = int(max(int(d[0][-1]) for d in docs)) + 1
+        self._words = (bits + 63) >> 6
+        width = self._words << 6
+        doc_of = np.repeat(np.arange(self._ndocs, dtype=np.int64), sizes)
+        self._g_rowbit = self._g_pre + doc_of * width
+
+    # -- flag-array primitives ----------------------------------------
+    def _label_flag(self, label: str | None) -> _NDArray:
+        cached = self._label_flags.get(label)
+        if cached is None:
+            if label is None:
+                cached = np.ones(len(self._g_pre), dtype=bool)
+            else:
+                code = self._codes.get(label)
+                if code is None:
+                    cached = np.zeros(len(self._g_pre), dtype=bool)
+                else:
+                    cached = self._g_code == code
+            self._label_flags[label] = cached
+        return cached
+
+    def _pred_flag(self, pred: Pred) -> _NDArray:
+        """Flags of every node where the canonical predicate holds —
+        the vectorized twin of ``BitsetEvaluator._pred_mask``."""
+        cached = self._pred_flags.get(pred)
+        if cached is not None:
+            return cached
+        target = self._label_flag(pred.label)
+        for sub in pred.children:
+            target = target & self._pred_flag(sub)
+        n = len(self._g_pre)
+        if pred.axis is Axis.CHILD:
+            holds = np.zeros(n, dtype=bool)
+            parents = self._g_par[np.flatnonzero(target)]
+            holds[parents[parents >= 0]] = True
+        else:
+            counts = np.cumsum(target, dtype=np.int64)
+            holds = (counts[self._g_send] - counts) > 0
+        self._pred_flags[pred] = holds
+        return holds
+
+    def _step_test(self, label: str | None, preds: tuple[Pred, ...]) -> _NDArray:
+        test = self._label_flag(label)
+        for p in preds:
+            if not test.any():
+                break
+            test = test & self._pred_flag(normalize_preds((p,))[0])
+        return test
+
+    # -- pattern evaluation -------------------------------------------
+    def evaluate(self, pattern: Pattern) -> _NDArray:
+        self._refresh()
+        n = len(self._g_pre)
+        frontier = np.zeros(n, dtype=bool)
+        frontier[self._starts] = True  # every document's root
+        for step in pattern.steps:
+            test = self._step_test(step.label, step.preds)
+            if step.axis is Axis.CHILD:
+                hop = np.zeros(n, dtype=bool)
+                valid = self._par_valid
+                hop[valid] = frontier[self._g_par[valid]]
+                frontier = hop & test
+            else:
+                # Strict descendants of the frontier: a running maximum
+                # of frontier subtree ends covers position j iff some
+                # earlier frontier node's interval contains j.
+                reach = np.maximum.accumulate(
+                    np.where(frontier, self._g_send, -1))
+                below = np.zeros(n, dtype=bool)
+                below[1:] = reach[:-1] >= np.arange(1, n, dtype=np.int64)
+                frontier = below & test
+            if not frontier.any():
+                return self._empty()
+        return self._pack_flags(frontier)
+
+    def _empty(self) -> _NDArray:
+        return np.zeros((self._ndocs, self._words), dtype=np.uint64)
+
+    def _pack_flags(self, flags: _NDArray) -> _NDArray:
+        width = self._words << 6
+        bits = np.zeros(self._ndocs * width, dtype=bool)
+        bits[self._g_rowbit[flags]] = True
+        packed = np.packbits(bits.reshape(self._ndocs, width),
+                             axis=1, bitorder="little")
+        return packed.view(np.uint64)
+
+
+class NumpyBackend(MaskBackend):
+    """Rows are ``uint64`` words of one 2-D array; compares vectorize."""
+
+    name = "numpy"
+
+    def kernel(self, contexts: Sequence[Any]) -> FleetKernel:
+        return _NumpyKernel(contexts)
+
+    def pack_rows(self, rows: Sequence[int], words: int) -> _NDArray:
+        nbytes = words << 3
+        buf = b"".join(row.to_bytes(nbytes, "little") for row in rows)
+        return np.frombuffer(buf, dtype=np.uint64).reshape(len(rows), words)
+
+    def unpack_rows(self, matrix: _NDArray) -> list[int]:
+        return [int.from_bytes(_row_bytes(row), "little") for row in matrix]
+
+    def row_int(self, matrix: _NDArray, row: int) -> int:
+        return int.from_bytes(_row_bytes(matrix[row]), "little")
+
+    def and_not(self, a: _NDArray, b: _NDArray) -> _NDArray:
+        return a & ~b
+
+    def nonzero_rows(self, matrix: _NDArray) -> list[int]:
+        return [int(i) for i in np.flatnonzero(matrix.any(axis=1))]
+
+    def popcount_rows(self, matrix: _NDArray) -> list[int]:
+        if hasattr(np, "bitwise_count"):
+            counts = np.bitwise_count(matrix).sum(axis=1)
+        else:  # pragma: no cover - numpy < 2.0
+            counts = np.unpackbits(
+                np.ascontiguousarray(matrix).view(np.uint8),
+                axis=1).sum(axis=1)
+        return [int(c) for c in counts]
+
+
+__all__ = ["NumpyBackend"]

@@ -35,6 +35,8 @@ from repro.service.executors import Executor, InlineExecutor, ProcessExecutor
 from repro.service.protocol import (
     Ack,
     ErrorResponse,
+    FleetDecisions,
+    FleetSubmit,
     ImplicationQuery,
     InstanceQuery,
     QueryAnswers,
@@ -48,6 +50,7 @@ from repro.service.protocol import (
     StreamSubmit,
     Verdict,
     WireDecision,
+    WireEpoch,
     WireViolation,
     request_from_dict,
     request_from_json,
@@ -63,9 +66,10 @@ __all__ = [
     "Executor", "InlineExecutor", "ProcessExecutor",
     "Request", "RegisterConstraints", "RegisterDocument",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
-    "PROTOCOL_VERSION",
+    "FleetSubmit", "PROTOCOL_VERSION",
     "Response", "Ack", "Verdict", "QueryAnswers",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
+    "WireEpoch", "FleetDecisions",
     "request_from_dict", "request_from_json",
     "response_from_dict", "response_from_json", "response_checksum",
 ]

@@ -39,6 +39,8 @@ from repro.service.dispatch import bind_session, compiled_session
 from repro.service.protocol import (
     Ack,
     ErrorResponse,
+    FleetDecisions,
+    FleetSubmit,
     ImplicationQuery,
     InstanceQuery,
     RegisterConstraints,
@@ -51,6 +53,7 @@ from repro.service.protocol import (
     StreamDecisions,
     Verdict,
     WireDecision,
+    WireEpoch,
 )
 from repro.service.store import DocumentStore
 from repro.trees.serialize import from_dict, to_dict
@@ -95,6 +98,8 @@ class InlineExecutor(Executor):
             return self._stream(request, store)
         if isinstance(request, StreamStatus):
             return self._stream_status(request, store)
+        if isinstance(request, FleetSubmit):
+            return self._fleet(request, store)
         raise ServiceError(f"unhandled request type {type(request).__name__}")
 
     # -- query handlers -------------------------------------------------
@@ -141,6 +146,30 @@ class InlineExecutor(Executor):
         if error is not None:
             raise error
         return StreamDecisions(tuple(WireDecision.of(d) for d in decisions))
+
+    def _fleet(self, request: FleetSubmit,
+               store: DocumentStore) -> FleetDecisions:
+        fleet = store.fleet_session(request.documents, request.constraints,
+                                    request.backend)
+        position = {name: pos for pos, name in enumerate(fleet.names)}
+        epochs: list[WireEpoch] = []
+        for epoch in request.epochs:
+            edits: dict[int, list] = {}
+            for doc_name, ops in epoch:
+                pos = position.get(doc_name)
+                if pos is None:
+                    raise ServiceError(
+                        f"document {doc_name!r} is not in this fleet "
+                        f"(members: {list(fleet.names)})")
+                if pos in edits:
+                    raise ServiceError(
+                        f"document {doc_name!r} appears twice in one epoch; "
+                        "merge its operations into one entry")
+                edits[pos] = list(ops)
+            report = fleet.submit_epoch(edits)
+            epochs.append(WireEpoch.of(report, fleet.names))
+        return FleetDecisions(docs=fleet.size, epochs=tuple(epochs),
+                              checksum=fleet.checksum)
 
     def _stream_status(self, request: StreamStatus,
                        store: DocumentStore) -> Ack:

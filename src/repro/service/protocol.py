@@ -209,6 +209,52 @@ class StreamSubmit(Request):
 
 
 @dataclass(frozen=True)
+class FleetSubmit(Request):
+    """Submit one or more write *epochs* against a fleet of documents.
+
+    The first submission for a ``(documents, constraints)`` pair opens
+    the fleet session — the named documents are checked together through
+    a :class:`~repro.masks.fleet.FleetEvaluator` under the named policy;
+    later submissions with the same pair continue it (the epoch counter
+    and decision checksum carry across).  ``backend`` picks the mask
+    backend by name (``None`` = the server's environment default); the
+    response is backend-independent.
+
+    Each epoch maps document names to that document's operations and
+    settles in one batched check: violating documents are rolled back to
+    their pre-epoch state.
+    """
+
+    kind = "fleet-submit"
+
+    documents: tuple[str, ...]
+    constraints: str
+    epochs: tuple[tuple[tuple[str, tuple[StreamOp, ...]], ...], ...]
+    backend: str | None = None
+
+    def to_dict(self) -> dict:
+        data = {"request": self.kind, "documents": list(self.documents),
+                "constraints": self.constraints,
+                "epochs": [[[doc, [op_to_dict(op) for op in ops]]
+                            for doc, ops in epoch]
+                           for epoch in self.epochs]}
+        if self.backend is not None:
+            data["backend"] = self.backend
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSubmit":
+        return cls(
+            documents=tuple(data["documents"]),
+            constraints=data["constraints"],
+            epochs=tuple(
+                tuple((doc, tuple(op_from_dict(d) for d in ops))
+                      for doc, ops in epoch)
+                for epoch in data["epochs"]),
+            backend=data.get("backend"))
+
+
+@dataclass(frozen=True)
 class StreamStatus(Request):
     """Where does a document's enforcement stream stand?
 
@@ -236,7 +282,7 @@ class StreamStatus(Request):
 _REQUEST_KINDS: dict[str, type[Request]] = {
     cls.kind: cls
     for cls in (RegisterConstraints, RegisterDocument, ImplicationQuery,
-                InstanceQuery, StreamSubmit, StreamStatus)
+                InstanceQuery, StreamSubmit, StreamStatus, FleetSubmit)
 }
 
 
@@ -485,6 +531,100 @@ class StreamDecisions(Response):
 
 
 @dataclass(frozen=True)
+class WireEpoch:
+    """One fleet epoch's outcome, flattened for the wire.
+
+    Documents travel by name, name-sorted wherever sets would otherwise
+    leak process-dependent order; ``structural`` pairs a document with
+    the structural-error note that rejected its whole epoch.
+    """
+
+    epoch: int
+    edited: tuple[str, ...]
+    rejected: tuple[str, ...]
+    structural: tuple[tuple[str, str], ...] = ()
+    violations: tuple[tuple[str, tuple[WireViolation, ...]], ...] = ()
+
+    @staticmethod
+    def of(report, names: "tuple[str, ...]") -> "WireEpoch":
+        """Flatten a :class:`~repro.masks.fleet.EpochReport` (document
+        positions become the fleet's registered names)."""
+        return WireEpoch(
+            epoch=report.epoch,
+            edited=tuple(names[d] for d in report.edited),
+            rejected=tuple(names[d] for d in report.rejected),
+            structural=tuple(sorted(
+                (names[d], note) for d, note in report.structural.items())),
+            violations=tuple(sorted(
+                (names[d], tuple(WireViolation.of(v) for v in vs))
+                for d, vs in report.violations.items())))
+
+    @property
+    def accepted(self) -> tuple[str, ...]:
+        bad = set(self.rejected)
+        return tuple(doc for doc in self.edited if doc not in bad)
+
+    def to_dict(self) -> dict:
+        data = {"epoch": self.epoch, "edited": list(self.edited),
+                "rejected": list(self.rejected)}
+        if self.structural:
+            data["structural"] = [list(pair) for pair in self.structural]
+        if self.violations:
+            data["violations"] = [
+                [doc, [v.to_dict() for v in vs]] for doc, vs in self.violations]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WireEpoch":
+        return cls(
+            epoch=int(data["epoch"]),
+            edited=tuple(data["edited"]),
+            rejected=tuple(data["rejected"]),
+            structural=tuple((doc, note)
+                             for doc, note in data.get("structural", ())),
+            violations=tuple(
+                (doc, tuple(WireViolation.from_dict(v) for v in vs))
+                for doc, vs in data.get("violations", ())))
+
+
+@dataclass(frozen=True)
+class FleetDecisions(Response):
+    """One :class:`WireEpoch` per submitted epoch, in submission order.
+
+    ``checksum`` is the fleet session's running decision checksum after
+    this submission — identical across mask backends and machines for
+    the same fleet and traffic, which is what the CI backend matrix
+    compares.
+    """
+
+    kind = "fleet-decisions"
+
+    docs: int
+    epochs: tuple[WireEpoch, ...]
+    checksum: int
+
+    @property
+    def accepted_count(self) -> int:
+        return sum(len(e.accepted) for e in self.epochs)
+
+    @property
+    def rejected_count(self) -> int:
+        return sum(len(e.rejected) for e in self.epochs)
+
+    def to_dict(self) -> dict:
+        return {"response": self.kind, "docs": self.docs,
+                "epochs": [e.to_dict() for e in self.epochs],
+                "checksum": self.checksum}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetDecisions":
+        return cls(docs=int(data["docs"]),
+                   epochs=tuple(WireEpoch.from_dict(e)
+                                for e in data["epochs"]),
+                   checksum=int(data["checksum"]))
+
+
+@dataclass(frozen=True)
 class ErrorResponse(Response):
     """A request that could not be served (``error`` = exception class)."""
 
@@ -510,7 +650,8 @@ class ErrorResponse(Response):
 
 _RESPONSE_KINDS: dict[str, type[Response]] = {
     cls.kind: cls
-    for cls in (Ack, QueryAnswers, StreamDecisions, ErrorResponse)
+    for cls in (Ack, QueryAnswers, StreamDecisions, FleetDecisions,
+                ErrorResponse)
 }
 
 
@@ -549,8 +690,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Request", "RegisterConstraints", "RegisterDocument",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
+    "FleetSubmit",
     "Response", "Ack", "Verdict", "QueryAnswers",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
+    "WireEpoch", "FleetDecisions",
     "request_from_dict", "request_from_json",
     "response_from_dict", "response_from_json", "response_checksum",
     "constraint_to_wire", "constraint_from_wire",

@@ -30,6 +30,7 @@ from collections.abc import Iterable
 from repro.api.session import BoundReasoner, Reasoner
 from repro.constraints.model import ConstraintSet, constraint_set
 from repro.errors import ServiceError
+from repro.masks.fleet import FleetEvaluator
 from repro.service.dispatch import bind_session, compiled_session
 from repro.stream.engine import StreamEnforcer
 from repro.trees.serialize import from_dict
@@ -40,7 +41,7 @@ class DocumentStore:
     """The named-object registry behind a constraint service."""
 
     __slots__ = ("_documents", "_sets", "_sessions", "_enforcers", "_bindings",
-                 "_journal")
+                 "_fleets", "_journal")
 
     def __init__(self) -> None:
         self._documents: dict[str, DataTree] = {}
@@ -50,6 +51,9 @@ class DocumentStore:
         self._enforcers: dict[str, tuple[str, StreamEnforcer]] = {}
         # (set name, doc name) -> (tree version, binding)
         self._bindings: dict[tuple[str, str], tuple[int, BoundReasoner]] = {}
+        # (doc names, set name) -> fleet session: a document belongs to at
+        # most one live fleet, and never to a fleet and a stream at once.
+        self._fleets: dict[tuple[tuple[str, ...], str], FleetEvaluator] = {}
         self._journal = None  # optional ServerJournal (repro.server)
 
     # ------------------------------------------------------------------
@@ -65,6 +69,7 @@ class DocumentStore:
                                "(pass replace=True to swap it)")
         self._documents[name] = tree
         self._enforcers.pop(name, None)
+        self._drop_fleets(document=name)
         self._drop_bindings(document=name)
         if self._journal is not None:
             self._journal.document_registered(name, tree, replace)
@@ -88,6 +93,7 @@ class DocumentStore:
         for doc in [d for d, (bound_set, _) in self._enforcers.items()
                     if bound_set == name]:
             del self._enforcers[doc]
+        self._drop_fleets(constraints=name)
         if self._journal is not None:
             self._journal.constraints_registered(name, constraints, replace)
         return constraints
@@ -97,6 +103,12 @@ class DocumentStore:
         for key in [k for k in self._bindings
                     if k[0] == constraints or k[1] == document]:
             del self._bindings[key]
+
+    def _drop_fleets(self, document: str | None = None,
+                     constraints: str | None = None) -> None:
+        for key in [k for k in self._fleets
+                    if k[1] == constraints or document in k[0]]:
+            del self._fleets[key]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -165,10 +177,75 @@ class DocumentStore:
                     f"constraint set {bound_set!r}; a document has one live "
                     "stream (re-register the document to reset it)")
             return enforcer
+        fleet = self.fleet_of(doc_name)
+        if fleet is not None:
+            raise ServiceError(
+                f"document {doc_name!r} is in a live fleet under constraint "
+                f"set {fleet[1]!r}; it cannot also open a stream "
+                "(re-register the document to reset it)")
         self.constraints(set_name)  # validate the name before adopting
         enforcer = self.session(set_name).open_stream(self.document(doc_name))
         self._enforcers[doc_name] = (set_name, enforcer)
         return enforcer
+
+    def fleet_of(self, doc_name: str) -> tuple[tuple[str, ...], str] | None:
+        """The ``(documents, set)`` key of the live fleet holding a
+        document, if any."""
+        for key in self._fleets:
+            if doc_name in key[0]:
+                return key
+        return None
+
+    def fleet_session(self, doc_names: Iterable[str], set_name: str,
+                      backend: str | None = None) -> FleetEvaluator:
+        """The fleet session over ``doc_names`` under ``set_name``.
+
+        Opened on first use — the named documents are *adopted* by the
+        fleet evaluator, exactly like handing each to a stream enforcer —
+        and reused by later submissions naming the same ``(documents,
+        set)`` pair.  A document belongs to at most one live fleet and
+        never to a fleet and a stream at once; ``backend`` must agree
+        with a continuing session's backend (pass ``None`` to accept it).
+        """
+        docs = tuple(doc_names)
+        if not docs:
+            raise ServiceError("a fleet submission names at least one "
+                               "document")
+        if len(set(docs)) != len(docs):
+            raise ServiceError(f"duplicate document names in fleet {docs!r}")
+        key = (docs, set_name)
+        existing_fleet = self._fleets.get(key)
+        if existing_fleet is not None:
+            if backend is not None and existing_fleet.backend != backend:
+                raise ServiceError(
+                    f"fleet over {list(docs)} is live on the "
+                    f"{existing_fleet.backend!r} backend; it cannot switch "
+                    f"to {backend!r} (re-register a document to reset it)")
+            return existing_fleet
+        constraints = self.constraints(set_name)
+        trees = []
+        for doc in docs:
+            if doc in self._enforcers:
+                raise ServiceError(
+                    f"document {doc!r} has a live enforcement stream; it "
+                    "cannot join a fleet (re-register the document to "
+                    "reset it)")
+            other = self.fleet_of(doc)
+            if other is not None:
+                raise ServiceError(
+                    f"document {doc!r} is already in a live fleet under "
+                    f"constraint set {other[1]!r} (re-register the document "
+                    "to reset it)")
+            trees.append(self.document(doc))
+        fleet = FleetEvaluator(constraints, trees, backend=backend,
+                               names=docs)
+        self._fleets[key] = fleet
+        return fleet
+
+    def live_fleets(self) -> list[tuple[tuple[str, ...], str, FleetEvaluator]]:
+        """Every open fleet as ``(documents, set, evaluator)``, key-sorted."""
+        return [(docs, set_name, fleet)
+                for (docs, set_name), fleet in sorted(self._fleets.items())]
 
     # ------------------------------------------------------------------
     # Durability (optional journal; see :mod:`repro.server.journal`)

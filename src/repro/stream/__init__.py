@@ -32,10 +32,13 @@ from repro.stream.ops import (
 )
 from repro.stream.shard import (
     DocumentPartition,
+    FleetJob,
+    FleetRunReport,
     StreamJob,
     StreamReport,
     decision_checksum,
     partition_document,
+    run_fleet,
     run_partitioned,
     run_sharded,
     run_stream,
@@ -47,5 +50,6 @@ __all__ = [
     "AddLeaf", "Move", "RemoveSubtree", "Begin", "Commit", "Rollback",
     "StreamJob", "StreamReport", "run_stream", "run_sharded",
     "decision_checksum",
+    "FleetJob", "FleetRunReport", "run_fleet",
     "DocumentPartition", "partition_document", "run_partitioned",
 ]

@@ -41,12 +41,12 @@ if TYPE_CHECKING:  # imported lazily at runtime (see _build_analyzer)
 
 from repro.constraints.model import (
     ConstraintSet,
-    ConstraintType,
     UpdateConstraint,
     constraint_set,
 )
 from repro.constraints.validity import BaselineValidity, Violation
 from repro.errors import StreamError, TreeError
+from repro.masks.baseline import MaskedBaseline
 from repro.stream.log import AuditTrail, Decision
 from repro.stream.ops import (
     AddLeaf,
@@ -60,7 +60,7 @@ from repro.stream.ops import (
 from repro.trees import serialize
 from repro.trees.node import Node
 from repro.trees.tree import DataTree
-from repro.xpath.bitset import BitsetEvaluator, slots_of
+from repro.xpath.bitset import BitsetEvaluator
 from repro.xpath.indexed import IndexedEvaluator
 
 # Undo-journal entry tags (inverse edits, replayed newest-first).
@@ -100,129 +100,6 @@ class StreamStats:
                 f"{self.transactions} txns "
                 f"({self.committed} committed, {self.rolled_back} rolled "
                 f"back), rev {self.revision}")
-
-
-class _MaskedBaseline:
-    """Per-constraint baseline answer *masks*, delta-maintained.
-
-    The per-op fast path of the bitset engine: the frozen baseline answer
-    set of each constraint is mirrored as a slot mask over the live
-    snapshot, patched from the same :class:`~repro.trees.index.EditDelta`
-    log as the predicate masks — relocations move bits, deletions drop
-    them into a per-constraint *missing* ledger, and a revived node (the
-    rollback journal's re-add) re-earns its bit iff it carries its
-    baseline label, so the mask always marks exactly the baseline answer
-    nodes present in the document as their baseline ``(id, label)``
-    selves.  The cumulative check then degenerates to big-int compares —
-    ``q_c(J_now)``'s sweep mask against the baseline mask — and node sets
-    are only materialised when a diff (an actual witness) exists.
-    Verdicts and witnesses are bit-identical to
-    :class:`~repro.constraints.validity.BaselineValidity` (the Hypothesis
-    stream-equivalence suite pins this).
-    """
-
-    __slots__ = ("_ctx", "_revision", "_entries")
-
-    def __init__(self, checker: BaselineValidity, ctx: BitsetEvaluator):
-        self._ctx = ctx
-        idx = ctx.index
-        self._revision = idx.revision
-        # Per constraint: (constraint, {id: baseline label}, mask, missing).
-        # Iterates the constraint *list*, not the answers dict — duplicated
-        # constraints must keep reporting duplicated witnesses, exactly
-        # like the generic checker.
-        base_answers = checker.baseline_answers()
-        self._entries: list[list] = []
-        for constraint in checker.constraints:
-            answers = base_answers[constraint]
-            labels = {node.nid: node.label for node in answers}
-            # A freshly opened stream has every baseline node present; a
-            # *restored* one may not — no-insert baseline nodes removed
-            # since the stream opened start life in the missing ledger.
-            mask = 0
-            missing: set[int] = set()
-            for node in answers:
-                if node.nid in idx and idx.label(node.nid) == node.label:
-                    mask |= 1 << idx.pre(node.nid)
-                else:
-                    missing.add(node.nid)
-            self._entries.append([constraint, labels, mask, missing])
-
-    def _sync(self) -> None:
-        idx = self._ctx.index
-        rev = idx.revision
-        if rev == self._revision:
-            return
-        deltas = idx.deltas_since(self._revision)
-        self._revision = rev
-        if deltas is None:
-            self._rebuild()
-            return
-        for entry in self._entries:
-            _, labels, mask, missing = entry
-            revived: set[int] = set()
-            for delta in deltas:
-                for nid, _ in delta.vanished:
-                    if nid in labels:
-                        missing.add(nid)
-                mask = delta.patch_mask(mask)
-                for nid in delta.added:
-                    if nid in missing:
-                        revived.add(nid)
-            for nid in revived:
-                if nid in idx and idx.label(nid) == labels[nid]:
-                    mask |= 1 << idx.pre(nid)
-                    missing.discard(nid)
-            entry[2] = mask
-
-    def _rebuild(self) -> None:
-        """Past the delta log's horizon: re-anchor every mask from ids."""
-        idx = self._ctx.index
-        for entry in self._entries:
-            _, labels, _, missing = entry
-            mask = 0
-            missing.clear()
-            for nid, label in labels.items():
-                if nid in idx and idx.label(nid) == label:
-                    mask |= 1 << idx.pre(nid)
-                else:
-                    missing.add(nid)
-            entry[2] = mask
-
-    def violations(self) -> tuple[Violation, ...]:
-        self._sync()
-        ctx = self._ctx
-        idx = ctx.index
-        found: list[Violation] = []
-        # One sweep per *distinct* range per call: a policy stating both
-        # directions over one range (the immutability pair) must not pay
-        # for the answer mask twice.
-        swept: dict = {}
-        for constraint, labels, base_mask, missing in self._entries:
-            answer_mask = swept.get(constraint.range)
-            if answer_mask is None:
-                answer_mask = ctx.evaluate_mask(constraint.range)
-                swept[constraint.range] = answer_mask
-            if constraint.type is ConstraintType.NO_REMOVE:
-                lost = base_mask & ~answer_mask
-                if not lost and not missing:
-                    continue
-                removed = {Node(nid, labels[nid]) for nid in missing}
-                node_at = idx.node_at
-                for s in slots_of(lost):
-                    nid = node_at(s)
-                    removed.add(Node(nid, labels[nid]))
-                found.append(Violation(constraint, frozenset(removed),
-                                       frozenset()))
-            else:
-                extra = answer_mask & ~base_mask
-                if not extra:
-                    continue
-                node_at = idx.node_at
-                inserted = {idx.node(node_at(s)) for s in slots_of(extra)}
-                found.append(Violation(constraint, frozenset(),
-                                       frozenset(inserted)))
-        return tuple(found)
 
 
 class StreamEnforcer:
@@ -273,7 +150,7 @@ class StreamEnforcer:
         """State shared by a fresh open and a checkpoint restore."""
         # The bitset engine compares whole answer masks per op; the
         # indexed engine re-checks through the generic node-set diff.
-        self._masked = (_MaskedBaseline(self._checker, self._ctx)
+        self._masked = (MaskedBaseline(self._checker, self._ctx)
                         if self._engine == "bitset" else None)
         self._analyzer = (_build_analyzer(self._constraints, self._ctx.index)
                           if analysis else None)

@@ -151,6 +151,103 @@ def run_sharded(jobs: Sequence[StreamJob],
 
 
 # ----------------------------------------------------------------------
+# Fleet jobs (one shared policy, many documents, epoch-batched writes)
+# ----------------------------------------------------------------------
+
+#: One epoch in wire form: ``((doc, (op, ...)), ...)`` sorted by doc.
+FleetEpoch = tuple[tuple[int, tuple[StreamOp, ...]], ...]
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """A whole fleet under one policy, with epoch-batched write traffic.
+
+    Where a :class:`StreamJob` is one document and a flat op log, a fleet
+    job is *many* documents checked together through a
+    :class:`~repro.masks.fleet.FleetEvaluator`: each epoch edits any
+    subset of the fleet and settles in one batched check.  ``backend``
+    picks the mask backend (``None`` = environment-driven default), and
+    the report's checksums are backend-independent — a numpy run is
+    bit-comparable to a big-int run of the same job.
+    """
+
+    constraints: tuple[UpdateConstraint, ...]
+    trees: tuple[dict[str, Any], ...]
+    epochs: tuple[FleetEpoch, ...]
+    name: str = ""
+    backend: str | None = None
+
+    @staticmethod
+    def build(constraints: ConstraintSet | Iterable[UpdateConstraint],
+              trees: Sequence[DataTree],
+              epochs: Sequence[dict[int, Sequence[StreamOp]]], *,
+              name: str = "", backend: str | None = None) -> "FleetJob":
+        """Bundle live objects into the picklable wire form."""
+        wire_epochs: tuple[FleetEpoch, ...] = tuple(
+            tuple(sorted((doc, tuple(ops)) for doc, ops in epoch.items()))
+            for epoch in epochs)
+        return FleetJob(constraints=tuple(constraints),
+                        trees=tuple(to_dict(tree) for tree in trees),
+                        epochs=wire_epochs, name=name, backend=backend)
+
+
+@dataclass(frozen=True)
+class FleetRunReport:
+    """What one fleet job did, in machine- and backend-independent numbers.
+
+    ``decision_checksum`` is the evaluator's running fold of every epoch
+    report (verdicts *and* witnesses); ``document_digest`` folds each
+    final document's id-annotated literal CRC in fleet order.
+    """
+
+    name: str
+    backend: str
+    docs: int
+    constraints: int
+    epochs: int
+    edited: int
+    accepted: int
+    rejected: int
+    final_size: int
+    decision_checksum: int
+    document_digest: int
+
+    def __str__(self) -> str:
+        return (f"{self.name or 'fleet'} [{self.backend}]: {self.docs} docs, "
+                f"{self.epochs} epochs, {self.accepted} accepted / "
+                f"{self.rejected} rejected doc-epochs")
+
+
+def run_fleet(job: FleetJob) -> FleetRunReport:
+    """Run one fleet job's epochs start to finish (the worker entry point)."""
+    # Imported here, not at module top: the fleet evaluator itself imports
+    # :mod:`repro.stream.ops`, and this module loads as part of the
+    # ``repro.stream`` package init — a module-level import would cycle
+    # whenever ``repro.masks.fleet`` loads first.
+    from repro.masks.fleet import FleetEvaluator
+
+    trees = [from_dict(tree) for tree in job.trees]
+    fleet = FleetEvaluator(job.constraints, trees, backend=job.backend)
+    edited = accepted = rejected = 0
+    for epoch in job.epochs:
+        report = fleet.submit_epoch(
+            {doc: list(ops) for doc, ops in epoch})
+        edited += len(report.edited)
+        accepted += len(report.accepted)
+        rejected += len(report.rejected)
+    digest = 0
+    for tree in trees:
+        crc = zlib.crc32(to_literal(tree, with_ids=True).encode())
+        digest = (digest * _FOLD + crc) % _MOD
+    return FleetRunReport(
+        name=job.name, backend=fleet.backend, docs=len(trees),
+        constraints=len(job.constraints), epochs=len(job.epochs),
+        edited=edited, accepted=accepted, rejected=rejected,
+        final_size=sum(tree.size for tree in trees),
+        decision_checksum=fleet.checksum, document_digest=digest)
+
+
+# ----------------------------------------------------------------------
 # Intra-document sharding (static partition of one log over one tree)
 # ----------------------------------------------------------------------
 
@@ -404,5 +501,6 @@ def run_partitioned(
 
 __all__ = ["StreamJob", "StreamReport", "run_stream", "run_sharded",
            "decision_checksum",
+           "FleetJob", "FleetEpoch", "FleetRunReport", "run_fleet",
            "ShardRegion", "OpPlan", "DocumentPartition",
            "partition_document", "run_partitioned", "SHARD_ORDERS"]

@@ -51,6 +51,7 @@ as before: an index never observes mutations it did not apply.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
+from typing import Iterable
 
 from repro.errors import TreeError
 from repro.trees.node import Node
@@ -293,6 +294,35 @@ class TreeIndex:
         """Is ``nid`` in the subtree rooted at ``anchor`` (self included)?"""
         return self._slot[anchor] <= self._slot[nid] <= self._post[anchor]
 
+    def mask_export(self) -> tuple[list[int], list[int], list[str],
+                                   list[int]]:
+        """Flat preorder arrays for the fleet mask kernels.
+
+        Returns ``(pres, posts, labels, parent_pos)``, all aligned by
+        preorder position: the node's gapped slot (its mask bit), its
+        subtree-closing slot, its label, and the preorder *position* of
+        its parent (``-1`` for the root).  Positions rather than ids keep
+        the export id-free — an array backend gathers through positions
+        and only maps back to ids (via :meth:`node_at` on the slot) when
+        a witness must be materialised.
+        """
+        slots = self._slots
+        node_at = self._node_at
+        parent = self._parent
+        post = self._post
+        labels = self._labels
+        pos: dict[int, int] = {}
+        nids: list[int] = []
+        for i, s in enumerate(slots):
+            nid = node_at[s]
+            nids.append(nid)
+            pos[nid] = i
+        posts = [post[n] for n in nids]
+        labs = [labels[n] for n in nids]
+        parent_pos = [-1 if (p := parent[n]) is None else pos[p]
+                      for n in nids]
+        return list(slots), posts, labs, parent_pos
+
     def path_labels(self, nid: int) -> tuple[str, ...]:
         """Labels on the root-to-``nid`` path (root excluded) — the *word*
         of the node; memoised via the parent chain, O(n) total."""
@@ -359,7 +389,7 @@ class TreeIndex:
         lo = bisect_right(pres, self._slot[anchor])
         return bisect_right(pres, self._post[anchor], lo=lo) - lo
 
-    def minimal_cover(self, nids) -> list[int]:
+    def minimal_cover(self, nids: Iterable[int]) -> list[int]:
         """Drop every node lying in another given node's subtree.
 
         The survivors' descendant intervals are disjoint and cover exactly
@@ -377,7 +407,7 @@ class TreeIndex:
     # ------------------------------------------------------------------
     # Bitset views (node-sets as int masks keyed by slot)
     # ------------------------------------------------------------------
-    def pack_slots(self, slots) -> int:
+    def pack_slots(self, slots: Iterable[int]) -> int:
         """Fold an iterable of slots into one int mask (byte-buffer fold).
 
         O(width/8 + len(slots)) — the churn-free way to build a mask,

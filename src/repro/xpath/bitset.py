@@ -36,63 +36,42 @@ query stream cannot grow without bound.
 
 from __future__ import annotations
 
+from typing import Iterable, cast
+
 from repro.caching import LRUMemo
+# The big-int mask helpers live with the backends now (repro.masks); they
+# are re-exported here because this module is their historical home and
+# the hot paths below are their heaviest users.
+from repro.masks.bigint import _BIT, _BYTE_SLOTS  # noqa: F401
+from repro.masks.bigint import byte_view, iter_slots, slots_of
 from repro.trees.index import TreeIndex
 from repro.trees.node import Node
 from repro.trees.tree import DataTree
 from repro.xpath.ast import Axis, Pattern, Pred
 from repro.xpath.snapshot import SnapshotEvaluator
 
+__all__ = [
+    "BitsetEvaluator",
+    "PRED_MASK_MEMO_SIZE",
+    "QUERY_MEMO_SIZE",
+    "byte_view",
+    "context_for",
+    "evaluate",
+    "evaluate_ids",
+    "iter_slots",
+    "matches_at",
+    "region_mask",
+    "selects",
+    "slots_of",
+]
+
 PRED_MASK_MEMO_SIZE = 4096   # canonical predicate -> satisfaction mask
 QUERY_MEMO_SIZE = 4096       # (canonical pattern, anchor) -> answer ids
 
 _MISS = object()
 
-_BIT = tuple(1 << b for b in range(8))
 
-
-# Per-byte decode table: byte value -> bit positions set in it.  One
-# ``int.to_bytes`` conversion turns slot extraction into a C-level byte
-# scan with table lookups — O(words + answers) instead of the bit-kernel
-# loop's O(answers * words) repeated big-int ``mask & -mask`` arithmetic.
-_BYTE_SLOTS: tuple[tuple[int, ...], ...] = tuple(
-    tuple(b for b in range(8) if byte >> b & 1) for byte in range(256))
-
-
-def iter_slots(mask: int):
-    """Slots (bit positions) of a mask, ascending — document order.
-
-    Batch-decoded through :data:`_BYTE_SLOTS`; on >10k-node documents this
-    is what keeps whole-mask extraction off the profile (see the
-    ``decoder`` row of ``benchmarks/bench_stream.py``).
-    """
-    offset = 0
-    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
-        if byte:
-            for b in _BYTE_SLOTS[byte]:
-                yield offset + b
-        offset += 8
-
-
-def slots_of(mask: int) -> list[int]:
-    """All slots of a mask as a list (the loop-free twin of
-    :func:`iter_slots` for callers that consume the whole answer)."""
-    out: list[int] = []
-    offset = 0
-    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
-        if byte:
-            out += [offset + b for b in _BYTE_SLOTS[byte]]
-        offset += 8
-    return out
-
-
-def byte_view(mask: int) -> bytes:
-    """The mask as bytes: O(1) per-slot membership tests against big masks
-    (``view[s >> 3] & _BIT[s & 7]``) instead of an O(words) shift each."""
-    return mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
-
-
-def region_mask(index: TreeIndex, anchors) -> int:
+def region_mask(index: TreeIndex, anchors: Iterable[int]) -> int:
     """Occupied-slot mask of the subtrees rooted at ``anchors`` (selves
     included) — the bitset form of a preorder-interval region.
 
@@ -157,7 +136,7 @@ class BitsetEvaluator(SnapshotEvaluator):
         """
         mask = self._pred_masks.get(pred, _MISS)
         if mask is not _MISS:
-            return mask
+            return cast(int, mask)
         idx = self._index
         target = idx.label_mask(pred.label)
         for sub in pred.children:
@@ -221,8 +200,8 @@ class BitsetEvaluator(SnapshotEvaluator):
                 mask = delta.patch_mask(mask)
             memo.put(pred, self._redecide(pred, mask, alive))
 
-        for pred in memo.keys():
-            patch(pred)
+        for key in memo.keys():
+            patch(cast(Pred, key))
 
     def _redecide(self, pred: Pred, mask: int, alive: list[int]) -> int:
         """Re-decide ``pred`` at the surviving dirty nodes of an edit batch."""

@@ -11,6 +11,8 @@ class, so a fix to the session machinery cannot drift between substrates.
 
 from __future__ import annotations
 
+from typing import Self
+
 from repro.caching import LRUMemo
 from repro.trees.index import TreeIndex
 from repro.trees.node import Node
@@ -44,7 +46,7 @@ class SnapshotEvaluator:
         self._canon_patterns = _GLOBAL_CANON_PATTERNS
 
     @classmethod
-    def for_tree(cls, tree: DataTree):
+    def for_tree(cls, tree: DataTree) -> Self:
         return cls(TreeIndex(tree))
 
     @property

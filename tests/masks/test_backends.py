@@ -1,0 +1,174 @@
+"""Mask-backend unit tests: selection rules and the row-matrix algebra.
+
+Selection (:func:`repro.masks.get_backend`) has three entry points — an
+explicit name, the ``REPRO_MASK_BACKEND`` environment variable, and the
+``auto`` default — with one asymmetry worth pinning: asking for numpy
+*explicitly* on an interpreter where it cannot import is a loud
+:class:`~repro.errors.MaskBackendError`, while ``auto`` degrades
+silently to big-int.  The algebra tests drive every backend through the
+same pack/unpack/diff round-trips so the two representations can never
+drift apart on the primitives the fleet check is built from.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro.errors import MaskBackendError
+from repro.masks import (
+    BACKEND_ENV,
+    BigIntBackend,
+    available_backends,
+    get_backend,
+    numpy_available,
+)
+from repro.masks.bigint import byte_view, iter_slots, slots_of
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+
+def all_backends():
+    backends = [BigIntBackend()]
+    if numpy_available():
+        from repro.masks.np_backend import NumpyBackend
+        backends.append(NumpyBackend())
+    return backends
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_bigint_always_available(self):
+        backend = get_backend("bigint")
+        assert backend.name == "bigint"
+        assert "bigint" in available_backends()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(MaskBackendError, match="unknown mask backend"):
+            get_backend("cupy")
+
+    def test_name_is_normalised(self):
+        assert get_backend("  BigInt ").name == "bigint"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "bigint")
+        assert get_backend().name == "bigint"
+        monkeypatch.setenv(BACKEND_ENV, "no-such-backend")
+        with pytest.raises(MaskBackendError):
+            get_backend()
+
+    def test_empty_env_means_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "")
+        assert get_backend().name in ("bigint", "numpy")
+
+    @needs_numpy
+    def test_numpy_selected_when_available(self, monkeypatch):
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend("auto").name == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert get_backend().name == "numpy"
+        assert available_backends() == ("bigint", "numpy")
+
+    def test_explicit_numpy_raises_when_unimportable(self, monkeypatch):
+        # Simulate an interpreter without the numpy kernel: a None entry
+        # in sys.modules makes the import raise ImportError.
+        monkeypatch.delitem(sys.modules, "repro.masks.np_backend",
+                            raising=False)
+        monkeypatch.setitem(sys.modules, "repro.masks.np_backend", None)
+        with pytest.raises(MaskBackendError, match="unavailable"):
+            get_backend("numpy")
+
+    def test_auto_falls_back_silently(self, monkeypatch):
+        monkeypatch.delitem(sys.modules, "repro.masks.np_backend",
+                            raising=False)
+        monkeypatch.setitem(sys.modules, "repro.masks.np_backend", None)
+        assert get_backend("auto").name == "bigint"
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert get_backend().name == "bigint"
+
+
+# ----------------------------------------------------------------------
+# Row-matrix algebra
+# ----------------------------------------------------------------------
+def random_rows(rng: random.Random, count: int, words: int) -> list[int]:
+    limit = 1 << (words * 64)
+    rows = [rng.randrange(limit) for _ in range(count)]
+    rows[rng.randrange(count)] = 0          # always one empty row
+    rows[rng.randrange(count)] = limit - 1  # and one saturated row
+    return rows
+
+
+@pytest.mark.parametrize("backend", all_backends(), ids=lambda b: b.name)
+@pytest.mark.parametrize("words", [1, 2, 5])
+def test_pack_unpack_roundtrip(backend, words):
+    rng = random.Random(1009 * words)
+    rows = random_rows(rng, 17, words)
+    matrix = backend.pack_rows(rows, words)
+    assert backend.unpack_rows(matrix) == rows
+    for d, row in enumerate(rows):
+        assert backend.row_int(matrix, d) == row
+
+
+@pytest.mark.parametrize("backend", all_backends(), ids=lambda b: b.name)
+def test_and_not_matches_bigint_arithmetic(backend):
+    rng = random.Random(4093)
+    words = 3
+    a_rows = random_rows(rng, 11, words)
+    b_rows = random_rows(rng, 11, words)
+    a = backend.pack_rows(a_rows, words)
+    b = backend.pack_rows(b_rows, words)
+    diff = backend.and_not(a, b)
+    expected = [x & ~y for x, y in zip(a_rows, b_rows)]
+    assert backend.unpack_rows(diff) == expected
+    assert backend.nonzero_rows(diff) == [i for i, row in enumerate(expected)
+                                          if row]
+    assert backend.popcount_rows(diff) == [row.bit_count()
+                                           for row in expected]
+
+
+@pytest.mark.parametrize("backend", all_backends(), ids=lambda b: b.name)
+def test_overflowing_row_is_a_caller_bug(backend):
+    with pytest.raises(OverflowError):
+        backend.pack_rows([1 << 64], 1)
+
+
+@needs_numpy
+def test_backends_pack_identically():
+    """The numpy matrix unpacks to exactly what big-int packed."""
+    rng = random.Random(65537)
+    from repro.masks.np_backend import NumpyBackend
+    bigint, np_backend = BigIntBackend(), NumpyBackend()
+    for words in (1, 4):
+        rows = random_rows(rng, 23, words)
+        assert (np_backend.unpack_rows(np_backend.pack_rows(rows, words))
+                == bigint.unpack_rows(bigint.pack_rows(rows, words)))
+
+
+# ----------------------------------------------------------------------
+# Shared big-int helpers (relocated from repro.xpath.bitset)
+# ----------------------------------------------------------------------
+def test_slot_helpers_agree():
+    rng = random.Random(8191)
+    for _ in range(50):
+        mask = rng.getrandbits(rng.randint(0, 200))
+        reference = [b for b in range(mask.bit_length()) if mask >> b & 1]
+        assert slots_of(mask) == reference
+        assert list(iter_slots(mask)) == reference
+        view = byte_view(mask)
+        for slot in reference:
+            assert view[slot >> 3] & (1 << (slot & 7))
+
+
+def test_bitset_reexports_are_the_same_objects():
+    """The relocation kept ``repro.xpath.bitset``'s public surface."""
+    from repro.masks import bigint
+    from repro.xpath import bitset
+
+    assert bitset.iter_slots is bigint.iter_slots
+    assert bitset.slots_of is bigint.slots_of
+    assert bitset.byte_view is bigint.byte_view

@@ -1,0 +1,277 @@
+"""Cross-backend fleet equivalence: numpy and big-int may never disagree.
+
+Every property here builds the base trees **once** and hands each
+backend (and the naive reference) its own ``copy()`` — copies preserve
+node ids, while re-parsing "the same" fleet draws fresh ids from the
+global counter and legitimately changes every checksum.
+
+Three layers of agreement are pinned, on random fleets under random
+policies with random epoch traffic (``txn_prob=0`` — epochs *are* the
+fleet's transaction brackets):
+
+1. **Masks** — ``answer_rows`` on random patterns, bit for bit.
+2. **Decisions** — per-epoch edited/rejected/structural outcomes, the
+   witness sets, and every checksum (fleet report, epoch report, running
+   session checksum).
+3. **Semantics** — both backends against a naive reference that replays
+   each epoch on plain tree copies and asks
+   :func:`~repro.constraints.explain_violations`, i.e. the paper's
+   definition with no mask machinery at all.
+
+Multi-epoch runs drive the incremental path: accepted epochs mutate the
+adopted trees in place and the baselines re-sync through the
+``EditDelta`` patch pipeline before the next batched check.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import explain_violations
+from repro.errors import StreamError, TreeError
+from repro.masks import FleetEvaluator, numpy_available
+from repro.stream import AddLeaf, Begin, Commit, Move, RemoveSubtree
+from repro.trees import DataTree
+from repro.workloads import (
+    FragmentSpec,
+    random_constraints,
+    random_pattern,
+    random_tree,
+    random_update_stream,
+)
+
+LABELS = ["a", "b", "c"]
+SPECS = [FragmentSpec(False, False, False), FragmentSpec(True, False, False),
+         FragmentSpec(True, True, False), FragmentSpec(True, True, True)]
+RELAXED = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+
+def build_fleet(rng: random.Random, *, docs: int | None = None):
+    """One shared policy and the base trees (built once; copy per use)."""
+    spec = rng.choice(SPECS)
+    constraints = random_constraints(rng, LABELS, spec,
+                                     count=rng.randint(1, 4), spine=2)
+    docs = docs if docs is not None else rng.randint(1, 6)
+    trees = [random_tree(rng, LABELS, size=rng.randint(1, 12))
+             for _ in range(docs)]
+    return spec, constraints, trees
+
+
+def epoch_traffic(rng: random.Random, constraints, trees,
+                  *, epochs: int) -> list[dict[int, list]]:
+    """Per-epoch edit batches drawn from enforcement-aware streams.
+
+    The per-document logs come from :func:`random_update_stream` (whose
+    shadow replay has *per-op* rollback); chopping them into epochs
+    deliberately desynchronises them from that shadow, so later ops may
+    reference nodes a rejected epoch never created — exactly the
+    structural-error traffic the fleet must survive.
+    """
+    logs = [random_update_stream(rng, tree, LABELS, constraints=constraints,
+                                 ops=rng.randint(2, 8), txn_prob=0.0,
+                                 violation_rate=0.5)
+            for tree in trees]
+    batches: list[dict[int, list]] = []
+    for _ in range(epochs):
+        batch: dict[int, list] = {}
+        for d, log in enumerate(logs):
+            if not log or rng.random() < 0.2:
+                continue
+            take = rng.randint(1, min(3, len(log)))
+            batch[d], logs[d] = log[:take], log[take:]
+        if batch:
+            batches.append(batch)
+    return batches
+
+
+def apply_naive(tree: DataTree, ops) -> None:
+    """Plain tree edits — raises TreeError exactly where the fleet does."""
+    for op in ops:
+        if isinstance(op, AddLeaf):
+            tree.add_child(op.parent, op.label, nid=op.nid)
+        elif isinstance(op, Move):
+            if tree.parent(op.nid) is None:
+                raise TreeError("cannot move the root")
+            tree.move(op.nid, op.new_parent)
+        else:
+            if op.nid not in tree:
+                raise TreeError(f"node {op.nid} not in tree")
+            tree.remove_subtree(op.nid)
+
+
+class NaiveFleet:
+    """The reference semantics: copies, replays and explain_violations."""
+
+    def __init__(self, constraints, trees):
+        self.constraints = constraints
+        self.base = [t.copy() for t in trees]    # baseline at adoption
+        self.state = [t.copy() for t in trees]
+
+    def submit_epoch(self, edits):
+        rejected, structural = set(), set()
+        for d, ops in edits.items():
+            trial = self.state[d].copy()
+            try:
+                apply_naive(trial, ops)
+            except TreeError:
+                rejected.add(d)
+                structural.add(d)
+                continue
+            if explain_violations(self.base[d], trial, self.constraints):
+                rejected.add(d)
+            else:
+                self.state[d] = trial
+        return rejected, structural
+
+
+@RELAXED
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@needs_numpy
+def test_answer_rows_agree(seed):
+    rng = random.Random(seed)
+    spec, constraints, trees = build_fleet(rng)
+    fleets = {name: FleetEvaluator(constraints, [t.copy() for t in trees],
+                                   backend=name)
+              for name in ("bigint", "numpy")}
+    patterns = [c.range for c in constraints]
+    patterns += [random_pattern(rng, LABELS, spec, spine=2)
+                 for _ in range(4)]
+    for pattern in patterns:
+        assert (fleets["bigint"].answer_rows(pattern)
+                == fleets["numpy"].answer_rows(pattern)), str(pattern)
+    reports = {name: fleet.check() for name, fleet in fleets.items()}
+    assert reports["bigint"].checksum == reports["numpy"].checksum
+    assert reports["bigint"].violating == reports["numpy"].violating
+
+
+@RELAXED
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@needs_numpy
+def test_epoch_decisions_and_checksums_agree(seed):
+    rng = random.Random(seed)
+    _, constraints, trees = build_fleet(rng)
+    batches = epoch_traffic(rng, constraints, trees,
+                            epochs=rng.randint(1, 4))
+    fleets = {name: FleetEvaluator(constraints, [t.copy() for t in trees],
+                                   backend=name)
+              for name in ("bigint", "numpy")}
+    for batch in batches:
+        reports = {name: fleet.submit_epoch(dict(batch))
+                   for name, fleet in fleets.items()}
+        a, b = reports["bigint"], reports["numpy"]
+        assert a.edited == b.edited
+        assert a.rejected == b.rejected
+        assert a.accepted == b.accepted
+        assert dict(a.structural) == dict(b.structural)
+        assert a.checksum == b.checksum
+        assert {d: vs for d, vs in a.violations.items()} \
+            == {d: vs for d, vs in b.violations.items()}
+    assert fleets["bigint"].checksum == fleets["numpy"].checksum
+    # The surviving states are identical trees, node ids included, and
+    # the post-rollback fleet is clean on both backends.
+    for d in range(len(trees)):
+        assert fleets["bigint"].tree(d).same_instance(fleets["numpy"].tree(d))
+    assert fleets["bigint"].check(force=True).ok \
+        == fleets["numpy"].check(force=True).ok
+
+
+@RELAXED
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       backend=st.sampled_from(["bigint", "numpy"]))
+def test_fleet_matches_naive_reference(seed, backend):
+    if backend == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    rng = random.Random(seed)
+    _, constraints, trees = build_fleet(rng)
+    batches = epoch_traffic(rng, constraints, trees,
+                            epochs=rng.randint(1, 3))
+    fleet = FleetEvaluator(constraints, [t.copy() for t in trees],
+                           backend=backend)
+    naive = NaiveFleet(constraints, trees)
+    for batch in batches:
+        report = fleet.submit_epoch(dict(batch))
+        rejected, structural = naive.submit_epoch(batch)
+        assert set(report.rejected) == rejected
+        assert set(report.structural) == structural
+        assert set(report.edited) == set(batch)
+    for d in range(len(trees)):
+        assert fleet.tree(d).same_instance(naive.state[d]), f"doc {d}"
+        # Standing per-doc witnesses agree with the paper's definition.
+        explained = explain_violations(naive.base[d], naive.state[d],
+                                       constraints)
+        assert len(fleet.violations(d)) == len(explained) == 0
+    check = fleet.check(force=True)
+    assert check.ok
+
+
+# ----------------------------------------------------------------------
+# Directed edge cases (deterministic)
+# ----------------------------------------------------------------------
+def small_fleet(backend="bigint"):
+    trees = []
+    for _ in range(3):
+        t = DataTree()
+        a = t.add_child(t.root, "a")
+        t.add_child(a, "b")
+        trees.append(t)
+    return FleetEvaluator([("//b", "up")], trees, backend=backend), trees
+
+
+def test_markers_are_stream_errors():
+    fleet, _ = small_fleet()
+    with pytest.raises(StreamError, match="transaction brackets"):
+        fleet.submit_epoch({0: [Begin()]})
+    with pytest.raises(StreamError):
+        fleet.submit_epoch({1: [Commit()]})
+
+
+def test_unknown_position_rejected():
+    fleet, _ = small_fleet()
+    with pytest.raises(ValueError, match="no document at position"):
+        fleet.submit_epoch({7: [AddLeaf(0, "c")]})
+
+
+def test_duplicate_tree_object_rejected():
+    t = DataTree()
+    t.add_child(t.root, "a")
+    with pytest.raises(ValueError, match="appears twice"):
+        FleetEvaluator([("//a", "up")], [t, t])
+
+
+def test_empty_fleet_rejected():
+    with pytest.raises(ValueError, match="at least one document"):
+        FleetEvaluator([("//a", "up")], [])
+
+
+def test_structural_error_rolls_back_applied_prefix():
+    fleet, _ = small_fleet()
+    before = fleet.tree(0).copy()
+    root = fleet.tree(0).root
+    report = fleet.submit_epoch(
+        {0: [AddLeaf(root, "c"), RemoveSubtree(10 ** 9)]})
+    assert report.rejected == (0,)
+    assert report.structural[0].startswith("structural error")
+    assert fleet.tree(0).same_instance(before)
+
+
+def test_rollback_restores_pre_epoch_state_not_baseline():
+    """An accepted epoch advances the rollback point."""
+    fleet, _ = small_fleet()
+    tree = fleet.tree(0)
+    ok = fleet.submit_epoch({0: [AddLeaf(tree.root, "c")]})
+    assert ok.rejected == ()
+    grown = tree.copy()
+    b_node = next(n for n in tree.node_ids() if tree.label(n) == "b")
+    bad = fleet.submit_epoch({0: [RemoveSubtree(b_node)]})
+    assert bad.rejected == (0,)
+    assert bad.violations[0]  # a no-remove witness names the lost node
+    assert fleet.tree(0).same_instance(grown)
+    assert fleet.check(force=True).ok

@@ -1,0 +1,204 @@
+"""Fleet submissions through the service front door.
+
+``FleetSubmit`` rides the same JSON-serialisable protocol as every
+other request: wire round-trips, a backend-independent
+``response_checksum`` (the property the CI backend matrix compares),
+session continuation across submissions, and the store's exclusivity
+rules — a document belongs to at most one live fleet and never to a
+fleet and an enforcement stream at once.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ConstraintService
+from repro.errors import ServiceError
+from repro.masks import numpy_available
+from repro.service import (
+    ErrorResponse,
+    FleetDecisions,
+    FleetSubmit,
+    StreamSubmit,
+    request_from_dict,
+    response_checksum,
+    response_from_dict,
+)
+from repro.stream import AddLeaf, RemoveSubtree
+from repro.trees import DataTree
+
+POLICY = [("/patient[/clinicalTrial]", "up")]
+
+
+def make_doc() -> DataTree:
+    doc = DataTree()
+    patient = doc.add_child(doc.root, "patient")
+    doc.add_child(patient, "clinicalTrial")
+    return doc
+
+
+def make_service(docs) -> ConstraintService:
+    svc = ConstraintService()
+    svc.register_constraints("policy", POLICY)
+    for name, doc in docs:
+        svc.register_document(name, doc)
+    return svc
+
+
+def submit(svc: ConstraintService, request: FleetSubmit):
+    """Drive the request through the full wire path (dict in, dict out)."""
+    payload = json.loads(json.dumps(request.to_dict()))
+    return response_from_dict(svc.handle_dict(payload))
+
+
+def traffic(doc: DataTree) -> tuple:
+    patient = next(n for n in doc.node_ids() if doc.label(n) == "patient")
+    trial = next(n for n in doc.node_ids()
+                 if doc.label(n) == "clinicalTrial")
+    return (
+        (("ward0", (AddLeaf(patient, "visit"),)),),   # epoch 1: fine
+        (("ward0", (RemoveSubtree(trial),)),),        # epoch 2: violates
+    )
+
+
+def test_fleet_submit_round_trips():
+    doc = make_doc()
+    request = FleetSubmit(documents=("ward0", "ward1"), constraints="policy",
+                          epochs=traffic(doc), backend="bigint")
+    wire = json.loads(json.dumps(request.to_dict()))
+    assert request_from_dict(wire) == request
+    assert request_from_dict(wire).to_dict() == request.to_dict()
+    bare = FleetSubmit(documents=("a",), constraints="c", epochs=())
+    assert "backend" not in bare.to_dict()
+    assert request_from_dict(bare.to_dict()) == bare
+
+
+def test_fleet_decisions_over_the_wire():
+    base = make_doc()
+    svc = make_service([("ward0", base.copy()), ("ward1", make_doc())])
+    epochs = traffic(base)
+    response = submit(svc, FleetSubmit(
+        documents=("ward0", "ward1"), constraints="policy",
+        epochs=epochs, backend="bigint"))
+    assert isinstance(response, FleetDecisions)
+    assert response.docs == 2
+    assert [e.epoch for e in response.epochs] == [1, 2]
+    good, bad = response.epochs
+    assert good.edited == ("ward0",) and good.rejected == ()
+    assert bad.rejected == ("ward0",)
+    assert bad.violations and bad.violations[0][0] == "ward0"
+    assert response.accepted_count == 1 and response.rejected_count == 1
+    # The rejected epoch rolled ward0 back to its post-epoch-1 state.
+    ward0 = svc.store.document("ward0")
+    assert any(ward0.label(n) == "visit" for n in ward0.node_ids())
+    assert any(ward0.label(n) == "clinicalTrial" for n in ward0.node_ids())
+    assert response_from_dict(response.to_dict()) == response
+
+
+def test_session_continues_across_submissions():
+    base = make_doc()
+    svc = make_service([("ward0", base.copy()), ("ward1", make_doc())])
+    first, second = traffic(base)
+    r1 = submit(svc, FleetSubmit(documents=("ward0", "ward1"),
+                                 constraints="policy", epochs=(first,)))
+    r2 = submit(svc, FleetSubmit(documents=("ward0", "ward1"),
+                                 constraints="policy", epochs=(second,)))
+    assert r2.epochs[0].epoch == 2  # the epoch counter carried across
+    assert r1.checksum != r2.checksum
+    [(docs, set_name, fleet)] = svc.store.live_fleets()
+    assert docs == ("ward0", "ward1") and set_name == "policy"
+    assert fleet.epoch == 2 and fleet.checksum == r2.checksum
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_response_checksum_is_backend_independent():
+    base0, base1 = make_doc(), make_doc()
+    epochs = traffic(base0)
+    responses = {}
+    for backend in ("bigint", "numpy"):
+        svc = make_service([("ward0", base0.copy()), ("ward1", base1.copy())])
+        responses[backend] = submit(svc, FleetSubmit(
+            documents=("ward0", "ward1"), constraints="policy",
+            epochs=epochs, backend=backend))
+    assert responses["bigint"] == responses["numpy"]
+    assert (response_checksum(responses["bigint"])
+            == response_checksum(responses["numpy"]))
+
+
+def expect_error(response, fragment: str) -> None:
+    assert isinstance(response, ErrorResponse), response
+    assert response.error == "ServiceError"
+    assert fragment in response.message, response.message
+
+
+def test_streamed_document_cannot_join_a_fleet():
+    svc = make_service([("ward0", make_doc())])
+    svc.handle(StreamSubmit(document="ward0", constraints="policy", ops=()))
+    expect_error(
+        submit(svc, FleetSubmit(documents=("ward0",), constraints="policy",
+                                epochs=())),
+        "live enforcement stream")
+    # ...and the reverse: a fleet member cannot open a stream.
+    svc2 = make_service([("ward0", make_doc())])
+    submit(svc2, FleetSubmit(documents=("ward0",), constraints="policy",
+                             epochs=()))
+    with pytest.raises(ServiceError, match="live fleet"):
+        svc2.enforcer("ward0", "policy")
+
+
+def test_document_belongs_to_one_fleet():
+    svc = make_service([("ward0", make_doc()), ("ward1", make_doc())])
+    submit(svc, FleetSubmit(documents=("ward0",), constraints="policy",
+                            epochs=()))
+    expect_error(
+        submit(svc, FleetSubmit(documents=("ward0", "ward1"),
+                                constraints="policy", epochs=())),
+        "already in a live fleet")
+
+
+def test_backend_cannot_switch_mid_session():
+    svc = make_service([("ward0", make_doc())])
+    submit(svc, FleetSubmit(documents=("ward0",), constraints="policy",
+                            epochs=(), backend="bigint"))
+    expect_error(
+        submit(svc, FleetSubmit(documents=("ward0",), constraints="policy",
+                                epochs=(), backend="no-such-backend")),
+        "cannot switch")
+
+
+def test_epoch_validation_errors():
+    svc = make_service([("ward0", make_doc())])
+    expect_error(
+        submit(svc, FleetSubmit(
+            documents=("ward0",), constraints="policy",
+            epochs=((("ghost", (AddLeaf(0, "x"),)),),))),
+        "not in this fleet")
+    expect_error(
+        submit(svc, FleetSubmit(
+            documents=("ward0",), constraints="policy",
+            epochs=((("ward0", ()), ("ward0", ())),))),
+        "appears twice")
+    expect_error(
+        submit(svc, FleetSubmit(documents=(), constraints="policy",
+                                epochs=())),
+        "at least one document")
+    expect_error(
+        submit(svc, FleetSubmit(documents=("ward0", "ward0"),
+                                constraints="policy", epochs=())),
+        "duplicate document names")
+
+
+def test_reregistration_drops_the_fleet():
+    svc = make_service([("ward0", make_doc())])
+    submit(svc, FleetSubmit(documents=("ward0",), constraints="policy",
+                            epochs=()))
+    assert svc.store.fleet_of("ward0") is not None
+    svc.register_document("ward0", make_doc(), replace=True)
+    assert svc.store.fleet_of("ward0") is None
+    svc2 = make_service([("ward0", make_doc())])
+    submit(svc2, FleetSubmit(documents=("ward0",), constraints="policy",
+                             epochs=()))
+    svc2.register_constraints("policy", POLICY, replace=True)
+    assert svc2.store.live_fleets() == []
