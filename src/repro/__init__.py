@@ -86,6 +86,15 @@ from repro.masks import (
     get_backend,
     numpy_available,
 )
+from repro.obs import (
+    MetricsRegistry,
+    new_trace_id,
+    registry,
+    set_registry,
+    span,
+    trace_id,
+    tracing,
+)
 from repro.service import (
     AsyncService,
     ConstraintService,
@@ -150,4 +159,7 @@ __all__ = [
     # implication
     "implies", "implies_single", "implies_on",
     "Answer", "ImplicationResult", "Counterexample",
+    # observability
+    "MetricsRegistry", "registry", "set_registry", "span",
+    "trace_id", "new_trace_id", "tracing",
 ]

@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.obs import COUNT_BUCKETS, MetricsRegistry
+from repro.obs import registry as _obs_registry
 from repro.constraints.model import (
     ConstraintSet,
     ConstraintType,
@@ -155,13 +158,17 @@ class FleetEvaluator:
             environment-driven default (:func:`repro.masks.get_backend`).
         names: optional per-document names for reports (defaults to
             ``doc0``, ``doc1``, …).
+        metrics: the registry epoch timings and counters land in
+            (``None`` = the process-global :func:`repro.obs.registry`;
+            pass :data:`repro.obs.NULL` to disable).
     """
 
     def __init__(self,
                  constraints: ConstraintSet | Iterable[UpdateConstraint],
                  trees: Sequence[DataTree], *,
                  backend: MaskBackend | str | None = None,
-                 names: Sequence[str] | None = None):
+                 names: Sequence[str] | None = None,
+                 metrics: MetricsRegistry | None = None):
         if not isinstance(constraints, ConstraintSet):
             constraints = constraint_set(*constraints)
         constraints.require_concrete()
@@ -193,6 +200,18 @@ class FleetEvaluator:
         self._epoch = 0
         self._checksum = 0
         self._last_report: FleetReport | None = None
+        m = metrics if metrics is not None else _obs_registry()
+        name = self._backend.name
+        self._m_check = m.histogram("fleet.check_seconds", backend=name)
+        self._m_apply = m.histogram("fleet.apply_seconds", backend=name)
+        self._m_epochs = m.counter("fleet.epochs_total", backend=name)
+        self._m_docs_edited = m.counter("fleet.docs_edited_total",
+                                        backend=name)
+        self._m_docs_rejected = m.counter("fleet.docs_rejected_total",
+                                          backend=name)
+        self._m_docs_per_epoch = m.histogram("fleet.docs_per_epoch",
+                                             buckets=COUNT_BUCKETS,
+                                             backend=name)
 
     # ------------------------------------------------------------------
     # State surface
@@ -243,6 +262,7 @@ class FleetEvaluator:
         """
         if self._last_report is not None and not force:
             return self._last_report
+        check_started = perf_counter()
         backend = self._backend
         kernel = self._kernel
         swept: dict[Pattern, MaskMatrix] = {
@@ -276,6 +296,7 @@ class FleetEvaluator:
             violations={d: tuple(vs) for d, vs in per_doc.items()},
             checksum=self._fold_check(per_doc))
         self._last_report = report
+        self._m_check.observe(perf_counter() - check_started)
         return report
 
     def _fold_check(self, per_doc: Mapping[int, list[Violation]]) -> int:
@@ -308,7 +329,11 @@ class FleetEvaluator:
         violating ones rolled back to their pre-epoch state.
         """
         self._epoch += 1
+        self._m_epochs.inc()
         edited = tuple(sorted(edits))
+        self._m_docs_edited.inc(len(edited))
+        self._m_docs_per_epoch.observe(float(len(edited)))
+        apply_started = perf_counter()
         journals: dict[int, list[tuple[Any, ...]]] = {}
         structural: dict[int, str] = {}
         for doc in edited:
@@ -328,6 +353,7 @@ class FleetEvaluator:
                 structural[doc] = f"structural error: {err}"
                 continue
             journals[doc] = journal
+        self._m_apply.observe(perf_counter() - apply_started)
         if journals:
             self._last_report = None
         report = self.check()
@@ -338,6 +364,7 @@ class FleetEvaluator:
             self._undo(doc, journals.get(doc, []))
             rejected.append(doc)
         rejected.extend(structural)
+        self._m_docs_rejected.inc(len(rejected))
         if report.violating:
             # The rollbacks restored a valid fleet; the next check must
             # not serve the pre-rollback verdicts.

@@ -1,0 +1,37 @@
+"""repro.obs — dependency-free observability for the whole stack.
+
+One process-local :class:`MetricsRegistry` (counters, gauges,
+fixed-bucket histograms; ``to_dict()`` + Prometheus-style ``render()``),
+a :func:`span` timing API feeding ``<name>_seconds`` histograms, and
+per-request trace ids on a context variable (:func:`tracing`) that the
+socket envelope propagates end to end.
+
+Every subsystem instruments into the global default (:func:`registry`)
+unless handed an explicit ``metrics=`` registry; the durable server
+serves the global registry's snapshot through the ``MetricsRequest``
+wire kind (``ReproClient.metrics()``), even while overloaded or
+draining.  Pass :data:`NULL` to disable a component's instrumentation
+outright — the ``bench_obs`` CI gate holds instrumented-vs-disabled
+enforcement overhead at ≤5%.
+"""
+
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flat_name,
+    registry,
+    set_registry,
+)
+from repro.obs.span import Span, new_trace_id, span, trace_id, tracing
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_BUCKETS", "COUNT_BUCKETS", "NULL",
+    "registry", "set_registry", "flat_name",
+    "Span", "span", "trace_id", "new_trace_id", "tracing",
+]

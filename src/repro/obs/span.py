@@ -1,0 +1,92 @@
+"""Lightweight timing spans and per-request trace ids.
+
+A span is a timed block recorded into a histogram named
+``<name>_seconds`` (so ``obs.span("journal.fsync")`` feeds
+``journal.fsync_seconds`` — the naming convention does the aggregation):
+
+>>> from repro.obs import MetricsRegistry, span
+>>> reg = MetricsRegistry()
+>>> with span("journal.fsync", registry=reg) as s:
+...     pass
+>>> reg.histogram("journal.fsync_seconds").count
+1
+
+Trace ids ride a :data:`contextvars.ContextVar`, so whatever id the
+server installs for a request (:func:`tracing`) is visible to every span
+taken while serving it — across ``await`` boundaries, without threading
+an argument through the stack.  The wire envelope carries the id as an
+optional ``"trace"`` key: the client stamps one per request
+(:func:`new_trace_id` when the caller supplies none), the server installs
+it around execution and echoes it on the response envelope — error
+responses included — so a client can correlate any answer, refusal or
+timeout with the request that caused it.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.registry import MetricsRegistry, registry as _default_registry
+
+_TRACE: ContextVar[str | None] = ContextVar("repro_trace_id", default=None)
+
+
+def trace_id() -> str | None:
+    """The trace id of the current context, if one is installed."""
+    return _TRACE.get()
+
+
+def new_trace_id() -> str:
+    """A fresh, process-unique trace id (``t-`` + 12 hex chars)."""
+    return "t-" + uuid.uuid4().hex[:12]
+
+
+@contextmanager
+def tracing(trace: str | None) -> Iterator[str | None]:
+    """Install ``trace`` as the current trace id for the block.
+
+    ``None`` is installed as-is (clearing any inherited id), so the
+    server can scope each request to exactly the id its envelope carried.
+    """
+    token = _TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _TRACE.reset(token)
+
+
+@dataclass
+class Span:
+    """One timed block: its name, the trace it ran under, its duration."""
+
+    name: str
+    trace: str | None = None
+    seconds: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+
+@contextmanager
+def span(name: str, registry: MetricsRegistry | None = None,
+         **labels: object) -> Iterator[Span]:
+    """Time a block into the histogram ``<name>_seconds``.
+
+    The yielded :class:`Span` carries the current trace id and, after
+    the block, the measured duration — callers that want the number
+    (a periodic dump, a log line) read ``s.seconds``.
+    """
+    reg = registry if registry is not None else _default_registry()
+    out = Span(name=name, trace=_TRACE.get())
+    out._started = perf_counter()
+    try:
+        yield out
+    finally:
+        out.seconds = perf_counter() - out._started
+        reg.histogram(name + "_seconds", **labels).observe(out.seconds)
+
+
+__all__ = ["Span", "span", "trace_id", "new_trace_id", "tracing"]

@@ -14,6 +14,7 @@ import asyncio
 import contextlib
 import signal
 
+from repro.obs import registry
 from repro.server.server import ReproServer
 
 
@@ -40,7 +41,18 @@ def _parser() -> argparse.ArgumentParser:
                              "(0 = unbounded)")
     parser.add_argument("--max-inflight", type=int, default=256,
                         help="refuse requests beyond this many in flight")
+    parser.add_argument("--metrics-interval", type=float, default=0,
+                        metavar="SECONDS",
+                        help="periodically dump the metrics registry in "
+                             "Prometheus text format (0 = never; the "
+                             "metrics wire request works regardless)")
     return parser
+
+
+async def _dump_metrics(interval: float) -> None:
+    while True:
+        await asyncio.sleep(interval)
+        print(f"--- metrics ---\n{registry().render()}", flush=True)
 
 
 async def _run(args: argparse.Namespace) -> None:
@@ -64,9 +76,16 @@ async def _run(args: argparse.Namespace) -> None:
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):
             loop.add_signal_handler(sig, stop.set)
+    dumper: asyncio.Task | None = None
+    if args.metrics_interval > 0:
+        dumper = loop.create_task(_dump_metrics(args.metrics_interval))
     try:
         await stop.wait()
     finally:
+        if dumper is not None:
+            dumper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await dumper
         print("draining and shutting down...", flush=True)
         await server.close()
 

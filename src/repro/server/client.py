@@ -31,11 +31,13 @@ from collections.abc import Iterable, Sequence
 
 from repro.constraints.model import ConstraintSet, UpdateConstraint
 from repro.errors import ServerError
+from repro.obs import new_trace_id, trace_id
 from repro.server.framing import read_frame, write_frame
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ImplicationQuery,
     InstanceQuery,
+    MetricsRequest,
     RegisterConstraints,
     RegisterDocument,
     Request,
@@ -105,22 +107,30 @@ class ReproClient:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def request(self, request: Request) -> Response:
+    async def request(self, request: Request, *,
+                      trace: str | None = None) -> Response:
         """Send one request and await its (id-matched) response."""
-        future = await self.submit(request)
+        future = await self.submit(request, trace=trace)
         return await future
 
-    async def submit(self, request: Request) -> "asyncio.Future[Response]":
+    async def submit(self, request: Request, *,
+                     trace: str | None = None
+                     ) -> "asyncio.Future[Response]":
         """Send one request; the future resolves when its response lands.
 
         Unlike :meth:`request` this returns as soon as the frame is on
         the wire, so a caller can pipeline a batch and gather the
-        futures.
+        futures.  Every envelope carries a trace id the server installs
+        around execution and echoes on the response: ``trace`` when
+        given, else the caller's ambient :func:`~repro.obs.trace_id`,
+        else a fresh :func:`~repro.obs.new_trace_id`.
         """
         if self._closed:
             raise ServerError("the client is closed")
         envelope_id = self._next_id
         self._next_id += 1
+        if trace is None:
+            trace = trace_id() or new_trace_id()
         future: asyncio.Future[Response] = (
             asyncio.get_running_loop().create_future())
         self._pending[envelope_id] = future
@@ -128,7 +138,8 @@ class ReproClient:
             async with self._lock:
                 await write_frame(self._writer,
                                   {"id": envelope_id,
-                                   "body": request.to_dict()})
+                                   "body": request.to_dict(),
+                                   "trace": trace})
         except (ConnectionError, RuntimeError) as err:
             self._pending.pop(envelope_id, None)
             raise ServerError(f"the connection is gone: {err}") from None
@@ -159,6 +170,15 @@ class ReproClient:
     async def status(self, document: str) -> Response:
         """Where the document's stream stands (reconnect reconciliation)."""
         return await self.request(StreamStatus(document))
+
+    async def metrics(self) -> Response:
+        """The server's live introspection snapshot.
+
+        Served inline by the server — before its backpressure gate and
+        without touching the per-document queues — so it answers even
+        while the server is overloaded or draining.
+        """
+        return await self.request(MetricsRequest())
 
     async def implies(self, constraints: str,
                       conclusions: Sequence[UpdateConstraint], *,

@@ -39,9 +39,11 @@ import os
 import urllib.parse
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import BinaryIO, Iterable
 
 from repro.errors import JournalError, ServiceError
+from repro.obs import MetricsRegistry, registry as _obs_registry, span
 from repro.server.framing import encode_record, scan_records
 from repro.service.protocol import constraint_from_wire, constraint_to_wire
 from repro.stream.engine import StreamEnforcer
@@ -114,12 +116,18 @@ class ServerJournal:
 
     def __init__(self, root: str | Path, *, fsync: bool = True,
                  checkpoint_every: int = 256, audit_keep: int = 64,
-                 faults=None):
+                 faults=None, metrics: MetricsRegistry | None = None):
         self.root = Path(root)
         self.fsync = fsync
         self.checkpoint_every = max(1, checkpoint_every)
         self.audit_keep = max(0, audit_keep)
         self.faults = faults
+        self._metrics = metrics if metrics is not None else _obs_registry()
+        m = self._metrics
+        self._m_records = m.counter("journal.records_total")
+        self._m_bytes = m.counter("journal.bytes_written_total")
+        self._m_fsync = m.histogram("journal.fsync_seconds")
+        self._m_torn = m.counter("journal.torn_tails_total")
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / _DOCS).mkdir(exist_ok=True)
         self._lsn = 1  # next lsn to assign (recover() advances it)
@@ -173,9 +181,13 @@ class ServerJournal:
         handle = self._handle(path)
         handle.write(blob)
         self._sizes[path] = self._sizes.get(path, 0) + len(blob)
+        self._m_records.inc()
+        self._m_bytes.inc(len(blob))
         self._fault("journal-write")
         if self.fsync:
+            started = perf_counter()
             os.fsync(handle.fileno())
+            self._m_fsync.observe(perf_counter() - started)
             self._synced[path] = self._sizes[path]
             self._fault("journal-fsync")
 
@@ -272,27 +284,32 @@ class ServerJournal:
         checkpoint already covers — which the covered-lsn filter skips.
         """
         covered = self._lsn - 1
-        record = encode_record({
-            "kind": "checkpoint", "lsn": covered, "doc": doc,
-            "set": set_name, "next_id": self._next_id.get(doc, 1),
-            "state": enforcer.state_dict(),
-        })
-        path = self.doc_checkpoint_path(doc)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(record)
-            self._fault("checkpoint-write")
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        _fsync_dir(path.parent)
-        self._fault("checkpoint-rename")
-        self._compact(doc, covered)
-        enforcer.audit.compact(keep_last=self.audit_keep)
+        with span("journal.checkpoint", registry=self._metrics):
+            record = encode_record({
+                "kind": "checkpoint", "lsn": covered, "doc": doc,
+                "set": set_name, "next_id": self._next_id.get(doc, 1),
+                "state": enforcer.state_dict(),
+            })
+            path = self.doc_checkpoint_path(doc)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                handle.write(record)
+                self._fault("checkpoint-write")
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            self._fault("checkpoint-rename")
+            self._compact(doc, covered)
+            enforcer.audit.compact(keep_last=self.audit_keep)
         self._since_checkpoint[doc] = 0
 
     def _compact(self, doc: str, covered_lsn: int) -> None:
         """Drop journal records the checkpoint at ``covered_lsn`` covers."""
+        with span("journal.compact", registry=self._metrics):
+            self._compact_inner(doc, covered_lsn)
+
+    def _compact_inner(self, doc: str, covered_lsn: int) -> None:
         journal = self.doc_journal_path(doc)
         records, _ = scan_records(journal.read_bytes(), path=str(journal))
         keep = [r for r in records if r["lsn"] > covered_lsn]
@@ -349,6 +366,7 @@ class ServerJournal:
         records, good = scan_records(blob, path=str(path))
         if good < len(blob):
             report.torn_tails.append((str(path), len(blob) - good))
+            self._m_torn.inc()
             with open(path, "ab") as handle:
                 handle.truncate(good)
                 if self.fsync:
@@ -394,6 +412,7 @@ class ServerJournal:
             # write path; treat external truncation as "no checkpoint"
             # and fall back to full journal replay.
             report.torn_tails.append((str(path), len(blob) - good))
+            self._m_torn.inc()
             return None
         return records[0]
 
@@ -458,7 +477,9 @@ class ServerJournal:
     def sync(self) -> None:
         """fsync every open journal handle (used with ``fsync=False``)."""
         for path, handle in self._handles.items():
+            started = perf_counter()
             os.fsync(handle.fileno())
+            self._m_fsync.observe(perf_counter() - started)
             self._synced[path] = self._sizes.get(path, 0)
 
     def simulate_power_loss(self) -> None:

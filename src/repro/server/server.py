@@ -41,11 +41,14 @@ from __future__ import annotations
 
 import asyncio
 from pathlib import Path
+from time import perf_counter
 
 from repro.errors import ReproError, ServerError
+from repro.obs import registry as _obs_registry, tracing
 from repro.server.framing import read_frame, write_frame
 from repro.server.journal import RecoveryReport, ServerJournal
 from repro.service.async_service import AsyncService
+from repro.service.executors import build_metrics_snapshot
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ErrorResponse,
@@ -76,6 +79,17 @@ class ReproServer:
         self._writers: set[asyncio.StreamWriter] = set()
         self._closing = False
         self.recovery: RecoveryReport | None = None
+        self._overloads = 0  # monotone over this server's lifetime
+        m = _obs_registry()
+        self._metrics = m
+        self._m_inflight = m.gauge("server.inflight_requests")
+        self._m_connections = m.counter("server.connections_total")
+        self._m_handshakes = m.counter("server.handshakes_total")
+        self._m_handshake_failures = m.counter(
+            "server.handshake_failures_total")
+        self._m_frame_errors = m.counter("server.frame_errors_total")
+        self._m_timeouts = m.counter("server.timeouts_total")
+        self._m_overloads = m.counter("server.overload_total")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -101,7 +115,18 @@ class ReproServer:
         service = AsyncService(ConstraintService(store=store))
         server = cls(service, journal=journal, **kwargs)
         server.recovery = report
+        server._publish_recovery(report)
         return server
+
+    def _publish_recovery(self, report: RecoveryReport) -> None:
+        """Mirror the last :class:`RecoveryReport` as ``recovery.*`` gauges."""
+        m = self._metrics
+        m.gauge("recovery.documents").set(len(report.documents))
+        m.gauge("recovery.constraint_sets").set(len(report.constraint_sets))
+        m.gauge("recovery.records_replayed").set(report.records_replayed)
+        m.gauge("recovery.decisions_replayed").set(report.decisions_replayed)
+        m.gauge("recovery.checkpoints_used").set(len(report.checkpoints_used))
+        m.gauge("recovery.torn_tails").set(len(report.torn_tails))
 
     @property
     def service(self) -> AsyncService:
@@ -201,6 +226,7 @@ class ReproServer:
         assert task is not None
         self._connections.add(task)
         self._writers.add(writer)
+        self._m_connections.inc()
         lock = asyncio.Lock()  # response frames must not interleave
         try:
             if not await self._handshake(reader, writer):
@@ -211,36 +237,58 @@ class ReproServer:
                 except ServerError as err:
                     # Desynchronised stream: one best-effort error frame,
                     # then drop the connection (no id to echo).
+                    self._m_frame_errors.inc()
                     await self._send(writer, lock, None, ErrorResponse(
                         error="ServerError", message=str(err)))
                     break
                 if frame is None:
                     break  # clean EOF, or the peer vanished mid-frame
                 envelope_id = frame.get("id")
+                raw_trace = frame.get("trace")
+                trace = raw_trace if isinstance(raw_trace, str) else None
                 body = frame.get("body")
                 if not isinstance(body, dict):
+                    self._m_frame_errors.inc()
                     await self._send(writer, lock, envelope_id, ErrorResponse(
                         error="ServerError",
-                        message="envelope must carry a 'body' object"))
+                        message="envelope must carry a 'body' object"),
+                        trace=trace)
+                    continue
+                if body.get("request") == "metrics":
+                    # Introspection must stay answerable under load: serve
+                    # the snapshot inline, before the backpressure gate and
+                    # without touching the per-document queues.
+                    with tracing(trace):
+                        snapshot = build_metrics_snapshot(
+                            self._service.service.store)
+                    await self._send(writer, lock, envelope_id, snapshot,
+                                     trace=trace)
                     continue
                 if self._inflight >= self.max_inflight:
+                    self._overloads += 1
+                    self._m_overloads.inc()
                     await self._send(writer, lock, envelope_id, ErrorResponse(
                         error="ServerError",
                         message=f"server overloaded: {self._inflight} "
                                 f"request(s) in flight (limit "
                                 f"{self.max_inflight}); retry later",
                         details={"inflight": self._inflight,
-                                 "limit": self.max_inflight}))
+                                 "limit": self.max_inflight,
+                                 "overload_total": self._overloads}),
+                        trace=trace)
                     continue
                 try:
                     request = request_from_dict(body)
                 except ReproError as err:
+                    self._m_frame_errors.inc()
                     await self._send(writer, lock, envelope_id, ErrorResponse(
-                        error=type(err).__name__, message=str(err)))
+                        error=type(err).__name__, message=str(err)),
+                        trace=trace)
                     continue
                 self._inflight += 1
+                self._m_inflight.set(self._inflight)
                 serve = asyncio.get_running_loop().create_task(
-                    self._serve(envelope_id, request, writer, lock))
+                    self._serve(envelope_id, request, writer, lock, trace))
                 self._requests.add(serve)
                 serve.add_done_callback(self._requests.discard)
         except asyncio.CancelledError:
@@ -257,12 +305,15 @@ class ReproServer:
         try:
             frame = await read_frame(reader)
         except ServerError:
+            self._m_handshake_failures.inc()
             return False
         if frame is None:
+            self._m_handshake_failures.inc()
             return False
         hello = frame.get("hello")
         version = hello.get("protocol") if isinstance(hello, dict) else None
         if version != PROTOCOL_VERSION:
+            self._m_handshake_failures.inc()
             try:
                 await write_frame(writer, {"error": {
                     "error": "ServerError",
@@ -276,14 +327,19 @@ class ReproServer:
             await write_frame(writer, {"hello": {
                 "protocol": PROTOCOL_VERSION, "server": "repro"}})
         except ConnectionError:
+            self._m_handshake_failures.inc()
             return False
+        self._m_handshakes.inc()
         return True
 
-    async def _serve(self, envelope_id, request, writer, lock) -> None:
+    async def _serve(self, envelope_id, request, writer, lock,
+                     trace=None) -> None:
         """Execute one request and write its response envelope."""
+        started = perf_counter()
         try:
             try:
-                future = self._service.submit(request)
+                with tracing(trace):
+                    future = self._service.submit(request)
                 if self.request_timeout is None:
                     response = await future
                 else:
@@ -293,6 +349,7 @@ class ReproServer:
                     response = await asyncio.wait_for(
                         asyncio.shield(future), self.request_timeout)
             except asyncio.TimeoutError:
+                self._m_timeouts.inc()
                 response = ErrorResponse(
                     error="TimeoutError",
                     message=f"request did not complete within "
@@ -303,10 +360,19 @@ class ReproServer:
                                          message=str(err))
         finally:
             self._inflight -= 1
-        await self._send(writer, lock, envelope_id, response)
+            self._m_inflight.set(self._inflight)
+            self._metrics.counter(
+                "server.requests_total", kind=request.kind).inc()
+            self._metrics.histogram(
+                "server.request_seconds", kind=request.kind).observe(
+                perf_counter() - started)
+        await self._send(writer, lock, envelope_id, response, trace=trace)
 
-    async def _send(self, writer, lock, envelope_id, response) -> None:
+    async def _send(self, writer, lock, envelope_id, response,
+                    trace=None) -> None:
         envelope = {"id": envelope_id, "body": response.to_dict()}
+        if trace is not None:
+            envelope["trace"] = trace
         try:
             async with lock:
                 await write_frame(writer, envelope)

@@ -39,6 +39,8 @@ from repro.service.protocol import (
     FleetSubmit,
     ImplicationQuery,
     InstanceQuery,
+    MetricsRequest,
+    MetricsSnapshot,
     QueryAnswers,
     RegisterConstraints,
     RegisterDocument,
@@ -66,8 +68,8 @@ __all__ = [
     "Executor", "InlineExecutor", "ProcessExecutor",
     "Request", "RegisterConstraints", "RegisterDocument",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
-    "FleetSubmit", "PROTOCOL_VERSION",
-    "Response", "Ack", "Verdict", "QueryAnswers",
+    "FleetSubmit", "MetricsRequest", "PROTOCOL_VERSION",
+    "Response", "Ack", "Verdict", "QueryAnswers", "MetricsSnapshot",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
     "WireEpoch", "FleetDecisions",
     "request_from_dict", "request_from_json",

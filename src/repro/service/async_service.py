@@ -40,6 +40,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.constraints.model import ConstraintSet, UpdateConstraint
 from repro.errors import ServiceError
+from repro.obs import registry as _obs_registry, trace_id, tracing
 from repro.service.executors import Executor
 from repro.service.protocol import (
     Ack,
@@ -87,6 +88,9 @@ class AsyncService:
         # exactly as in a synchronous replay.
         self._barrier: asyncio.Future | None = None
         self._closed = False
+        m = _obs_registry()
+        self._m_requests = m.counter("service.requests_total")
+        self._m_depth = m.gauge("service.queue_depth")
 
     @property
     def service(self) -> ConstraintService:
@@ -130,8 +134,13 @@ class AsyncService:
         barrier = self._barrier
         if barrier is not None and barrier.done():
             barrier = None
+        # Capture the submitter's trace id here: worker tasks were created
+        # in their own context, so a contextvar set around ``submit`` would
+        # never reach ``_drain`` — the id must ride the queue item.
         self._queue_for(_route_key(request)).put_nowait(
-            (request, future, barrier))
+            (request, future, barrier, trace_id()))
+        self._m_requests.inc()
+        self._m_depth.set(sum(q.qsize() for q in self._queues.values()))
         if isinstance(request, (RegisterConstraints, RegisterDocument)):
             self._barrier = future
         return future
@@ -159,7 +168,7 @@ class AsyncService:
             if item is None:
                 queue.task_done()
                 return
-            request, future, barrier = item
+            request, future, barrier, trace = item
             if barrier is not None and not barrier.done():
                 # An earlier-submitted registration has not executed yet
                 # (it lives in a sibling queue); wait for it so this
@@ -171,7 +180,8 @@ class AsyncService:
                 except Exception:
                     pass
             try:
-                response = self._service.handle(request)
+                with tracing(trace):
+                    response = self._service.handle(request)
             except Exception as err:  # handle() already absorbs ReproError
                 if not future.cancelled():
                     future.set_exception(err)
@@ -179,6 +189,7 @@ class AsyncService:
                 if not future.cancelled():
                     future.set_result(response)
             queue.task_done()
+            self._m_depth.set(sum(q.qsize() for q in self._queues.values()))
             # Yield periodically so sibling documents interleave even under
             # one saturating client; an empty queue suspends in get() anyway,
             # so the stride only matters for long pipelined bursts.

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.pool
+from time import perf_counter
 
 from repro.analysis import IndependenceIndex
 from repro.api.session import GENERAL_UNDECIDED, INSTANCE_UNDECIDED
 from repro.constraints.model import ConstraintSet
 from repro.errors import ReproError, ServiceError, UnsupportedProblemError
 from repro.implication.result import Answer
+from repro.obs import registry as _obs_registry
 from repro.service.dispatch import bind_session, compiled_session
 from repro.service.protocol import (
     Ack,
@@ -43,6 +45,8 @@ from repro.service.protocol import (
     FleetSubmit,
     ImplicationQuery,
     InstanceQuery,
+    MetricsRequest,
+    MetricsSnapshot,
     RegisterConstraints,
     RegisterDocument,
     Request,
@@ -57,6 +61,30 @@ from repro.service.protocol import (
 )
 from repro.service.store import DocumentStore
 from repro.trees.serialize import from_dict, to_dict
+
+
+def build_metrics_snapshot(store: DocumentStore) -> MetricsSnapshot:
+    """The live introspection payload: global registry + per-entity state.
+
+    The ``metrics`` section is the process-wide
+    :func:`repro.obs.registry` snapshot; ``streams`` carries each open
+    stream's :meth:`~repro.stream.engine.StreamStats.wire_pairs` and
+    ``fleets`` each open fleet's shape.  Both the server's inline
+    short-circuit (served before the backpressure gate) and the
+    :class:`InlineExecutor` dispatch build their answer here, so the two
+    paths cannot drift.
+    """
+    streams = tuple(
+        (doc, enforcer.stats.wire_pairs())
+        for doc, _set_name, enforcer in store.live_streams())
+    fleets = tuple(
+        ("+".join(docs), tuple(sorted({
+            "set": set_name, "backend": fleet.backend,
+            "docs": fleet.size, "epoch": fleet.epoch,
+            "checksum": fleet.checksum}.items())))
+        for docs, set_name, fleet in store.live_fleets())
+    return MetricsSnapshot(metrics=_obs_registry().to_dict(),
+                           streams=streams, fleets=fleets)
 
 
 class Executor:
@@ -100,6 +128,8 @@ class InlineExecutor(Executor):
             return self._stream_status(request, store)
         if isinstance(request, FleetSubmit):
             return self._fleet(request, store)
+        if isinstance(request, MetricsRequest):
+            return build_metrics_snapshot(store)
         raise ServiceError(f"unhandled request type {type(request).__name__}")
 
     # -- query handlers -------------------------------------------------
@@ -179,17 +209,13 @@ class InlineExecutor(Executor):
             return Ack("stream", request.document, 0)
         _, enforcer = live
         stats = enforcer.stats
-        # ``revision`` is a snapshot-internal counter that legitimately
-        # differs between a live stream and its checkpoint-restored twin;
-        # everything else is part of the recovery-equivalence contract.
-        pairs = {"entries": stats.entries, "ops": stats.ops,
-                 "accepted": stats.accepted, "rejected": stats.rejected,
-                 "transactions": stats.transactions,
-                 "committed": stats.committed,
-                 "rolled_back": stats.rolled_back,
-                 "independent": stats.independent}
+        # ``wire_pairs`` deliberately excludes ``revision`` — a
+        # snapshot-internal counter that legitimately differs between a
+        # live stream and its checkpoint-restored twin; everything it
+        # does carry is part of the recovery-equivalence contract, so a
+        # reconnecting client recovers its observability state exactly.
         return Ack("stream", request.document, stats.entries,
-                   stats=tuple(sorted(pairs.items())))
+                   stats=stats.wire_pairs())
 
 
 # ----------------------------------------------------------------------
@@ -324,7 +350,26 @@ class ProcessExecutor(Executor):
                 processes=self._workers,
                 initializer=_pin_session_cache,
                 initargs=(self._session_cache,))
+            _obs_registry().gauge("executor.pool_workers").set(self._workers)
         return self._pool
+
+    def _map(self, fn, payloads: list) -> list:
+        """``pool.map`` with fan-out accounting (chunks, wall time).
+
+        Workers are separate processes, so their side of the work cannot
+        reach this registry; the parent times the whole fan-out and
+        attributes the per-chunk average — exact enough to spot a slow
+        batch, free enough for the hot path.
+        """
+        m = _obs_registry()
+        started = perf_counter()
+        results = self._get_pool().map(fn, payloads)
+        elapsed = perf_counter() - started
+        m.counter("executor.chunks_total").inc(len(payloads))
+        m.histogram("executor.chunk_seconds").observe(
+            elapsed / max(1, len(payloads)))
+        m.histogram("executor.map_seconds").observe(elapsed)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -336,7 +381,7 @@ class ProcessExecutor(Executor):
         if isinstance(request, ImplicationQuery) and len(request.conclusions) > 1:
             wire = tuple(store.constraints(request.constraints))
             chunks = _chunked(request.conclusions, self._workers)
-            results = self._get_pool().map(
+            results = self._map(
                 _implication_chunk, [(wire, chunk) for chunk in chunks])
             verdicts = [v for chunk in results for v in chunk]
             return self._assemble(verdicts, request.fail_fast,
@@ -363,7 +408,7 @@ class ProcessExecutor(Executor):
         wire = tuple(store.constraints(request.constraints))
         tree_dict = to_dict(store.document(request.document))
         chunks = _chunked(request.conclusions, self._workers)
-        results = self._get_pool().map(
+        results = self._map(
             _instance_chunk,
             [(wire, tree_dict, chunk, request.max_moves,
               request.search_budget) for chunk in chunks])
@@ -404,4 +449,5 @@ class ProcessExecutor(Executor):
         return f"ProcessExecutor({self._workers} workers, {state})"
 
 
-__all__ = ["Executor", "InlineExecutor", "ProcessExecutor"]
+__all__ = ["Executor", "InlineExecutor", "ProcessExecutor",
+           "build_metrics_snapshot"]

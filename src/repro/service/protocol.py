@@ -260,11 +260,14 @@ class StreamStatus(Request):
 
     Answered with an :class:`Ack` (``registered="stream"``) whose ``size``
     is the stream's decision count and whose ``stats`` carry the
-    :class:`~repro.stream.engine.StreamStats` counters (minus the
-    snapshot-internal ``revision``).  A reconnecting client of the durable
-    server compares the decision count against what it saw acknowledged to
-    learn whether its last in-flight submission survived the crash —
-    journaling is at-most-once per submission, never silently partial.
+    :class:`~repro.stream.engine.StreamStats` counters — ops seen,
+    accepted/rejected, transaction outcomes, fast-path hits and the total
+    audit length (minus the snapshot-internal ``revision``) — so a
+    reconnecting client recovers its observability state, not just the
+    sequence position.  The durable server's clients compare the decision
+    count against what they saw acknowledged to learn whether a last
+    in-flight submission survived the crash — journaling is at-most-once
+    per submission, never silently partial.
     """
 
     kind = "stream-status"
@@ -279,10 +282,32 @@ class StreamStatus(Request):
         return cls(document=data["document"])
 
 
+@dataclass(frozen=True)
+class MetricsRequest(Request):
+    """A live introspection snapshot of the serving process.
+
+    Answered with a :class:`MetricsSnapshot` of the process-global
+    :class:`~repro.obs.MetricsRegistry` plus per-stream counters.  The
+    socket server answers it out-of-band — before the backpressure gate
+    and without queueing behind any document worker — so the endpoint
+    stays serveable while the service is overloaded or draining.
+    """
+
+    kind = "metrics"
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRequest":
+        return cls()
+
+
 _REQUEST_KINDS: dict[str, type[Request]] = {
     cls.kind: cls
     for cls in (RegisterConstraints, RegisterDocument, ImplicationQuery,
-                InstanceQuery, StreamSubmit, StreamStatus, FleetSubmit)
+                InstanceQuery, StreamSubmit, StreamStatus, FleetSubmit,
+                MetricsRequest)
 }
 
 
@@ -625,6 +650,71 @@ class FleetDecisions(Response):
 
 
 @dataclass(frozen=True)
+class MetricsSnapshot(Response):
+    """One point-in-time view of the serving process's metrics.
+
+    ``metrics`` is a :meth:`~repro.obs.MetricsRegistry.to_dict` snapshot
+    (``counters`` / ``gauges`` / ``histograms`` sections under flat
+    ``name{label="value"}`` keys); ``streams`` maps each document with a
+    live enforcement stream to its :class:`~repro.stream.engine.
+    StreamStats` wire pairs, and ``fleets`` maps each live fleet (by its
+    sorted, comma-joined member list) to backend/epoch/size.  Values are
+    a live read, not a transaction — two counters in one snapshot may
+    straddle an in-flight request.
+    """
+
+    kind = "metrics-snapshot"
+
+    metrics: dict[str, Any]
+    streams: tuple[tuple[str, tuple[tuple[str, int], ...]], ...] = ()
+    fleets: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self.metrics.get("counters", {}))
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return dict(self.metrics.get("gauges", {}))
+
+    @property
+    def histograms(self) -> dict[str, dict]:
+        return dict(self.metrics.get("histograms", {}))
+
+    def histogram_count(self, name: str) -> int:
+        """Observation count of one histogram (0 when absent)."""
+        return int(self.histograms.get(name, {}).get("count", 0))
+
+    def stream_counters(self, document: str) -> dict[str, int]:
+        """One live stream's durable counters (empty dict when absent)."""
+        return {k: v for doc, pairs in self.streams if doc == document
+                for k, v in pairs}
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"response": self.kind,
+                                "metrics": self.metrics}
+        if self.streams:
+            data["streams"] = {doc: {k: v for k, v in pairs}
+                               for doc, pairs in self.streams}
+        if self.fleets:
+            data["fleets"] = {key: {k: v for k, v in pairs}
+                              for key, pairs in self.fleets}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        return cls(
+            metrics=dict(data["metrics"]),
+            streams=tuple(sorted(
+                (doc, tuple(sorted((str(k), int(v))
+                                   for k, v in pairs.items())))
+                for doc, pairs in data.get("streams", {}).items())),
+            fleets=tuple(sorted(
+                (key, tuple(sorted(pairs.items())))
+                for key, pairs in data.get("fleets", {}).items())))
+
+
+@dataclass(frozen=True)
 class ErrorResponse(Response):
     """A request that could not be served (``error`` = exception class)."""
 
@@ -651,7 +741,7 @@ class ErrorResponse(Response):
 _RESPONSE_KINDS: dict[str, type[Response]] = {
     cls.kind: cls
     for cls in (Ack, QueryAnswers, StreamDecisions, FleetDecisions,
-                ErrorResponse)
+                MetricsSnapshot, ErrorResponse)
 }
 
 
@@ -690,10 +780,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Request", "RegisterConstraints", "RegisterDocument",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
-    "FleetSubmit",
+    "FleetSubmit", "MetricsRequest",
     "Response", "Ack", "Verdict", "QueryAnswers",
     "WireViolation", "WireDecision", "StreamDecisions", "ErrorResponse",
-    "WireEpoch", "FleetDecisions",
+    "WireEpoch", "FleetDecisions", "MetricsSnapshot",
     "request_from_dict", "request_from_json",
     "response_from_dict", "response_from_json", "response_checksum",
     "constraint_to_wire", "constraint_from_wire",

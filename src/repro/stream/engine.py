@@ -47,6 +47,7 @@ from repro.constraints.model import (
 from repro.constraints.validity import BaselineValidity, Violation
 from repro.errors import StreamError, TreeError
 from repro.masks.baseline import MaskedBaseline
+from repro.obs import MetricsRegistry, registry as _obs_registry
 from repro.stream.log import AuditTrail, Decision
 from repro.stream.ops import (
     AddLeaf,
@@ -94,6 +95,24 @@ class StreamStats:
     revision: int           # snapshot revision (applied edits, incl. undos)
     independent: int = 0    # ops accepted with zero mask work (fast path)
 
+    def wire_pairs(self) -> tuple[tuple[str, int], ...]:
+        """The counters as sorted ``(name, value)`` pairs for the wire.
+
+        This is what a :class:`~repro.service.protocol.StreamStatus` ack
+        carries so reconnecting clients recover observability state:
+        every counter except ``revision``, a snapshot-internal number
+        that legitimately differs between a live stream and its
+        checkpoint-restored twin (everything returned here is part of
+        the recovery-equivalence contract, pinned by the fault suite).
+        """
+        return tuple(sorted({
+            "entries": self.entries, "ops": self.ops,
+            "accepted": self.accepted, "rejected": self.rejected,
+            "transactions": self.transactions, "committed": self.committed,
+            "rolled_back": self.rolled_back,
+            "independent": self.independent,
+        }.items()))
+
     def __str__(self) -> str:
         return (f"{self.ops} ops ({self.accepted} accepted, "
                 f"{self.rejected} rejected, {self.independent} independent), "
@@ -121,6 +140,10 @@ class StreamEnforcer:
             verdict to full checking (:mod:`repro.analysis`).  Subclasses
             that bypass the live snapshot (recompute-from-scratch
             baselines) must pass ``analysis=False``.
+        metrics: the :class:`~repro.obs.MetricsRegistry` the stream
+            counts into (``stream.*`` counters).  Defaults to the
+            process-global registry; pass :data:`repro.obs.NULL` to
+            disable instrumentation (the overhead benchmark's baseline).
     """
 
     ENGINES = ("bitset", "indexed")
@@ -128,7 +151,8 @@ class StreamEnforcer:
     def __init__(self,
                  constraints: ConstraintSet | Iterable[UpdateConstraint],
                  tree: DataTree, *, engine: str = "bitset",
-                 analysis: bool = True):
+                 analysis: bool = True,
+                 metrics: MetricsRegistry | None = None):
         if not isinstance(constraints, ConstraintSet):
             constraints = constraint_set(*constraints)
         constraints.require_concrete()
@@ -144,10 +168,21 @@ class StreamEnforcer:
         else:
             self._ctx = IndexedEvaluator.for_tree(tree)
         self._checker = BaselineValidity(constraints, tree, context=self._ctx)
+        self._metrics = metrics
         self._finish_init(analysis)
 
     def _finish_init(self, analysis: bool) -> None:
         """State shared by a fresh open and a checkpoint restore."""
+        # Instruments are resolved once here so the hot loop pays one
+        # attribute load and one ``inc`` per event, never a registry
+        # lookup; ``metrics=NULL`` resolves to shared no-op instruments.
+        m = self._metrics if self._metrics is not None else _obs_registry()
+        self._m_ops = m.counter("stream.ops_total")
+        self._m_accepted = m.counter("stream.accepted_total")
+        self._m_rejected = m.counter("stream.rejected_total")
+        self._m_independent = m.counter("stream.independent_total")
+        self._m_rollbacks = m.counter("stream.rollbacks_total")
+        self._m_decisions = m.counter("stream.decisions_total")
         # The bitset engine compares whole answer masks per op; the
         # indexed engine re-checks through the generic node-set diff.
         self._masked = (MaskedBaseline(self._checker, self._ctx)
@@ -353,6 +388,7 @@ class StreamEnforcer:
         except ValueError as err:
             raise StreamError(f"stream checkpoint does not match the "
                               f"constraint set: {err}") from None
+        stream._metrics = None  # restored streams count into the global
         stream._finish_init(bool(state.get("analysis", True)))
         counters = state["counters"]
         stream._audit.dropped = int(counters["entries"])
@@ -379,6 +415,7 @@ class StreamEnforcer:
     # ------------------------------------------------------------------
     def _apply_update(self, op: StreamOp) -> Decision:
         self._ops += 1
+        self._m_ops.inc()
         # The zero-work fast path: decided on the *pre-edit* snapshot,
         # only meaningful when no violations are standing (the analyzer's
         # verdicts assume a currently-valid cumulative pair — see
@@ -391,10 +428,12 @@ class StreamEnforcer:
         except TreeError as err:
             # Nothing was applied: the edit paths validate before mutating.
             self._rejected += 1
+            self._m_rejected.inc()
             return self._record(op, accepted=False, txn=self._txn_id,
                                 note=f"structural error: {err}")
         if fast:
             self._independent += 1
+            self._m_independent.inc()
             violations: tuple[Violation, ...] = ()
         else:
             violations = self._current_violations()
@@ -410,8 +449,10 @@ class StreamEnforcer:
             self._undo([undo])
             self._standing = ()  # the undo restored the last valid state
             self._rejected += 1
+            self._m_rejected.inc()
             return self._record(op, accepted=False, violations=violations)
         self._accepted += 1
+        self._m_accepted.inc()
         return self._record(op, accepted=True, independent=fast)
 
     def _perform(self, op: StreamOp) -> tuple:
@@ -472,12 +513,15 @@ class StreamEnforcer:
             self._undo(journal)
             self._rolled_back += 1
             self._rejected += applied
+            self._m_rollbacks.inc()
+            self._m_rejected.inc(applied)
             decision = self._record(op, accepted=False,
                                     violations=violations, txn=txn,
                                     note=f"{applied} op(s) rolled back")
         else:
             self._committed += 1
             self._accepted += applied
+            self._m_accepted.inc(applied)
             decision = self._record(op, accepted=True, txn=txn,
                                     note=f"{applied} op(s) committed")
         self._journal = None
@@ -492,6 +536,8 @@ class StreamEnforcer:
         self._undo(journal)
         self._rolled_back += 1
         self._rejected += applied
+        self._m_rollbacks.inc()
+        self._m_rejected.inc(applied)
         self._journal = None
         self._txn_id = None
         self._standing = ()  # rolled back to the pre-bracket valid state
@@ -511,6 +557,7 @@ class StreamEnforcer:
                             violations=violations, txn=txn, pending=pending,
                             note=note, independent=independent)
         self._audit.append(decision)
+        self._m_decisions.inc()
         return decision
 
     def __repr__(self) -> str:

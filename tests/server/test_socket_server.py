@@ -242,7 +242,8 @@ class TestBackpressure:
         refused = asyncio.run(run())
         assert isinstance(refused, ErrorResponse)
         assert "overloaded" in refused.message
-        assert refused.details == {"inflight": 2, "limit": 2}
+        assert refused.details == {"inflight": 2, "limit": 2,
+                                   "overload_total": 1}
 
 
 # ----------------------------------------------------------------------
