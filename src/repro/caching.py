@@ -13,8 +13,7 @@ The same primitive caps the per-snapshot query and predicate memos of the
 :class:`repro.xpath.indexed.IndexedEvaluator` and
 :class:`repro.xpath.bitset.BitsetEvaluator` — long-lived bindings serving
 adversarial query streams must not grow without bound.  It lives here (not
-under :mod:`repro.api`) because ``api`` already imports ``xpath``;
-:mod:`repro.api.cache` re-exports everything for callers of the old path.
+under :mod:`repro.api`) because ``api`` already imports ``xpath``.
 
 :class:`LRUMemo` is a small insertion-ordered LRU with hit/miss counters;
 :class:`CacheStats` is the immutable snapshot surfaced through

@@ -1,0 +1,61 @@
+"""Pre-certified transaction templates: verify once, run unchecked.
+
+The per-op enforcement pipeline (:mod:`repro.stream`) pays analysis or
+mask cost on every edit.  This package moves that cost to registration
+time, the compiler/verifier-feeding-a-fast-runtime shape of FLUX-style
+static update typechecking: an :class:`UpdateTemplate` is a reusable
+parameterized transaction over the stream-op algebra, :func:`certify`
+decides **once** whether every instantiation preserves a constraint set
+(returning a replaying :class:`TemplateCounterexample` when it does
+not), and :meth:`repro.stream.engine.StreamEnforcer.apply_certified`
+then executes certified instantiations validating only the template
+guard — no per-op mask work, decisions bit-identical to uncertified
+replay.
+
+>>> from repro.certify import (LabelHole, TemplateAdd, UpdateTemplate,
+...                            certify)
+>>> from repro.constraints import constraint_set
+>>> cs = constraint_set(("/inventory//item", "up"))
+>>> note = UpdateTemplate("annotate", (
+...     TemplateAdd(0, LabelHole("tag", frozenset({"note", "flag"}))),))
+>>> certify(note, cs).certified
+True
+"""
+
+from repro.certify.certifier import (
+    DEFAULT_SEED,
+    CertifyOutcome,
+    CertifyVerdict,
+    OpDischarge,
+    TemplateCertificate,
+    TemplateCounterexample,
+    certify,
+    discharge_pairs,
+)
+from repro.certify.templates import (
+    Binding,
+    Bindings,
+    Hole,
+    LabelHole,
+    NodeHole,
+    SubtreeHole,
+    TemplateAdd,
+    TemplateMove,
+    TemplateOp,
+    TemplateRemove,
+    UpdateTemplate,
+    bindings_from_wire,
+    bindings_to_wire,
+    sample_bindings,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "CertifyOutcome", "CertifyVerdict", "OpDischarge",
+    "TemplateCertificate", "TemplateCounterexample",
+    "certify", "discharge_pairs",
+    "LabelHole", "NodeHole", "SubtreeHole", "Hole",
+    "TemplateAdd", "TemplateMove", "TemplateRemove", "TemplateOp",
+    "UpdateTemplate", "Binding", "Bindings",
+    "bindings_to_wire", "bindings_from_wire", "sample_bindings",
+]

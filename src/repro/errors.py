@@ -55,6 +55,12 @@ class StreamError(ReproError):
     outside a transaction, or operations on a closed stream."""
 
 
+class CertifyError(ReproError):
+    """Raised on template-algebra misuse (:mod:`repro.certify`): malformed
+    hole declarations, bindings outside a hole's declared domain, or a
+    certified submission whose guard fails (nothing is applied)."""
+
+
 class ServiceError(ReproError):
     """Raised on misuse of the multi-document constraint service
     (:mod:`repro.service`): unknown or duplicate document / constraint-set

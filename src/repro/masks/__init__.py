@@ -13,7 +13,9 @@ Selection goes through :func:`get_backend` — pass a name, set the
 ``REPRO_MASK_BACKEND`` environment variable, or take the default
 (``auto``: numpy when importable, big-int otherwise).  Asking for
 ``numpy`` *explicitly* when it cannot import is a
-:class:`~repro.errors.MaskBackendError`; ``auto`` degrades silently.
+:class:`~repro.errors.MaskBackendError`; ``auto`` degrades to big-int,
+counting each fallback in ``masks.backend_fallback_total`` and logging
+once.
 Decisions are checksum-identical across backends by construction (the
 Hypothesis cross-backend suite pins this).
 
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import importlib
 import importlib.util
+import logging
 import os
 from typing import TYPE_CHECKING, Any
 
@@ -64,6 +67,29 @@ def __getattr__(name: str) -> Any:
     return getattr(importlib.import_module(module), attr)
 
 
+_logger = logging.getLogger("repro.masks")
+_fallback_logged = False
+
+
+def _note_auto_fallback(err: ImportError) -> None:
+    """Make the silent ``auto`` → big-int degradation observable.
+
+    Every fallback resolution bumps ``masks.backend_fallback_total`` in
+    the process-global registry (so the ``metrics`` snapshot shows a
+    fleet quietly running on the reference backend), and the *first* one
+    also logs — once per process, not once per ``get_backend`` call.
+    """
+    global _fallback_logged
+    from repro.obs import registry as _obs_registry
+    _obs_registry().counter("masks.backend_fallback_total").inc()
+    if not _fallback_logged:
+        _fallback_logged = True
+        _logger.warning(
+            "numpy mask backend unavailable (%s); falling back to the "
+            "big-int reference backend — set %s=bigint to silence, or "
+            "%s=numpy to make this an error", err, BACKEND_ENV, BACKEND_ENV)
+
+
 def numpy_available() -> bool:
     """Can the numpy backend be selected on this interpreter?"""
     return importlib.util.find_spec("numpy") is not None
@@ -80,10 +106,11 @@ def get_backend(name: str | None = None) -> MaskBackend:
     """Resolve a mask backend by name.
 
     ``name=None`` consults :data:`BACKEND_ENV`, defaulting to ``auto``.
-    ``auto`` prefers numpy and silently falls back to big-int when numpy
-    is absent (or fails to import, e.g. on a big-endian host); naming
-    ``numpy`` explicitly makes that failure a loud
-    :class:`~repro.errors.MaskBackendError` instead.
+    ``auto`` prefers numpy and falls back to big-int when numpy is
+    absent (or fails to import, e.g. on a big-endian host) — observable,
+    not silent: every fallback bumps ``masks.backend_fallback_total``
+    and the first logs a warning.  Naming ``numpy`` explicitly makes
+    that failure a loud :class:`~repro.errors.MaskBackendError` instead.
     """
     if name is None:
         name = os.environ.get(BACKEND_ENV) or "auto"
@@ -100,7 +127,8 @@ def get_backend(name: str | None = None) -> MaskBackend:
     if name == "auto":
         try:
             from repro.masks.np_backend import NumpyBackend
-        except ImportError:
+        except ImportError as err:
+            _note_auto_fallback(err)
             return BigIntBackend()
         return NumpyBackend()
     raise MaskBackendError(

@@ -29,17 +29,20 @@ from __future__ import annotations
 import asyncio
 from collections.abc import Iterable, Sequence
 
+from repro.certify.templates import Bindings, UpdateTemplate
 from repro.constraints.model import ConstraintSet, UpdateConstraint
 from repro.errors import ServerError
 from repro.obs import new_trace_id, trace_id
 from repro.server.framing import read_frame, write_frame
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    CertifiedSubmit,
     ImplicationQuery,
     InstanceQuery,
     MetricsRequest,
     RegisterConstraints,
     RegisterDocument,
+    RegisterTemplate,
     Request,
     Response,
     StreamStatus,
@@ -166,6 +169,27 @@ class ReproClient:
                       ops: Sequence[StreamOp]) -> Response:
         return await self.request(StreamSubmit(document, constraints,
                                                tuple(ops)))
+
+    async def register_template(self, name: str, template: UpdateTemplate,
+                                constraints: str, *,
+                                replace: bool = False) -> Response:
+        """Certify-and-register an update template against a named set.
+
+        The :class:`~repro.service.protocol.Ack` carries the verdict in
+        ``stats`` (``certify.certified`` is 1 iff the template may be
+        submitted through :meth:`certified_submit`).
+        """
+        return await self.request(RegisterTemplate(name, template,
+                                                   constraints,
+                                                   replace=replace))
+
+    async def certified_submit(self, document: str, constraints: str,
+                               template: str,
+                               bindings: Bindings) -> Response:
+        """Run one certified-template instantiation on the hot path."""
+        return await self.request(CertifiedSubmit(
+            document, constraints, template,
+            tuple(sorted(dict(bindings).items()))))
 
     async def status(self, document: str) -> Response:
         """Where the document's stream stands (reconnect reconciliation)."""

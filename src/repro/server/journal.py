@@ -42,6 +42,11 @@ from pathlib import Path
 from time import perf_counter
 from typing import BinaryIO, Iterable
 
+from repro.certify.templates import (
+    UpdateTemplate,
+    bindings_from_wire,
+    bindings_to_wire,
+)
 from repro.errors import JournalError, ServiceError
 from repro.obs import MetricsRegistry, registry as _obs_registry, span
 from repro.server.framing import encode_record, scan_records
@@ -202,6 +207,22 @@ class ServerJournal:
             "replace": bool(replace),
         })
 
+    def template_registered(self, name: str, template: UpdateTemplate,
+                            set_name: str, replace: bool) -> None:
+        """Record one *certified* template registration.
+
+        Lives in ``sets.journal`` (like the constraint sets certificates
+        are statements about); recovery replays the record through
+        :meth:`~repro.service.store.DocumentStore.add_template`, and the
+        deterministic certifier reproduces the stored verdict — the
+        journal never records rejected or unknown templates.
+        """
+        self._append(self.sets_journal_path, {
+            "kind": "template", "name": name,
+            "template": template.to_dict(), "set": set_name,
+            "replace": bool(replace),
+        })
+
     def document_registered(self, name: str, tree: DataTree,
                             replace: bool) -> None:
         """Start (or restart, on replace) the document's journal."""
@@ -262,6 +283,30 @@ class ServerJournal:
             return
         self._append(self.doc_journal_path(doc), {
             "kind": "submit", "set": set_name,
+            "ops": [op_to_dict(op) for op in ops],
+        })
+        count = self._since_checkpoint.get(doc, 0) + 1
+        self._since_checkpoint[doc] = count
+        if count >= self.checkpoint_every and not enforcer.in_transaction:
+            self.checkpoint(doc, set_name, enforcer)
+
+    def certified_submitted(self, doc: str, set_name: str,
+                            template_name: str, bindings: dict,
+                            ops: tuple[StreamOp, ...],
+                            enforcer: StreamEnforcer) -> None:
+        """Record one applied certified submission; checkpoint when due.
+
+        The record carries the template *name* plus the bindings and the
+        pinned ops: recovery replays it through
+        :meth:`~repro.stream.engine.StreamEnforcer.apply_certified` (the
+        template itself recovers from ``sets.journal`` first — its lsn is
+        always lower), so a recovered stream's audit trail, counters and
+        ``certified`` accounting match the live one's exactly.
+        """
+        self._append(self.doc_journal_path(doc), {
+            "kind": "certified", "set": set_name,
+            "template": template_name,
+            "bindings": bindings_to_wire(bindings),
             "ops": [op_to_dict(op) for op in ops],
         })
         count = self._since_checkpoint.get(doc, 0) + 1
@@ -345,7 +390,7 @@ class ServerJournal:
         events: list[tuple[int, int, str, dict]] = []  # (lsn, tie, kind, data)
         top = self._scan(self.sets_journal_path, report)
         for record in top:
-            events.append((record["lsn"], 0, "constraints", record))
+            events.append((record["lsn"], 0, record["kind"], record))
         docs_root = self.root / _DOCS
         for doc_dir in sorted(p for p in docs_root.iterdir() if p.is_dir()):
             self._gather_doc(doc_dir, events, report)
@@ -435,6 +480,20 @@ class ServerJournal:
             self._since_checkpoint[name] = 0
             if name not in report.documents:
                 report.documents.append(name)
+        elif kind == "template":
+            template = UpdateTemplate.from_dict(data["template"])
+            outcome = store.add_template(
+                data["name"], template, data["set"],
+                replace=bool(data.get("replace")) or
+                data["name"] in store.templates())
+            if not outcome.certified:
+                # certify() is deterministic over (template, set); a
+                # journaled registration that no longer certifies means
+                # the journals disagree with themselves.
+                raise JournalError(
+                    f"journaled template {data['name']!r} (lsn "
+                    f"{data['lsn']}) failed re-certification against set "
+                    f"{data['set']!r} during recovery")
         elif kind == "submit":
             name = data["doc"]
             ops = tuple(op_from_dict(d) for d in data["ops"])
@@ -445,6 +504,27 @@ class ServerJournal:
                 raise JournalError(
                     f"replay of journaled submission (lsn {data['lsn']}) "
                     f"for document {name!r} failed: {err}") from err
+            report.decisions_replayed += len(decisions)
+            counter = self._next_id.get(name, 1)
+            for op in ops:
+                if isinstance(op, AddLeaf) and op.nid is not None:
+                    counter = max(counter, op.nid + 1)
+            self._next_id[name] = counter
+            self._since_checkpoint[name] = (
+                self._since_checkpoint.get(name, 0) + 1)
+        elif kind == "certified":
+            name = data["doc"]
+            ops = tuple(op_from_dict(d) for d in data["ops"])
+            try:
+                template, _ = store.template(data["template"], data["set"])
+                enforcer = store.enforcer(name, data["set"])
+                decisions = enforcer.apply_certified(
+                    template, bindings_from_wire(data["bindings"]), ops=ops)
+            except Exception as err:
+                raise JournalError(
+                    f"replay of journaled certified submission (lsn "
+                    f"{data['lsn']}) for document {name!r} failed: "
+                    f"{err}") from err
             report.decisions_replayed += len(decisions)
             counter = self._next_id.get(name, 1)
             for op in ops:

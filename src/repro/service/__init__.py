@@ -34,6 +34,7 @@ from repro.service.async_service import AsyncService
 from repro.service.executors import Executor, InlineExecutor, ProcessExecutor
 from repro.service.protocol import (
     Ack,
+    CertifiedSubmit,
     ErrorResponse,
     FleetDecisions,
     FleetSubmit,
@@ -44,6 +45,7 @@ from repro.service.protocol import (
     QueryAnswers,
     RegisterConstraints,
     RegisterDocument,
+    RegisterTemplate,
     Request,
     Response,
     PROTOCOL_VERSION,
@@ -67,6 +69,7 @@ __all__ = [
     "ConstraintService", "DocumentStore", "AsyncService",
     "Executor", "InlineExecutor", "ProcessExecutor",
     "Request", "RegisterConstraints", "RegisterDocument",
+    "RegisterTemplate", "CertifiedSubmit",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
     "FleetSubmit", "MetricsRequest", "PROTOCOL_VERSION",
     "Response", "Ack", "Verdict", "QueryAnswers", "MetricsSnapshot",

@@ -44,6 +44,7 @@ from repro.obs import registry as _obs_registry, trace_id, tracing
 from repro.service.executors import Executor
 from repro.service.protocol import (
     Ack,
+    CertifiedSubmit,
     ImplicationQuery,
     InstanceQuery,
     RegisterConstraints,
@@ -67,7 +68,8 @@ def _route_key(request: Request) -> str | None:
     """The serialisation domain of a request: its document, or control."""
     if isinstance(request, (RegisterDocument,)):
         return request.name
-    if isinstance(request, (InstanceQuery, StreamSubmit, StreamStatus)):
+    if isinstance(request, (InstanceQuery, StreamSubmit, StreamStatus,
+                            CertifiedSubmit)):
         return request.document
     return _CONTROL
 

@@ -40,6 +40,7 @@ from repro.obs import registry as _obs_registry
 from repro.service.dispatch import bind_session, compiled_session
 from repro.service.protocol import (
     Ack,
+    CertifiedSubmit,
     ErrorResponse,
     FleetDecisions,
     FleetSubmit,
@@ -49,6 +50,7 @@ from repro.service.protocol import (
     MetricsSnapshot,
     RegisterConstraints,
     RegisterDocument,
+    RegisterTemplate,
     Request,
     Response,
     StreamStatus,
@@ -122,8 +124,16 @@ class InlineExecutor(Executor):
             return self._implication(request, store)
         if isinstance(request, InstanceQuery):
             return self._instance(request, store)
+        if isinstance(request, RegisterTemplate):
+            outcome = store.add_template(request.name, request.template,
+                                         request.constraints,
+                                         replace=request.replace)
+            return Ack("template", request.name, len(request.template.ops),
+                       stats=outcome.wire_stats())
         if isinstance(request, StreamSubmit):
             return self._stream(request, store)
+        if isinstance(request, CertifiedSubmit):
+            return self._certified(request, store)
         if isinstance(request, StreamStatus):
             return self._stream_status(request, store)
         if isinstance(request, FleetSubmit):
@@ -175,6 +185,25 @@ class InlineExecutor(Executor):
                                 ops[:len(decisions)], enforcer)
         if error is not None:
             raise error
+        return StreamDecisions(tuple(WireDecision.of(d) for d in decisions))
+
+    def _certified(self, request: CertifiedSubmit,
+                   store: DocumentStore) -> StreamDecisions:
+        template, _outcome = store.template(request.template,
+                                            request.constraints)
+        enforcer = store.enforcer(request.document, request.constraints)
+        bindings = dict(request.bindings)
+        # Instantiate first (bad binding domains fail before the stream is
+        # touched), then pin fresh-leaf ids at the durable boundary so the
+        # journaled record replays to identical trees.
+        ops = store.prepare_stream_ops(request.document,
+                                       template.instantiate(bindings))
+        # All-or-nothing: a guard or structural failure raises with
+        # nothing applied and nothing recorded, so — unlike the per-op
+        # path — there is never an applied prefix to journal.
+        decisions = enforcer.apply_certified(template, bindings, ops=ops)
+        store.commit_certified(request.document, request.constraints,
+                               request.template, bindings, ops, enforcer)
         return StreamDecisions(tuple(WireDecision.of(d) for d in decisions))
 
     def _fleet(self, request: FleetSubmit,

@@ -27,9 +27,14 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.certify.templates import (
+    UpdateTemplate,
+    bindings_from_wire,
+    bindings_to_wire,
+)
 from repro.constraints.model import ConstraintType, UpdateConstraint
 from repro.constraints.validity import Violation
-from repro.errors import ServiceError
+from repro.errors import CertifyError, ServiceError
 from repro.implication.result import ImplicationResult
 from repro.stream.log import Decision
 from repro.stream.ops import StreamOp, op_from_dict, op_to_dict
@@ -209,6 +214,79 @@ class StreamSubmit(Request):
 
 
 @dataclass(frozen=True)
+class RegisterTemplate(Request):
+    """Register an update template against a named constraint set.
+
+    The service runs :func:`repro.certify.certify` once at registration:
+    a certified template is stored (and journaled — recovery re-certifies
+    deterministically) and becomes eligible for :class:`CertifiedSubmit`;
+    a rejected or unknown one is **not** stored, and the answering
+    :class:`Ack` carries the verdict and search accounting in ``stats``
+    (``certify.certified``, ``certify.rejected``, ``certify.attempts``,
+    witness sizes — counterexample *objects* stay server-side, like
+    refutation certificates).
+    """
+
+    kind = "register-template"
+
+    name: str
+    template: UpdateTemplate
+    constraints: str
+    replace: bool = False
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "name": self.name,
+                "template": self.template.to_dict(),
+                "constraints": self.constraints, "replace": self.replace}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegisterTemplate":
+        try:
+            template = UpdateTemplate.from_dict(data["template"])
+        except CertifyError as exc:
+            raise ValueError(str(exc)) from None
+        return cls(name=data["name"], template=template,
+                   constraints=data["constraints"],
+                   replace=bool(data.get("replace", False)))
+
+
+@dataclass(frozen=True)
+class CertifiedSubmit(Request):
+    """Run one certified-template instantiation on the hot path.
+
+    ``template`` names a template previously registered (and certified)
+    against ``constraints``; ``bindings`` fills its holes.  The server
+    validates only the template guard, applies the whole bracket with no
+    per-op checking, journals it for recovery, and answers with the
+    bracket's :class:`StreamDecisions` — bit-identical to submitting the
+    instantiated ops through :class:`StreamSubmit`.
+    """
+
+    kind = "certified-submit"
+
+    document: str
+    constraints: str
+    template: str
+    bindings: tuple[tuple[str, int | str], ...]
+
+    def to_dict(self) -> dict:
+        return {"request": self.kind, "document": self.document,
+                "constraints": self.constraints, "template": self.template,
+                "bindings": bindings_to_wire(dict(self.bindings))}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CertifiedSubmit":
+        try:
+            bindings = bindings_from_wire(data["bindings"])
+        except CertifyError as exc:
+            raise ValueError(str(exc)) from None
+        return cls(document=data["document"],
+                   constraints=data["constraints"],
+                   template=data["template"],
+                   bindings=tuple(sorted(bindings.items())))
+
+
+@dataclass(frozen=True)
 class FleetSubmit(Request):
     """Submit one or more write *epochs* against a fleet of documents.
 
@@ -305,9 +383,9 @@ class MetricsRequest(Request):
 
 _REQUEST_KINDS: dict[str, type[Request]] = {
     cls.kind: cls
-    for cls in (RegisterConstraints, RegisterDocument, ImplicationQuery,
-                InstanceQuery, StreamSubmit, StreamStatus, FleetSubmit,
-                MetricsRequest)
+    for cls in (RegisterConstraints, RegisterDocument, RegisterTemplate,
+                ImplicationQuery, InstanceQuery, StreamSubmit, StreamStatus,
+                CertifiedSubmit, FleetSubmit, MetricsRequest)
 }
 
 
@@ -779,6 +857,7 @@ def response_checksum(response: Response) -> int:
 __all__ = [
     "PROTOCOL_VERSION",
     "Request", "RegisterConstraints", "RegisterDocument",
+    "RegisterTemplate", "CertifiedSubmit",
     "ImplicationQuery", "InstanceQuery", "StreamSubmit", "StreamStatus",
     "FleetSubmit", "MetricsRequest",
     "Response", "Ack", "Verdict", "QueryAnswers",

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.api.session import BoundReasoner, Reasoner
+from repro.certify import CertifyOutcome, UpdateTemplate, certify
 from repro.constraints.model import ConstraintSet, constraint_set
 from repro.errors import ServiceError
 from repro.masks.fleet import FleetEvaluator
@@ -41,7 +42,7 @@ class DocumentStore:
     """The named-object registry behind a constraint service."""
 
     __slots__ = ("_documents", "_sets", "_sessions", "_enforcers", "_bindings",
-                 "_fleets", "_journal")
+                 "_fleets", "_templates", "_journal")
 
     def __init__(self) -> None:
         self._documents: dict[str, DataTree] = {}
@@ -49,6 +50,11 @@ class DocumentStore:
         self._sessions: dict[str, Reasoner] = {}
         # doc name -> (set name, enforcer): one live stream per document.
         self._enforcers: dict[str, tuple[str, StreamEnforcer]] = {}
+        # template name -> (set name, template, certify outcome).  Only
+        # *certified* templates are stored; rejected/unknown ones never
+        # enter the registry (the hot path trusts every entry here).
+        self._templates: dict[
+            str, tuple[str, UpdateTemplate, CertifyOutcome]] = {}
         # (set name, doc name) -> (tree version, binding)
         self._bindings: dict[tuple[str, str], tuple[int, BoundReasoner]] = {}
         # (doc names, set name) -> fleet session: a document belongs to at
@@ -94,9 +100,58 @@ class DocumentStore:
                     if bound_set == name]:
             del self._enforcers[doc]
         self._drop_fleets(constraints=name)
+        # Certificates are statements about the replaced set; drop them.
+        for tpl in [t for t, (bound_set, _, _) in self._templates.items()
+                    if bound_set == name]:
+            del self._templates[tpl]
         if self._journal is not None:
             self._journal.constraints_registered(name, constraints, replace)
         return constraints
+
+    def add_template(self, name: str, template: UpdateTemplate,
+                     set_name: str, *,
+                     replace: bool = False) -> CertifyOutcome:
+        """Certify ``template`` against a registered set; store iff certified.
+
+        Always returns the :class:`~repro.certify.CertifyOutcome` — the
+        caller decides how to surface a rejection (the executor ships the
+        verdict and search accounting in ``Ack.stats``; the counterexample
+        object stays server-side).  Certified templates are journaled in
+        ``sets.journal``; recovery replays the record through this same
+        path (:func:`~repro.certify.certify` is deterministic, so the
+        stored verdict reproduces bit-for-bit).
+        """
+        constraints = self.constraints(set_name)
+        if name in self._templates and not replace:
+            raise ServiceError(f"template {name!r} is already registered "
+                               "(pass replace=True to swap it)")
+        outcome = certify(template, constraints)
+        if outcome.certified:
+            self._templates[name] = (set_name, template, outcome)
+            # Recovery replays into a store with no journal attached, so
+            # this write-through never re-journals its own replay.
+            if self._journal is not None:
+                self._journal.template_registered(name, template, set_name,
+                                                  replace)
+        return outcome
+
+    def template(self, name: str, set_name: str
+                 ) -> tuple[UpdateTemplate, CertifyOutcome]:
+        """A certified template, checked against the submission's set."""
+        try:
+            bound_set, template, outcome = self._templates[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown certified template {name!r}; registered: "
+                f"{sorted(self._templates)}") from None
+        if bound_set != set_name:
+            raise ServiceError(
+                f"template {name!r} is certified against constraint set "
+                f"{bound_set!r}, not {set_name!r}")
+        return template, outcome
+
+    def templates(self) -> list[str]:
+        return sorted(self._templates)
 
     def _drop_bindings(self, document: str | None = None,
                        constraints: str | None = None) -> None:
@@ -279,6 +334,15 @@ class DocumentStore:
         if self._journal is not None and ops:
             self._journal.stream_submitted(doc_name, set_name,
                                            tuple(ops), enforcer)
+
+    def commit_certified(self, doc_name: str, set_name: str,
+                         template_name: str, bindings, ops,
+                         enforcer: StreamEnforcer) -> None:
+        """Journal (and fsync) one applied certified submission."""
+        if self._journal is not None:
+            self._journal.certified_submitted(doc_name, set_name,
+                                              template_name, dict(bindings),
+                                              tuple(ops), enforcer)
 
     def adopt_stream(self, doc_name: str, set_name: str,
                      enforcer: StreamEnforcer) -> None:

@@ -33,11 +33,13 @@ append-only :class:`~repro.stream.log.AuditTrail`, with per-constraint
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING
 from collections.abc import Iterable, Sequence
 
 if TYPE_CHECKING:  # imported lazily at runtime (see _build_analyzer)
     from repro.analysis.independence import IndependenceAnalyzer
+    from repro.certify.templates import Bindings, UpdateTemplate
 
 from repro.constraints.model import (
     ConstraintSet,
@@ -45,7 +47,7 @@ from repro.constraints.model import (
     constraint_set,
 )
 from repro.constraints.validity import BaselineValidity, Violation
-from repro.errors import StreamError, TreeError
+from repro.errors import CertifyError, StreamError, TreeError
 from repro.masks.baseline import MaskedBaseline
 from repro.obs import MetricsRegistry, registry as _obs_registry
 from repro.stream.log import AuditTrail, Decision
@@ -94,6 +96,7 @@ class StreamStats:
     rolled_back: int        # brackets undone (failed commit or rollback)
     revision: int           # snapshot revision (applied edits, incl. undos)
     independent: int = 0    # ops accepted with zero mask work (fast path)
+    certified: int = 0      # ops applied through the certified hot path
 
     def wire_pairs(self) -> tuple[tuple[str, int], ...]:
         """The counters as sorted ``(name, value)`` pairs for the wire.
@@ -111,6 +114,7 @@ class StreamStats:
             "transactions": self.transactions, "committed": self.committed,
             "rolled_back": self.rolled_back,
             "independent": self.independent,
+            "certified": self.certified,
         }.items()))
 
     def __str__(self) -> str:
@@ -183,6 +187,8 @@ class StreamEnforcer:
         self._m_independent = m.counter("stream.independent_total")
         self._m_rollbacks = m.counter("stream.rollbacks_total")
         self._m_decisions = m.counter("stream.decisions_total")
+        self._m_certified = m.counter("stream.certified_ops_total")
+        self._m_certified_seconds = m.histogram("certify.certified_seconds")
         # The bitset engine compares whole answer masks per op; the
         # indexed engine re-checks through the generic node-set diff.
         self._masked = (MaskedBaseline(self._checker, self._ctx)
@@ -202,6 +208,7 @@ class StreamEnforcer:
         self._committed = 0
         self._rolled_back = 0
         self._independent = 0
+        self._certified_ops = 0
 
     # ------------------------------------------------------------------
     # State surface
@@ -245,7 +252,8 @@ class StreamEnforcer:
             transactions=self._txn_count, committed=self._committed,
             rolled_back=self._rolled_back,
             revision=self._ctx.index.revision,
-            independent=self._independent)
+            independent=self._independent,
+            certified=self._certified_ops)
 
     def baseline_answers(self) -> dict[UpdateConstraint, frozenset[Node]]:
         """``{c: q_c(I₀)}`` as frozen when the stream opened."""
@@ -307,6 +315,86 @@ class StreamEnforcer:
         return self.submit(ops)
 
     # ------------------------------------------------------------------
+    # The certified hot path (repro.certify)
+    # ------------------------------------------------------------------
+    def apply_certified(self, template: "UpdateTemplate",
+                        bindings: "Bindings", *,
+                        ops: "Sequence[StreamOp] | None" = None
+                        ) -> list[Decision]:
+        """Run one certified-template instantiation with zero checking.
+
+        The caller vouches (via :func:`repro.certify.certify`) that every
+        guard-passing instantiation of ``template`` preserves the policy;
+        this path therefore validates only the template's **guard** —
+        binding domains, node existence, per-op structural preconditions,
+        subtree-label bounds — and applies the whole bracket with no mask
+        work: no per-op re-check, no commit-time validation.  The audit
+        trail and the returned decisions are bit-identical to replaying
+        ``[Begin(name), *template.instantiate(bindings), Commit]``
+        through an uncertified enforcer (the Hypothesis oracle suite pins
+        this), so journals mixing certified and per-op traffic replay to
+        the same stream either way.
+
+        ``ops`` optionally supplies the pre-instantiated sequence — the
+        durable service pins fresh-leaf ids there so recovery replays
+        produce the same node ids.  A guard failure raises
+        :class:`~repro.errors.CertifyError` with nothing applied and
+        nothing recorded; a mid-template structural conflict (one op
+        invalidating a later op's target, which the per-op guard against
+        the pre-state cannot see) undoes the applied prefix and raises
+        :class:`~repro.errors.CertifyError`, leaving document, audit and
+        counters untouched.
+        """
+        started = perf_counter()
+        self._check_fresh()
+        if self._journal is not None:
+            raise StreamError("certified templates run as their own "
+                              "bracket: commit or roll back the open "
+                              "transaction first")
+        error = template.guard_errors(bindings, self._tree)
+        if error is not None:
+            raise CertifyError(
+                f"template {template.name!r} guard rejected the "
+                f"bindings: {error}")
+        concrete = (tuple(ops) if ops is not None
+                    else template.instantiate(bindings))
+        if len(concrete) != len(template.ops):
+            raise CertifyError(
+                f"template {template.name!r} has {len(template.ops)} "
+                f"op(s) but {len(concrete)} were supplied")
+        undos: list[tuple] = []
+        try:
+            for op in concrete:
+                undos.append(self._perform(op))
+        except TreeError as err:
+            self._undo(undos)
+            raise CertifyError(
+                f"template {template.name!r} op {len(undos)} failed "
+                f"structurally after the guard passed (an earlier op in "
+                f"the template invalidated its target): {err}") from None
+        # All applied: record the full bracket exactly as an uncertified
+        # commit would have (certification guarantees it would accept).
+        applied = len(concrete)
+        self._txn_count += 1
+        txn = self._txn_count
+        decisions = [self._record(Begin(template.name), accepted=True,
+                                  txn=txn)]
+        for op in concrete:
+            decisions.append(self._record(op, accepted=True, txn=txn,
+                                          pending=True))
+        decisions.append(self._record(Commit(), accepted=True, txn=txn,
+                                      note=f"{applied} op(s) committed"))
+        self._ops += applied
+        self._accepted += applied
+        self._committed += 1
+        self._certified_ops += applied
+        self._m_ops.inc(applied)
+        self._m_accepted.inc(applied)
+        self._m_certified.inc(applied)
+        self._m_certified_seconds.observe(perf_counter() - started)
+        return decisions
+
+    # ------------------------------------------------------------------
     # Checkpoint / restore (the durable server's snapshot boundary)
     # ------------------------------------------------------------------
     #: Bumped when the checkpoint shape changes; ``restore`` refuses
@@ -345,6 +433,7 @@ class StreamEnforcer:
                 "committed": self._committed,
                 "rolled_back": self._rolled_back,
                 "independent": self._independent,
+                "certified": self._certified_ops,
             },
         }
 
@@ -399,6 +488,7 @@ class StreamEnforcer:
         stream._committed = int(counters["committed"])
         stream._rolled_back = int(counters["rolled_back"])
         stream._independent = int(counters["independent"])
+        stream._certified_ops = int(counters.get("certified", 0))
         return stream
 
     def begin(self, name: str | None = None) -> Decision:

@@ -19,7 +19,7 @@ trail's one-line form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Any, Union
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ MARKERS = (Begin, Commit, Rollback)
 # ----------------------------------------------------------------------
 # Wire form (the service protocol ships logs as JSON)
 # ----------------------------------------------------------------------
-_OP_TAGS: dict[str, type] = {
+_OP_TAGS: dict[str, type[StreamOp]] = {
     "add-leaf": AddLeaf,
     "move": Move,
     "remove-subtree": RemoveSubtree,
@@ -108,16 +108,17 @@ _OP_TAGS: dict[str, type] = {
     "commit": Commit,
     "rollback": Rollback,
 }
-_TAG_OF = {cls: tag for tag, cls in _OP_TAGS.items()}
+_TAG_OF: dict[type[StreamOp], str] = {
+    cls: tag for tag, cls in _OP_TAGS.items()}
 
 
-def op_to_dict(op: StreamOp) -> dict:
+def op_to_dict(op: StreamOp) -> dict[str, Any]:
     """One operation as a JSON-safe dict (``{"op": tag, ...fields}``)."""
     try:
         tag = _TAG_OF[type(op)]
     except KeyError:
         raise ValueError(f"unknown stream operation {op!r}") from None
-    data = {"op": tag}
+    data: dict[str, Any] = {"op": tag}
     for name in type(op).__dataclass_fields__:
         value = getattr(op, name)
         if value is not None:
@@ -125,13 +126,13 @@ def op_to_dict(op: StreamOp) -> dict:
     return data
 
 
-def op_from_dict(data: dict) -> StreamOp:
+def op_from_dict(data: dict[str, Any]) -> StreamOp:
     """Rebuild an operation from its wire dict (inverse of :func:`op_to_dict`)."""
     fields = dict(data)
     tag = fields.pop("op", None)
-    cls = _OP_TAGS.get(tag)
-    if cls is None:
+    if not isinstance(tag, str) or tag not in _OP_TAGS:
         raise ValueError(f"unknown stream operation tag {tag!r}")
+    cls = _OP_TAGS[tag]
     try:
         return cls(**fields)
     except TypeError as exc:

@@ -227,6 +227,8 @@ class DataTree:
         """Delete ``nid`` and its whole subtree."""
         if nid == self._root:
             raise TreeError("cannot remove the root")
+        if nid not in self._labels:
+            raise TreeError(f"node {nid} not in tree")
         doomed = list(self.descendants(nid, include_self=True))
         parent = self._parent[nid]
         assert parent is not None
@@ -246,6 +248,8 @@ class DataTree:
         """
         if nid == self._root:
             raise TreeError("cannot move the root")
+        if nid not in self._labels:
+            raise TreeError(f"node {nid} not in tree")
         if new_parent not in self._labels:
             raise TreeError(f"target parent {new_parent} not in tree")
         if nid == new_parent or self.is_ancestor(nid, new_parent):

@@ -84,13 +84,3 @@ class TestBatchReport:
                                     no_insert("/c")], fail_fast=True)
         assert report[1].is_refuted and report[2] is None
 
-
-class TestDeprecatedCacheShim:
-    def test_shim_warns_and_reexports_the_canonical_module(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.api.cache", None)
-        with pytest.warns(DeprecationWarning, match="repro.caching"):
-            shim = importlib.import_module("repro.api.cache")
-        assert shim.LRUMemo is LRUMemo

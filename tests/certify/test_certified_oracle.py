@@ -1,0 +1,228 @@
+"""The bit-identical oracle: certified hot path ≡ uncertified replay.
+
+The whole point of :meth:`~repro.stream.engine.StreamEnforcer.
+apply_certified` is that skipping the mask work changes *nothing*
+observable: for any certified template and any guard-passing binding,
+its decisions, audit trail, counters (minus the ``certified``
+accounting) and final document are exactly those of replaying
+``[Begin(name), *instantiate(bindings), Commit]`` through an uncertified
+enforcer — before, between, and after ordinary per-op traffic.  These
+Hypothesis suites drive both engines in lockstep on seeded random
+documents and templates and compare everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.certify import (
+    LabelHole,
+    NodeHole,
+    SubtreeHole,
+    TemplateAdd,
+    TemplateMove,
+    TemplateRemove,
+    UpdateTemplate,
+    certify,
+    sample_bindings,
+)
+from repro.constraints import constraint_set
+from repro.errors import CertifyError, StreamError
+from repro.stream.engine import StreamEnforcer
+from repro.stream.ops import AddLeaf, Begin, Commit
+from repro.trees.tree import fresh_id
+from repro.workloads import random_tree
+
+import pytest
+
+RELAXED = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+#: Labels the constraints range over.
+HOT = ["a", "b", "c"]
+#: Labels certified templates confine themselves to (disjoint from HOT).
+COLD = ["x", "y"]
+
+POLICY = constraint_set(
+    ("/a/b", "down"),
+    ("/a[/c]", "up"),
+    ("/b", "down"),
+)
+
+
+def build_document(rng: random.Random) -> "DataTree":
+    """A random HOT-labelled tree with a few COLD nodes grafted on, so
+    subtree holes have material to move and remove."""
+    tree = random_tree(rng, HOT, size=rng.randint(2, 12))
+    nodes = list(tree.node_ids())
+    for _ in range(rng.randint(2, 5)):
+        parent = rng.choice(nodes)
+        nodes.append(tree.add_child(parent, rng.choice(COLD)))
+    return tree
+
+
+def build_template(rng: random.Random) -> UpdateTemplate:
+    """A random template whose every op is label-confined to COLD."""
+    cold = frozenset(COLD)
+    ops: list = []
+    for at in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.5:
+            ops.append(TemplateAdd(NodeHole(f"p{at}"),
+                                   LabelHole(f"l{at}", cold)))
+        elif roll < 0.8:
+            ops.append(TemplateMove(SubtreeHole(f"s{at}", cold),
+                                    NodeHole(f"d{at}")))
+        else:
+            ops.append(TemplateRemove(SubtreeHole(f"s{at}", cold)))
+    return UpdateTemplate(f"tpl{rng.randrange(1 << 16)}", tuple(ops))
+
+
+def certified_pair(seed: int):
+    """(template, document, bindings) with the template certified, or
+    None when the draw has no guard-passing binding on the document."""
+    rng = random.Random(seed)
+    template = build_template(rng)
+    assert certify(template, POLICY).certified, \
+        "COLD-confined templates must always certify against POLICY"
+    document = build_document(rng)
+    bindings = sample_bindings(template, document, rng)
+    if bindings is None:
+        return None
+    return template, document, bindings
+
+
+def pinned_ops(template: UpdateTemplate, bindings) -> tuple:
+    """The instantiation with fresh-leaf ids pinned up front — node ids
+    come from a global allocator, so the bit-identical comparison feeds
+    BOTH engines the same concrete sequence (exactly what the durable
+    service does at its journal boundary)."""
+    return tuple(AddLeaf(op.parent, op.label, nid=fresh_id())
+                 if isinstance(op, AddLeaf) and op.nid is None else op
+                 for op in template.instantiate(bindings))
+
+
+def uncertified_bracket(enforcer: StreamEnforcer,
+                        template: UpdateTemplate, ops) -> list:
+    return [enforcer.apply(op)
+            for op in (Begin(template.name), *ops, Commit())]
+
+
+def audit_lines(enforcer: StreamEnforcer) -> list[str]:
+    return [str(d) for d in enforcer.audit]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_certified_decisions_and_state_are_bit_identical(seed):
+    drawn = certified_pair(seed)
+    if drawn is None:
+        return
+    template, document, bindings = drawn
+    fast = StreamEnforcer(POLICY, document.copy(), analysis=False)
+    slow = StreamEnforcer(POLICY, document.copy(), analysis=False)
+
+    ops = pinned_ops(template, bindings)
+    fast_decisions = fast.apply_certified(template, bindings, ops=ops)
+    slow_decisions = uncertified_bracket(slow, template, ops)
+
+    assert fast_decisions == slow_decisions
+    assert fast.tree == slow.tree
+    assert audit_lines(fast) == audit_lines(slow)
+    fast_stats = dict(fast.stats.wire_pairs())
+    slow_stats = dict(slow.stats.wire_pairs())
+    assert fast_stats.pop("certified") == len(template.ops)
+    assert slow_stats.pop("certified") == 0
+    assert fast_stats == slow_stats
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_certified_between_ordinary_traffic(seed):
+    """Interleave: per-op edits, a whole uncertified transaction, the
+    certified bracket, more per-op edits — streams stay in lockstep."""
+    drawn = certified_pair(seed)
+    if drawn is None:
+        return
+    template, document, bindings = drawn
+    rng = random.Random(seed ^ 0xBEEF)
+    fast = StreamEnforcer(POLICY, document.copy(), analysis=False)
+    slow = StreamEnforcer(POLICY, document.copy(), analysis=False)
+
+    def both(op):
+        return fast.apply(op), slow.apply(op)
+
+    def pinned_add(label):
+        # Pinned ids here too: each engine would otherwise draw its own
+        # fresh id from the global allocator and the trees would drift.
+        return AddLeaf(root, label, nid=fresh_id())
+
+    root = document.root
+    for _ in range(rng.randint(0, 3)):
+        a, b = both(pinned_add(rng.choice(HOT + COLD)))
+        assert a == b
+    for op in (Begin(), pinned_add("x"), Commit()):
+        a, b = both(op)
+        assert a == b
+    # The certified bracket may no longer pass its guard on the evolved
+    # document (an earlier random edit cannot invalidate COLD subtrees
+    # it did not touch, but id-bound draws can collide) — both sides
+    # must then agree there is nothing to compare.
+    if template.guard_errors(bindings, fast.tree) is not None:
+        return
+    ops = pinned_ops(template, bindings)
+    assert (fast.apply_certified(template, bindings, ops=ops)
+            == uncertified_bracket(slow, template, ops))
+    for _ in range(rng.randint(1, 3)):
+        a, b = both(pinned_add(rng.choice(HOT)))
+        assert a == b
+    assert fast.tree == slow.tree
+    assert audit_lines(fast) == audit_lines(slow)
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@RELAXED
+def test_guard_failure_leaves_no_trace(seed):
+    """A refused binding is a no-op: document, audit, counters, txn ids
+    all exactly as before — the next submission sees a pristine stream."""
+    drawn = certified_pair(seed)
+    if drawn is None:
+        return
+    template, document, bindings = drawn
+    enforcer = StreamEnforcer(POLICY, document.copy(), analysis=False)
+    enforcer.apply(AddLeaf(document.root, "x"))
+    before_tree = enforcer.tree.copy()
+    before_audit = audit_lines(enforcer)
+    before_stats = enforcer.stats.wire_pairs()
+
+    bad = dict(bindings)
+    first = next(iter(sorted(bad)))
+    bad[first] = 999_999 if isinstance(bad[first], int) else "zz_offside"
+    with pytest.raises(CertifyError):
+        enforcer.apply_certified(template, bad)
+
+    assert enforcer.tree == before_tree
+    assert audit_lines(enforcer) == before_audit
+    assert enforcer.stats.wire_pairs() == before_stats
+    # ...and a good binding still runs cleanly afterwards.
+    if template.guard_errors(bindings, enforcer.tree) is None:
+        decisions = enforcer.apply_certified(template, bindings)
+        assert all(d.accepted for d in decisions)
+
+
+def test_certified_refused_inside_an_open_transaction():
+    doc = random_tree(random.Random(0), HOT, size=4)
+    template = UpdateTemplate("late", (
+        TemplateAdd(NodeHole("p"), LabelHole("l", frozenset(COLD))),))
+    assert certify(template, POLICY).certified
+    enforcer = StreamEnforcer(POLICY, doc.copy(), analysis=False)
+    enforcer.apply(Begin())
+    with pytest.raises(StreamError, match="bracket"):
+        enforcer.apply_certified(template, {"p": doc.root, "l": "x"})
+    enforcer.apply(Commit())
+    decisions = enforcer.apply_certified(template,
+                                         {"p": doc.root, "l": "x"})
+    assert [d.accepted for d in decisions] == [True, True, True]

@@ -1,0 +1,287 @@
+"""Template algebra unit tests: holes, guards, codecs, canonical form.
+
+The load-bearing surface is the split documented in
+:mod:`repro.certify.templates`: binding-domain and subtree-label checks
+are **soundness-bearing** (the certifier's label-disjointness argument
+transfers to an instantiation only because the guard enforces the hole
+bounds), while a :class:`NodeHole` anchor is a usability precondition.
+These tests pin both halves, plus the wire codec (patterns as XPath
+text) and the canonical form that keys structurally-equal templates
+together.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.certify.templates import (
+    LabelHole,
+    NodeHole,
+    SubtreeHole,
+    TemplateAdd,
+    TemplateMove,
+    TemplateRemove,
+    UpdateTemplate,
+    bindings_from_wire,
+    bindings_to_wire,
+    sample_bindings,
+)
+from repro.errors import CertifyError
+from repro.stream.ops import AddLeaf, Move, RemoveSubtree
+from repro.trees import branch, build
+from repro.xpath.parser import parse
+
+
+def ward() -> "DataTree":
+    """patient(visit, note), patient(visit) with pinned ids."""
+    return build(
+        branch("patient",
+               branch("visit", nid=7),
+               branch("note", nid=8),
+               nid=5),
+        branch("patient", branch("visit", nid=9), nid=6),
+    )
+
+
+ANNOTATE = UpdateTemplate("annotate", (
+    TemplateAdd(NodeHole("p", parse("/patient")),
+                LabelHole("l", frozenset({"note", "memo"}))),
+))
+
+
+# ----------------------------------------------------------------------
+# Hole and template validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_label_hole_needs_a_domain(self):
+        with pytest.raises(CertifyError, match="empty"):
+            LabelHole("l", frozenset())
+
+    def test_subtree_hole_needs_labels(self):
+        with pytest.raises(CertifyError, match="declares no"):
+            SubtreeHole("s", frozenset())
+
+    def test_holes_need_names(self):
+        with pytest.raises(CertifyError, match="non-empty name"):
+            NodeHole("")
+
+    def test_template_needs_ops(self):
+        with pytest.raises(CertifyError, match="no operations"):
+            UpdateTemplate("empty", ())
+
+    def test_one_name_one_declaration(self):
+        """The same hole name must mean the same hole everywhere."""
+        with pytest.raises(CertifyError, match="two different"):
+            UpdateTemplate("clash", (
+                TemplateAdd(NodeHole("x"), "note"),
+                TemplateRemove(SubtreeHole("x", frozenset({"note"}))),
+            ))
+
+    def test_shared_hole_is_one_hole(self):
+        tpl = UpdateTemplate("twice", (
+            TemplateAdd(NodeHole("p"), "note"),
+            TemplateAdd(NodeHole("p"), "memo"),
+        ))
+        assert [h.name for h in tpl.holes()] == ["p"]
+
+
+# ----------------------------------------------------------------------
+# Instantiation
+# ----------------------------------------------------------------------
+class TestInstantiate:
+    def test_yields_concrete_ops_with_unpinned_ids(self):
+        ops = ANNOTATE.instantiate({"p": 5, "l": "note"})
+        assert ops == (AddLeaf(5, "note"),)
+        assert ops[0].nid is None
+
+    def test_shared_hole_fills_every_position(self):
+        tpl = UpdateTemplate("pair", (
+            TemplateAdd(NodeHole("p"), "note"),
+            TemplateAdd(NodeHole("p"), "memo"),
+        ))
+        assert tpl.instantiate({"p": 6}) == (AddLeaf(6, "note"),
+                                             AddLeaf(6, "memo"))
+
+    def test_mixed_kinds(self):
+        tpl = UpdateTemplate("mixed", (
+            TemplateMove(SubtreeHole("s", frozenset({"visit"})),
+                         NodeHole("d")),
+            TemplateRemove(SubtreeHole("s", frozenset({"visit"}))),
+        ))
+        assert tpl.instantiate({"s": 7, "d": 6}) == (Move(7, 6),
+                                                     RemoveSubtree(7))
+
+    @pytest.mark.parametrize("bindings, why", [
+        ({"p": 5}, "unbound"),
+        ({"p": 5, "l": "note", "zz": 1}, "binding names no hole"),
+        ({"p": 5, "l": "visit"}, "outside"),
+        ({"p": "five", "l": "note"}, "takes a node id"),
+        ({"p": True, "l": "note"}, "takes a node id"),
+        ({"p": 5, "l": 8}, "takes a label"),
+    ])
+    def test_domain_violations_raise(self, bindings, why):
+        with pytest.raises(CertifyError, match=why):
+            ANNOTATE.instantiate(bindings)
+
+
+# ----------------------------------------------------------------------
+# The guard
+# ----------------------------------------------------------------------
+class TestGuard:
+    def test_passing_binding(self):
+        assert ANNOTATE.guard_errors({"p": 5, "l": "note"}, ward()) is None
+
+    def test_missing_node(self):
+        assert "not in the document" in ANNOTATE.guard_errors(
+            {"p": 404, "l": "note"}, ward())
+
+    def test_anchor_mismatch_is_refused(self):
+        # Node 7 exists but is a visit, not a patient.
+        assert "anchor" in ANNOTATE.guard_errors({"p": 7, "l": "note"},
+                                                 ward())
+
+    def test_descendant_anchor_matches_any_depth(self):
+        tpl = UpdateTemplate("deep", (
+            TemplateAdd(NodeHole("p", parse("//visit")), "note"),))
+        doc = ward()
+        assert tpl.guard_errors({"p": 7}, doc) is None
+        assert tpl.guard_errors({"p": 9}, doc) is None
+        assert "anchor" in tpl.guard_errors({"p": 5}, doc)
+
+    def test_subtree_label_bound_is_enforced(self):
+        """The soundness-bearing check: content outside the declared set."""
+        tpl = UpdateTemplate("drop", (
+            TemplateRemove(SubtreeHole("s", frozenset({"visit"}))),))
+        doc = ward()
+        assert tpl.guard_errors({"s": 7}, doc) is None
+        # Node 5's subtree contains 'patient', 'visit' and 'note'.
+        assert "outside hole" in tpl.guard_errors({"s": 5}, doc)
+
+    def test_root_is_immovable(self):
+        tpl = UpdateTemplate("drop", (TemplateRemove(NodeHole("s")),))
+        doc = ward()
+        assert "root" in tpl.guard_errors({"s": doc.root}, doc)
+
+    def test_move_into_own_subtree_is_refused(self):
+        tpl = UpdateTemplate("mv", (
+            TemplateMove(NodeHole("s"), NodeHole("d")),))
+        assert "inside the moved subtree" in tpl.guard_errors(
+            {"s": 5, "d": 7}, ward())
+
+
+# ----------------------------------------------------------------------
+# Canonical form and keys
+# ----------------------------------------------------------------------
+class TestCanonical:
+    def test_anchor_spelling_does_not_split_keys(self):
+        """Predicate order and nesting sugar spell the same program."""
+        a = UpdateTemplate("t", (
+            TemplateAdd(NodeHole("p", parse("/patient[/visit][/note/x]")),
+                        "memo"),))
+        b = UpdateTemplate("t", (
+            TemplateAdd(NodeHole("p", parse("/patient[/note[/x]][/visit]")),
+                        "memo"),))
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_is_idempotent_and_stable(self):
+        canon = ANNOTATE.canonical()
+        assert canon.canonical() is canon
+        assert canon.canonical_key() == ANNOTATE.canonical_key()
+
+    def test_different_domains_key_apart(self):
+        other = UpdateTemplate("annotate", (
+            TemplateAdd(NodeHole("p", parse("/patient")),
+                        LabelHole("l", frozenset({"note"}))),))
+        assert other.canonical_key() != ANNOTATE.canonical_key()
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+ROUND_TRIPPERS = [
+    ANNOTATE,
+    UpdateTemplate("moves", (
+        TemplateMove(SubtreeHole("s", frozenset({"visit", "note"})),
+                     NodeHole("d", parse("//patient"))),
+        TemplateRemove(7),
+        TemplateAdd(5, "note"),
+    )),
+    UpdateTemplate("plain", (TemplateAdd(NodeHole("p"), "note"),)),
+]
+
+
+class TestWire:
+    @pytest.mark.parametrize("template", ROUND_TRIPPERS,
+                             ids=lambda t: t.name)
+    def test_template_round_trips_through_json(self, template):
+        wire = json.loads(json.dumps(template.to_dict()))
+        back = UpdateTemplate.from_dict(wire)
+        assert back == template
+        assert back.canonical_key() == template.canonical_key()
+
+    @pytest.mark.parametrize("data", [
+        {"name": "x"},
+        {"name": "x", "ops": [{"op": "teleport", "node": 1}]},
+        {"name": "x", "ops": [{"op": "add-leaf", "parent": "five",
+                               "label": "note"}]},
+        {"name": "x", "ops": [{"op": "add-leaf",
+                               "parent": {"hole": "wat", "name": "p"},
+                               "label": "note"}]},
+        {"name": "x", "ops": [{"op": "move", "node": 1,
+                               "new_parent": {"hole": "subtree",
+                                              "name": "s",
+                                              "labels": ["a"]}}]},
+    ])
+    def test_malformed_wire_raises_certify_error(self, data):
+        with pytest.raises(CertifyError):
+            UpdateTemplate.from_dict(data)
+
+    def test_bindings_round_trip(self):
+        bindings = {"p": 5, "l": "note"}
+        assert bindings_from_wire(bindings_to_wire(bindings)) == bindings
+
+    def test_bindings_reject_non_scalar_values(self):
+        with pytest.raises(CertifyError, match="node ids or labels"):
+            bindings_from_wire({"p": [5]})
+        with pytest.raises(CertifyError, match="node ids or labels"):
+            bindings_from_wire({"p": True})
+
+
+# ----------------------------------------------------------------------
+# The seeded sampler
+# ----------------------------------------------------------------------
+class TestSampler:
+    def test_samples_pass_the_guard_and_apply_cleanly(self):
+        doc = ward()
+        rng = random.Random(20070611)
+        for _ in range(10):
+            drawn = sample_bindings(ANNOTATE, doc, rng)
+            assert drawn is not None
+            assert ANNOTATE.guard_errors(drawn, doc) is None
+            assert drawn["p"] in (5, 6)
+            assert drawn["l"] in ("note", "memo")
+
+    def test_deterministic_for_a_seed(self):
+        doc = ward()
+        a = [sample_bindings(ANNOTATE, doc, random.Random(3))
+             for _ in range(5)]
+        b = [sample_bindings(ANNOTATE, doc, random.Random(3))
+             for _ in range(5)]
+        assert a == b
+
+    def test_dry_hole_returns_none(self):
+        tpl = UpdateTemplate("dry", (
+            TemplateAdd(NodeHole("p", parse("/pharmacy")), "note"),))
+        assert sample_bindings(tpl, ward(), random.Random(0)) is None
+
+    def test_structurally_conflicting_draws_are_filtered(self):
+        """remove-then-move of the same hole can never apply; the
+        sampler must notice via its scratch replay, not hand it out."""
+        tpl = UpdateTemplate("conflict", (
+            TemplateRemove(SubtreeHole("s", frozenset({"visit"}))),
+            TemplateMove(SubtreeHole("s", frozenset({"visit"})), 5),
+        ))
+        assert sample_bindings(tpl, ward(), random.Random(1)) is None

@@ -4,8 +4,9 @@ Selection (:func:`repro.masks.get_backend`) has three entry points — an
 explicit name, the ``REPRO_MASK_BACKEND`` environment variable, and the
 ``auto`` default — with one asymmetry worth pinning: asking for numpy
 *explicitly* on an interpreter where it cannot import is a loud
-:class:`~repro.errors.MaskBackendError`, while ``auto`` degrades
-silently to big-int.  The algebra tests drive every backend through the
+:class:`~repro.errors.MaskBackendError`, while ``auto`` degrades to
+big-int — observably: each fallback bumps ``masks.backend_fallback_total``
+and the first one logs a warning.  The algebra tests drive every backend through the
 same pack/unpack/diff round-trips so the two representations can never
 drift apart on the primitives the fleet check is built from.
 """
@@ -83,13 +84,26 @@ class TestSelection:
         with pytest.raises(MaskBackendError, match="unavailable"):
             get_backend("numpy")
 
-    def test_auto_falls_back_silently(self, monkeypatch):
+    def test_auto_falls_back_and_counts_it(self, monkeypatch, caplog):
+        import repro.masks as masks_pkg
+        from repro.obs import registry
+
         monkeypatch.delitem(sys.modules, "repro.masks.np_backend",
                             raising=False)
         monkeypatch.setitem(sys.modules, "repro.masks.np_backend", None)
-        assert get_backend("auto").name == "bigint"
-        monkeypatch.delenv(BACKEND_ENV, raising=False)
-        assert get_backend().name == "bigint"
+        monkeypatch.setattr(masks_pkg, "_fallback_logged", False)
+        counter = registry().counter("masks.backend_fallback_total")
+        before = counter.value
+        with caplog.at_level("WARNING", logger="repro.masks"):
+            assert get_backend("auto").name == "bigint"
+            monkeypatch.delenv(BACKEND_ENV, raising=False)
+            assert get_backend().name == "bigint"
+        # Every fallback resolution counts; only the first one logs.
+        assert counter.value == before + 2
+        warnings = [r for r in caplog.records
+                    if "falling back" in r.getMessage()]
+        assert len(warnings) == 1
+        assert BACKEND_ENV in warnings[0].getMessage()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,199 @@
+"""Certified templates survive crashes: journal, replay, checkpoints.
+
+Three durability contracts stack here.  First, a certified registration
+is a ``sets.journal`` record, so after any crash — clean close or a
+kill -9 modelled by :meth:`~repro.server.journal.ServerJournal.
+simulate_power_loss` — recovery re-certifies the template from its wire
+form and the verdict reproduces (``certify`` is deterministic over the
+template/set pair).  Second, a ``certified`` document-journal record
+replays through :meth:`~repro.stream.engine.StreamEnforcer.
+apply_certified` with the pinned ops, so the recovered stream's
+decisions, counters and ``certified`` accounting are bit-identical to
+the live fleet's.  Third, checkpoints snapshot the enforcer *after*
+certified brackets, so snapshot+replay and pure replay agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify import (
+    LabelHole,
+    NodeHole,
+    TemplateAdd,
+    UpdateTemplate,
+)
+from repro.constraints import constraint_set
+from repro.server.journal import ServerJournal
+from repro.service.protocol import (
+    CertifiedSubmit,
+    RegisterConstraints,
+    RegisterDocument,
+    RegisterTemplate,
+    StreamStatus,
+    StreamSubmit,
+    response_checksum,
+)
+from repro.service.service import ConstraintService
+from repro.service.store import DocumentStore
+from repro.stream.ops import AddLeaf, Begin, Commit
+from repro.trees import serialize
+from repro.xpath.parser import parse
+
+POLICY = constraint_set(
+    ("/patient/visit", "down"),
+    ("/patient[/clinicalTrial]", "up"),
+)
+
+ANNOTATE = UpdateTemplate("annotate", (
+    TemplateAdd(NodeHole("p", parse("//patient")),
+                LabelHole("l", frozenset({"note", "memo"}))),
+))
+
+
+def durable_service(root, **journal_opts):
+    store = DocumentStore()
+    journal = ServerJournal(root, **journal_opts)
+    report = journal.recover(store)
+    store.attach_journal(journal)
+    return ConstraintService(store=store), journal, report
+
+
+def fresh_doc():
+    """Every id pinned (root included) so recovered ids line up."""
+    from repro.trees.tree import DataTree
+    doc = DataTree(root_id=1)
+    doc.add_child(1, "patient", nid=5)
+    doc.add_child(5, "visit", nid=7)
+    doc.add_child(5, "clinicalTrial", nid=8)
+    return doc
+
+
+def register_all(svc):
+    svc.handle(RegisterConstraints("policy", tuple(POLICY)))
+    svc.handle(RegisterDocument("ward", fresh_doc()))
+    svc.handle(RegisterTemplate("annotate", ANNOTATE, "policy"))
+
+
+def fingerprint(svc):
+    """Everything observable about the ward stream, plus the templates."""
+    return (svc.handle(StreamStatus("ward")).to_dict(),
+            serialize.to_dict(svc.store.document("ward")),
+            svc.store.templates())
+
+
+def submit(svc, label="note", node=5):
+    return svc.handle(CertifiedSubmit("ward", "policy", "annotate",
+                                      (("l", label), ("p", node))))
+
+
+class TestCertifiedRecovery:
+    def test_template_survives_a_clean_restart(self, tmp_path):
+        live, journal, _ = durable_service(tmp_path)
+        register_all(live)
+        journal.close()
+        recovered, j2, _ = durable_service(tmp_path)
+        assert recovered.store.templates() == ["annotate"]
+        # ...and it is immediately usable, no re-registration needed.
+        response = submit(recovered)
+        assert [d.accepted for d in response.decisions] == [True] * 3
+        j2.close()
+
+    def test_recovery_recertifies_from_the_wire_form(self, tmp_path):
+        """Replay goes through ``add_template`` — the recovered store
+        holds a real certificate, not a trust-me flag."""
+        live, journal, _ = durable_service(tmp_path)
+        register_all(live)
+        journal.close()
+        recovered, j2, _ = durable_service(tmp_path)
+        template, outcome = recovered.store.template("annotate", "policy")
+        assert template == ANNOTATE
+        assert outcome.certified
+        assert outcome.certificate.template_key == ANNOTATE.canonical_key()
+        j2.close()
+
+    @pytest.mark.parametrize("checkpoint_every", [2, 1000])
+    def test_kill_dash_nine_after_certified_submissions(self, tmp_path,
+                                                        checkpoint_every):
+        """The issue's quickstart, as a test: certify, register, submit,
+        pull the plug, recover — state, counters and the certificate all
+        reconverge, and continuations are bit-identical."""
+        live, journal, _ = durable_service(
+            tmp_path, checkpoint_every=checkpoint_every)
+        register_all(live)
+        submit(live, "note")
+        submit(live, "memo")
+        live.handle(StreamSubmit("ward", "policy", (AddLeaf(5, "note"),)))
+        before = fingerprint(live)
+        journal.simulate_power_loss()  # kill -9; fsync=True ⇒ no loss
+
+        recovered, j2, _ = durable_service(
+            tmp_path, checkpoint_every=checkpoint_every)
+        assert fingerprint(recovered) == before
+        status = recovered.handle(StreamStatus("ward")).to_dict()
+        assert dict(status["stats"])["certified"] == 2
+        # The futures agree: same certified continuation, same wire bytes
+        # (modulo the fresh leaf id, which recovery's counter pins next).
+        tail = submit(recovered, "note", node=5)
+        assert [d.accepted for d in tail.decisions] == [True] * 3
+        j2.close()
+
+    def test_recovered_decisions_are_bit_identical(self, tmp_path):
+        """Audit trails — seq numbers, txn ids, notes — replay exactly."""
+        live, journal, _ = durable_service(tmp_path, checkpoint_every=1000)
+        register_all(live)
+        live.handle(StreamSubmit("ward", "policy", (AddLeaf(5, "note"),)))
+        submit(live, "memo")
+        live.handle(StreamSubmit("ward", "policy", (
+            Begin(), AddLeaf(5, "note"), Commit())))
+        submit(live, "note", node=5)
+        _, live_enf = live.store.live_stream("ward")
+        live_trail = [str(d) for d in live_enf.audit]
+        journal.simulate_power_loss()
+
+        recovered, j2, _ = durable_service(tmp_path, checkpoint_every=1000)
+        _, rec_enf = recovered.store.live_stream("ward")
+        assert [str(d) for d in rec_enf.audit] == live_trail
+        assert rec_enf.stats.wire_pairs() == live_enf.stats.wire_pairs()
+        j2.close()
+
+    def test_checkpoint_and_pure_replay_agree_on_certified(self, tmp_path):
+        """The same certified-heavy history through snapshots and through
+        pure journal replay lands on the same fleet."""
+        roots = (tmp_path / "snap", tmp_path / "replay")
+        fleets = []
+        for root, every in zip(roots, (1, 10 ** 6)):
+            svc, journal, _ = durable_service(root, checkpoint_every=every)
+            register_all(svc)
+            checksums = [response_checksum(submit(svc, label))
+                         for label in ("note", "memo", "note")]
+            fleets.append((svc, journal, checksums))
+        (snap, ja, ca), (replay, jb, cb) = fleets
+        assert ca == cb
+        ja.close()
+        jb.close()
+        rec_a, ja2, rep_a = durable_service(roots[0], checkpoint_every=1)
+        rec_b, jb2, rep_b = durable_service(roots[1],
+                                            checkpoint_every=10 ** 6)
+        assert rep_a.checkpoints_used and not rep_b.checkpoints_used
+        assert fingerprint(rec_a) == fingerprint(rec_b) == fingerprint(snap)
+        ja2.close()
+        jb2.close()
+
+    def test_set_replacement_drops_templates_across_recovery(self,
+                                                             tmp_path):
+        """Dropping a set invalidates its certificates; recovery must
+        honour the replacement's lsn position, not resurrect them."""
+        live, journal, _ = durable_service(tmp_path)
+        register_all(live)
+        submit(live)
+        live.handle(RegisterConstraints(
+            "policy", tuple(constraint_set(("/patient", "up"))),
+            replace=True))
+        assert live.store.templates() == []
+        journal.close()
+        recovered, j2, _ = durable_service(tmp_path)
+        assert recovered.store.templates() == []
+        response = submit(recovered)
+        assert "unknown certified template" in response.message
+        j2.close()
